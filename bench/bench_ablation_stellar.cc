@@ -1,0 +1,108 @@
+// Ablation study of Stellar's design choices (DESIGN.md §3):
+//   1. phase breakdown — where the time goes per distribution;
+//   2. dominance-matrix materialization vs on-the-fly recomputation
+//      (the Property 1 storage trade-off of §5.1);
+//   3. full-space skyline algorithm choice (BNL / SFS / DC / LESS);
+//   4. Skyey with and without parent-candidate sharing (the "shared sorted
+//      lists" device).
+//
+// Flags: --tuples=N (default 20000; --full → 100000), --seed=S.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/skyey.h"
+#include "core/stellar.h"
+
+int main(int argc, char** argv) {
+  using namespace skycube;
+  using namespace skycube::bench;
+  const FlagParser flags(argc, argv);
+  const bool full = flags.GetBool("full", false);
+  const size_t tuples = flags.GetInt("tuples", full ? 100000 : 20000);
+  const uint64_t seed = flags.GetInt("seed", 1);
+  PrintHeader("Ablation: Stellar design choices", full);
+
+  const struct {
+    Distribution distribution;
+    int dims;
+  } workloads[] = {
+      {Distribution::kCorrelated, 8},
+      {Distribution::kIndependent, 5},
+      {Distribution::kAntiCorrelated, 4},
+  };
+
+  // 1. Phase breakdown.
+  std::printf("--- phase breakdown (seconds) ---\n");
+  TablePrinter phases({"workload", "seeds", "skyline", "matrices",
+                       "seed_groups", "nonseed", "total"});
+  for (const auto& w : workloads) {
+    const Dataset data =
+        PaperSynthetic(w.distribution, tuples, w.dims, seed);
+    StellarStats stats;
+    ComputeStellar(data, {}, &stats);
+    phases.NewRow()
+        .AddCell(std::string(DistributionName(w.distribution)) + "/d" +
+                 std::to_string(w.dims))
+        .AddInt(static_cast<int64_t>(stats.num_seeds))
+        .AddDouble(stats.seconds_full_skyline, 4)
+        .AddDouble(stats.seconds_matrices, 4)
+        .AddDouble(stats.seconds_seed_groups, 4)
+        .AddDouble(stats.seconds_nonseed, 4)
+        .AddDouble(stats.seconds_total, 4);
+  }
+  EmitTable(phases);
+
+  // 2. Matrix materialization.
+  std::printf("--- dominance matrix: materialized vs on-the-fly ---\n");
+  TablePrinter matrix({"workload", "materialized_sec", "on_the_fly_sec"});
+  for (const auto& w : workloads) {
+    const Dataset data =
+        PaperSynthetic(w.distribution, tuples, w.dims, seed);
+    StellarOptions mat;
+    mat.matrix_mode = StellarOptions::MatrixMode::kMaterialize;
+    StellarOptions fly;
+    fly.matrix_mode = StellarOptions::MatrixMode::kOnTheFly;
+    const double mat_sec = TimeIt([&] { ComputeStellar(data, mat); });
+    const double fly_sec = TimeIt([&] { ComputeStellar(data, fly); });
+    matrix.NewRow()
+        .AddCell(DistributionName(w.distribution))
+        .AddDouble(mat_sec, 4)
+        .AddDouble(fly_sec, 4);
+  }
+  EmitTable(matrix);
+
+  // 3. Full-space skyline algorithm.
+  std::printf("--- step-1 skyline algorithm choice ---\n");
+  TablePrinter algos(
+      {"workload", "BNL", "SFS", "DC", "LESS", "Index", "BBS"});
+  for (const auto& w : workloads) {
+    const Dataset data =
+        PaperSynthetic(w.distribution, tuples, w.dims, seed);
+    algos.NewRow().AddCell(DistributionName(w.distribution));
+    for (SkylineAlgorithm algorithm : kAllSkylineAlgorithms) {
+      StellarOptions options;
+      options.skyline_algorithm = algorithm;
+      algos.AddDouble(TimeIt([&] { ComputeStellar(data, options); }), 4);
+    }
+  }
+  EmitTable(algos);
+
+  // 4. Skyey candidate sharing.
+  std::printf("--- Skyey: parent-candidate sharing on/off ---\n");
+  TablePrinter sharing({"workload", "shared_sec", "fresh_sec"});
+  for (const auto& w : workloads) {
+    const Dataset data =
+        PaperSynthetic(w.distribution, tuples, w.dims, seed);
+    SkyeyOptions shared;
+    shared.share_parent_candidates = true;
+    SkyeyOptions fresh;
+    fresh.share_parent_candidates = false;
+    sharing.NewRow()
+        .AddCell(std::string(DistributionName(w.distribution)) + "/d" +
+                 std::to_string(w.dims))
+        .AddDouble(TimeIt([&] { ComputeSkyey(data, shared); }), 4)
+        .AddDouble(TimeIt([&] { ComputeSkyey(data, fresh); }), 4);
+  }
+  EmitTable(sharing);
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Shared helpers for the figure-reproduction harnesses.
+//
+// Every harness prints (a) a human-readable aligned table and (b) a
+// gnuplot-ready TSV block, containing the same rows/series as the paper's
+// figure. Default parameters are CI-friendly scaled-down versions of the
+// paper's workloads; pass --full for the paper-sized sweep (see
+// EXPERIMENTS.md for both sets of results).
+#ifndef SKYCUBE_BENCH_BENCH_COMMON_H_
+#define SKYCUBE_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/flags.h"
+#include "common/table_printer.h"
+#include "common/timer.h"
+#include "datagen/nba_like.h"
+#include "datagen/synthetic.h"
+#include "dataset/dataset.h"
+
+namespace skycube::bench {
+
+/// The paper's synthetic workload: Börzsönyi generator + 4-decimal
+/// truncation (§6.2).
+inline Dataset PaperSynthetic(Distribution distribution, size_t num_objects,
+                              int num_dims, uint64_t seed) {
+  SyntheticSpec spec;
+  spec.distribution = distribution;
+  spec.num_objects = num_objects;
+  spec.num_dims = num_dims;
+  spec.seed = seed;
+  spec.truncate_decimals = 4;
+  return GenerateSynthetic(spec);
+}
+
+/// The NBA-like table in algorithm convention (smaller is better).
+inline Dataset PaperNba(uint64_t seed = 2007) {
+  return GenerateNbaLike(kNbaLikeDefaultPlayers, seed).Negated();
+}
+
+/// Times one invocation of `fn` in seconds.
+template <typename Fn>
+double TimeIt(Fn&& fn) {
+  WallTimer timer;
+  fn();
+  return timer.ElapsedSeconds();
+}
+
+/// Standard header line for a harness.
+inline void PrintHeader(const std::string& title, bool full) {
+  std::printf("=== %s ===\n", title.c_str());
+  std::printf("mode: %s (pass --full for the paper-sized sweep)\n\n",
+              full ? "FULL (paper-sized)" : "default (CI-scaled)");
+}
+
+/// Emits the table twice: aligned for humans, TSV for gnuplot.
+inline void EmitTable(const TablePrinter& table) {
+  table.Print(std::cout);
+  std::printf("\n-- TSV --\n");
+  table.PrintTsv(std::cout);
+  std::printf("\n");
+}
+
+}  // namespace skycube::bench
+
+#endif  // SKYCUBE_BENCH_BENCH_COMMON_H_

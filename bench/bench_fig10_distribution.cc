@@ -1,0 +1,67 @@
+// Figure 10(a–c): skyline distribution in the three synthetic data set
+// families (correlated, equally distributed, anti-correlated), 100,000
+// tuples each — the number of skyline groups vs the number of subspace
+// skyline objects as dimensionality grows (d ≤ 14 / 6 / 6 in the paper).
+//
+// Paper shape: on correlated data the group count is orders of magnitude
+// below the object count and grows slowly; on equal and anti-correlated
+// data both grow near-exponentially and the gap narrows — skyline groups
+// stop compressing.
+//
+// Flags: --full (n=100000 and the paper's d ranges; otherwise n=20000 and
+// trimmed d), --tuples=N, --seed=S.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/cube.h"
+#include "core/stellar.h"
+
+int main(int argc, char** argv) {
+  using namespace skycube;
+  using namespace skycube::bench;
+  const FlagParser flags(argc, argv);
+  const bool full = flags.GetBool("full", false);
+  const size_t tuples = flags.GetInt("tuples", full ? 100000 : 20000);
+  const uint64_t seed = flags.GetInt("seed", 1);
+  PrintHeader("Figure 10: skyline distribution in synthetic data sets", full);
+  std::printf("tuples per data set: %zu\n\n", tuples);
+
+  struct Series {
+    Distribution distribution;
+    int max_d;
+  };
+  const Series series[] = {
+      {Distribution::kCorrelated, full ? 14 : 10},
+      {Distribution::kIndependent, 6},
+      {Distribution::kAntiCorrelated, full ? 6 : 5},
+  };
+  for (const Series& s : series) {
+    std::printf("--- Figure 10(%c): %s ---\n",
+                s.distribution == Distribution::kCorrelated     ? 'a'
+                : s.distribution == Distribution::kIndependent ? 'b'
+                                                               : 'c',
+                DistributionName(s.distribution));
+    TablePrinter table(
+        {"d", "skyline_groups", "subspace_skyline_objects", "ratio"});
+    for (int d = 1; d <= s.max_d; ++d) {
+      const Dataset data = PaperSynthetic(s.distribution, tuples, d, seed);
+      StellarStats stats;
+      SkylineGroupSet groups = ComputeStellar(data, {}, &stats);
+      const CompressedSkylineCube cube(d, data.num_objects(),
+                                       std::move(groups));
+      const uint64_t objects = cube.TotalSubspaceSkylineObjects();
+      table.NewRow()
+          .AddInt(d)
+          .AddInt(static_cast<int64_t>(stats.num_groups))
+          .AddInt(static_cast<int64_t>(objects))
+          .AddDouble(static_cast<double>(objects) /
+                         static_cast<double>(stats.num_groups),
+                     1);
+    }
+    EmitTable(table);
+  }
+  std::printf(
+      "expected shape: correlated — groups ≪ objects (strong compression); "
+      "equal/anti — both near-exponential, small gap.\n");
+  return 0;
+}

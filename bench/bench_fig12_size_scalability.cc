@@ -1,0 +1,75 @@
+// Figure 12(a–c): scalability w.r.t. database size — runtime of Skyey vs
+// Stellar as tuples grow 100k..500k; dimensionality fixed at 6 (correlated)
+// and 4 (equally distributed, anti-correlated).
+//
+// Paper shape: both algorithms scale roughly linearly in n; Stellar is
+// faster on correlated and equally distributed data, slower on
+// anti-correlated data.
+//
+// Flags: --full (100k..500k in steps of 100k; otherwise 20k..100k in steps
+// of 20k), --seed=S.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/skyey.h"
+#include "core/stellar.h"
+
+int main(int argc, char** argv) {
+  using namespace skycube;
+  using namespace skycube::bench;
+  const FlagParser flags(argc, argv);
+  const bool full = flags.GetBool("full", false);
+  const uint64_t seed = flags.GetInt("seed", 1);
+  PrintHeader("Figure 12: runtime vs database size, synthetic data sets",
+              full);
+
+  std::vector<size_t> sizes;
+  for (int i = 1; i <= 5; ++i) {
+    sizes.push_back(static_cast<size_t>(i) * (full ? 100000 : 20000));
+  }
+
+  struct Series {
+    Distribution distribution;
+    char figure;
+    int dims;
+  };
+  const Series series[] = {
+      {Distribution::kCorrelated, 'a', 6},
+      {Distribution::kIndependent, 'b', 4},
+      {Distribution::kAntiCorrelated, 'c', 4},
+  };
+  for (const Series& s : series) {
+    std::printf("--- Figure 12(%c): %s, %d dimensions ---\n", s.figure,
+                DistributionName(s.distribution), s.dims);
+    TablePrinter table({"tuples", "stellar_sec", "skyey_sec",
+                        "skyey_noshare_sec", "stellar/skyey"});
+    for (size_t n : sizes) {
+      const Dataset data = PaperSynthetic(s.distribution, n, s.dims, seed);
+      SkylineGroupSet stellar_groups;
+      SkylineGroupSet skyey_groups;
+      const double stellar_sec =
+          TimeIt([&] { stellar_groups = ComputeStellar(data); });
+      const double skyey_sec =
+          TimeIt([&] { skyey_groups = ComputeSkyey(data); });
+      SkyeyOptions noshare;
+      noshare.share_parent_candidates = false;
+      const double noshare_sec = TimeIt([&] { ComputeSkyey(data, noshare); });
+      if (stellar_groups != skyey_groups) {
+        std::printf("ERROR: engines disagree at %s n=%zu\n",
+                    DistributionName(s.distribution), n);
+        return 1;
+      }
+      table.NewRow()
+          .AddInt(static_cast<int64_t>(n))
+          .AddDouble(stellar_sec, 4)
+          .AddDouble(skyey_sec, 4)
+          .AddDouble(noshare_sec, 4)
+          .AddDouble(stellar_sec / skyey_sec, 2);
+    }
+    EmitTable(table);
+  }
+  std::printf("expected shape: ~linear growth in n for both; Stellar ahead "
+              "on (a)/(b), behind on (c).\n");
+  return 0;
+}

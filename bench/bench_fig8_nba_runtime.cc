@@ -1,0 +1,58 @@
+// Figure 8: scalability w.r.t. dimensionality on the (NBA-like) real data
+// set — runtime of Skyey vs Stellar on the first d dimensions, d = 1..17.
+//
+// Paper shape: Stellar stays within fractions of a second across the whole
+// sweep; Skyey grows exponentially with d (it searches 2^d − 1 subspaces)
+// and is orders of magnitude slower at high dimensionality.
+//
+// Flags:
+//   --full           d up to 17 for both algorithms (several minutes).
+//   --max-d=N        Stellar sweep bound        (default 17; cheap anyway).
+//   --skyey-max-d=N  Skyey sweep bound          (default 12).
+//   --seed=S         NBA-like generator seed    (default 2007).
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/skyey.h"
+#include "core/stellar.h"
+
+int main(int argc, char** argv) {
+  using namespace skycube;
+  using namespace skycube::bench;
+  const FlagParser flags(argc, argv);
+  const bool full = flags.GetBool("full", false);
+  const int max_d = static_cast<int>(flags.GetInt("max-d", 17));
+  const int skyey_max_d =
+      static_cast<int>(flags.GetInt("skyey-max-d", full ? 17 : 12));
+  PrintHeader("Figure 8: runtime vs dimensionality, NBA data set", full);
+
+  const Dataset nba = PaperNba(flags.GetInt("seed", 2007));
+  std::printf("data: %zu players, %d dimensions (NBA-like substitute, see "
+              "DESIGN.md §4)\n\n",
+              nba.num_objects(), nba.num_dims());
+
+  TablePrinter table({"d", "stellar_sec", "skyey_sec", "speedup"});
+  for (int d = 1; d <= max_d; ++d) {
+    const Dataset data = nba.WithPrefixDims(d);
+    SkylineGroupSet stellar_groups;
+    const double stellar_sec =
+        TimeIt([&] { stellar_groups = ComputeStellar(data); });
+    table.NewRow().AddInt(d).AddDouble(stellar_sec, 4);
+    if (d <= skyey_max_d) {
+      SkylineGroupSet skyey_groups;
+      const double skyey_sec =
+          TimeIt([&] { skyey_groups = ComputeSkyey(data); });
+      if (skyey_groups != stellar_groups) {
+        std::printf("ERROR: Skyey and Stellar disagree at d=%d\n", d);
+        return 1;
+      }
+      table.AddDouble(skyey_sec, 4).AddDouble(skyey_sec / stellar_sec, 1);
+    } else {
+      table.AddCell("(skipped)").AddCell("-");
+    }
+  }
+  EmitTable(table);
+  std::printf("expected shape: Stellar flat in d; Skyey ~2^d growth, "
+              "orders of magnitude slower at high d.\n");
+  return 0;
+}

@@ -1,0 +1,14 @@
+# Figure 10(a/b/c): skyline distribution in one synthetic family (log y).
+# Usage: gnuplot -e "datafile='fig10a.tsv'; outfile='fig10a.png'" plots/fig10.gp
+if (!exists("datafile")) datafile = 'fig10a.tsv'
+if (!exists("outfile")) outfile = 'fig10a.png'
+set terminal pngcairo size 720,480
+set output outfile
+set title "Skyline distribution (100,000 tuples)"
+set xlabel "Dimensionality"
+set ylabel "Number of groups or objects"
+set logscale y
+set key top left
+set grid
+plot datafile using 1:3 with linespoints title 'Subspace skyline objects', \
+     datafile using 1:2 with linespoints title 'Skyline groups'

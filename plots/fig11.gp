@@ -1,0 +1,14 @@
+# Figure 11(a/b/c): runtime vs dimensionality in one synthetic family.
+# Usage: gnuplot -e "datafile='fig11a.tsv'; outfile='fig11a.png'" plots/fig11.gp
+if (!exists("datafile")) datafile = 'fig11a.tsv'
+if (!exists("outfile")) outfile = 'fig11a.png'
+set terminal pngcairo size 720,480
+set output outfile
+set title "Scalability w.r.t. dimensionality (100,000 tuples)"
+set xlabel "Dimensionality"
+set ylabel "Runtime (seconds)"
+set key top left
+set grid
+plot datafile using 1:3 with linespoints title 'Skyey', \
+     datafile using 1:4 with linespoints title 'Skyey (no sharing)', \
+     datafile using 1:2 with linespoints title 'Stellar'

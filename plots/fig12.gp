@@ -1,0 +1,14 @@
+# Figure 12(a/b/c): runtime vs database size in one synthetic family.
+# Usage: gnuplot -e "datafile='fig12a.tsv'; outfile='fig12a.png'" plots/fig12.gp
+if (!exists("datafile")) datafile = 'fig12a.tsv'
+if (!exists("outfile")) outfile = 'fig12a.png'
+set terminal pngcairo size 720,480
+set output outfile
+set title "Scalability w.r.t. database size"
+set xlabel "Number of tuples"
+set ylabel "Runtime (seconds)"
+set key top left
+set grid
+plot datafile using 1:3 with linespoints title 'Skyey', \
+     datafile using 1:4 with linespoints title 'Skyey (no sharing)', \
+     datafile using 1:2 with linespoints title 'Stellar'

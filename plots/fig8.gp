@@ -1,0 +1,14 @@
+# Figure 8: runtime vs dimensionality on the NBA data set (log y).
+# Usage: gnuplot -e "datafile='fig8.tsv'; outfile='fig8.png'" plots/fig8.gp
+if (!exists("datafile")) datafile = 'fig8.tsv'
+if (!exists("outfile")) outfile = 'fig8.png'
+set terminal pngcairo size 720,480
+set output outfile
+set title "Scalability w.r.t. dimensionality (NBA data set)"
+set xlabel "Dimensionality"
+set ylabel "Runtime (seconds)"
+set logscale y
+set key top left
+set grid
+plot datafile using 1:3 with linespoints title 'Skyey', \
+     datafile using 1:2 with linespoints title 'Stellar'

@@ -1,0 +1,14 @@
+# Figure 9: #skyline groups vs #subspace skyline objects, NBA (log y).
+# Usage: gnuplot -e "datafile='fig9.tsv'; outfile='fig9.png'" plots/fig9.gp
+if (!exists("datafile")) datafile = 'fig9.tsv'
+if (!exists("outfile")) outfile = 'fig9.png'
+set terminal pngcairo size 720,480
+set output outfile
+set title "Skyline groups vs subspace skyline objects (NBA data set)"
+set xlabel "Dimensionality"
+set ylabel "Number of groups or objects"
+set logscale y
+set key top left
+set grid
+plot datafile using 1:4 with linespoints title 'Subspace skyline objects', \
+     datafile using 1:3 with linespoints title 'Skyline groups'

@@ -1,0 +1,37 @@
+// Multidimensional skyline analysis on top of the compressed cube — the
+// paper's third query class (Q3), including the "frequent skyline points"
+// analysis of Chan et al. (EDBT'06, the paper's reference [4]): how often
+// is each object a skyline object across the 2^d − 1 subspaces, and which
+// objects are the top-k most frequent?
+//
+// Everything here is derived from the compression alone (inclusion-
+// exclusion over decisive-subspace intervals); the data is never rescanned.
+#ifndef SKYCUBE_ANALYSIS_FREQUENCY_H_
+#define SKYCUBE_ANALYSIS_FREQUENCY_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/cube.h"
+#include "dataset/dataset.h"
+
+namespace skycube {
+
+/// frequency[o] = number of non-empty subspaces whose skyline contains o.
+std::vector<uint64_t> SkylineFrequencies(const CompressedSkylineCube& cube);
+
+/// The k objects with the highest skyline frequency, as (object, frequency)
+/// pairs, frequency descending (ties broken by ascending id). Objects with
+/// frequency 0 are never returned; fewer than k pairs may come back.
+std::vector<std::pair<ObjectId, uint64_t>> TopKFrequentSkylineObjects(
+    const CompressedSkylineCube& cube, size_t k);
+
+/// histogram[l] = Σ over subspaces B with |B| == l+1 of |Sky(B)| — how the
+/// subspace-skyline mass distributes over lattice levels (the drill-down
+/// view of Figures 9/10). histogram.size() == num_dims.
+std::vector<uint64_t> SkylineLevelHistogram(const CompressedSkylineCube& cube);
+
+}  // namespace skycube
+
+#endif  // SKYCUBE_ANALYSIS_FREQUENCY_H_

@@ -1,0 +1,49 @@
+#include "analysis/kdominant.h"
+
+#include <vector>
+
+#include "common/macros.h"
+#include "skyline/algorithms.h"
+
+namespace skycube {
+
+bool KDominates(const Dataset& data, ObjectId u, ObjectId v, DimMask subspace,
+                int k) {
+  SKYCUBE_DCHECK(k >= 1 && k <= MaskSize(subspace));
+  const double* ru = data.Row(u);
+  const double* rv = data.Row(v);
+  int no_worse = 0;
+  bool strictly_better = false;
+  ForEachDim(subspace, [&](int dim) {
+    if (ru[dim] <= rv[dim]) {
+      ++no_worse;
+      strictly_better |= (ru[dim] < rv[dim]);
+    }
+  });
+  // The strict dimension is always among the no-worse dimensions, so any
+  // k-subset of them containing it witnesses the k-domination.
+  return no_worse >= k && strictly_better;
+}
+
+std::vector<ObjectId> KDominantSkyline(const Dataset& data, DimMask subspace,
+                                       int k) {
+  SKYCUBE_CHECK_MSG(k >= 1 && k <= MaskSize(subspace),
+                    "k must be in [1, |subspace|]");
+  // Ordinary dominance implies k-dominance, so the k-dominant skyline is a
+  // subset of the ordinary skyline; but the k-dominators themselves can be
+  // arbitrary objects (the relation is cyclic), so candidates are verified
+  // against everything.
+  const std::vector<ObjectId> candidates = ComputeSkyline(data, subspace);
+  std::vector<ObjectId> result;
+  for (ObjectId candidate : candidates) {
+    bool beaten = false;
+    for (ObjectId other = 0; other < data.num_objects() && !beaten; ++other) {
+      beaten = other != candidate &&
+               KDominates(data, other, candidate, subspace, k);
+    }
+    if (!beaten) result.push_back(candidate);
+  }
+  return result;
+}
+
+}  // namespace skycube

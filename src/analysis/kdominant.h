@@ -1,0 +1,34 @@
+// k-dominant skylines (Chan, Jagadish, Tan, Tung, Zhang, SIGMOD'06 — the
+// paper's reference [3]): a relaxation for high-dimensional spaces where
+// the ordinary skyline degenerates to almost all objects.
+//
+// u k-dominates v in subspace B iff u is no worse than v on at least k of
+// B's dimensions and strictly better on at least one of those. The
+// k-dominant skyline keeps objects that no other object k-dominates. For
+// k = |B| this is the ordinary skyline; smaller k prunes harder. Unlike
+// ordinary dominance the relation is cyclic, so the computation cannot use
+// a window algorithm naively — we use the ordinary skyline as a candidate
+// filter (every k-dominant skyline object is an ordinary skyline object)
+// and verify candidates against the whole object set.
+#ifndef SKYCUBE_ANALYSIS_KDOMINANT_H_
+#define SKYCUBE_ANALYSIS_KDOMINANT_H_
+
+#include <vector>
+
+#include "common/subspace.h"
+#include "dataset/dataset.h"
+
+namespace skycube {
+
+/// True iff `u` k-dominates `v` in `subspace` (see file comment).
+/// Requires 1 ≤ k ≤ |subspace|.
+bool KDominates(const Dataset& data, ObjectId u, ObjectId v, DimMask subspace,
+                int k);
+
+/// The k-dominant skyline of `subspace` (ascending ids).
+std::vector<ObjectId> KDominantSkyline(const Dataset& data, DimMask subspace,
+                                       int k);
+
+}  // namespace skycube
+
+#endif  // SKYCUBE_ANALYSIS_KDOMINANT_H_

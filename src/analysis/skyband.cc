@@ -1,0 +1,39 @@
+#include "analysis/skyband.h"
+
+#include <vector>
+
+#include "common/macros.h"
+#include "skyline/dominance.h"
+
+namespace skycube {
+
+std::vector<size_t> DominatorCounts(const Dataset& data, DimMask subspace,
+                                    size_t cap) {
+  const size_t n = data.num_objects();
+  std::vector<size_t> counts(n, 0);
+  for (ObjectId candidate = 0; candidate < n; ++candidate) {
+    const double* row = data.Row(candidate);
+    size_t& count = counts[candidate];
+    for (ObjectId other = 0; other < n; ++other) {
+      if (other == candidate) continue;
+      if (RowDominates(data.Row(other), row, subspace)) {
+        ++count;
+        if (cap != 0 && count >= cap) break;
+      }
+    }
+  }
+  return counts;
+}
+
+std::vector<ObjectId> Skyband(const Dataset& data, DimMask subspace,
+                              size_t k) {
+  SKYCUBE_CHECK_MSG(k >= 1, "skyband requires k >= 1");
+  const std::vector<size_t> counts = DominatorCounts(data, subspace, k);
+  std::vector<ObjectId> result;
+  for (ObjectId id = 0; id < data.num_objects(); ++id) {
+    if (counts[id] < k) result.push_back(id);
+  }
+  return result;
+}
+
+}  // namespace skycube

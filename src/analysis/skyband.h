@@ -1,0 +1,31 @@
+// k-skybands (Papadias et al., SIGMOD'03, alongside BBS): the set of
+// objects dominated by fewer than k other objects in a subspace. The
+// 1-skyband is the ordinary skyline; larger k gives "runner-up" layers —
+// the natural relaxation when the strict skyline is too selective for a
+// recommendation list.
+#ifndef SKYCUBE_ANALYSIS_SKYBAND_H_
+#define SKYCUBE_ANALYSIS_SKYBAND_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/subspace.h"
+#include "dataset/dataset.h"
+
+namespace skycube {
+
+/// Objects of `subspace` dominated by fewer than `k` others (ascending
+/// ids). Requires k ≥ 1; k = 1 is exactly the skyline. Duplicates do not
+/// dominate each other, so bound twins share their dominator count.
+std::vector<ObjectId> Skyband(const Dataset& data, DimMask subspace,
+                              size_t k);
+
+/// dominators[o] = number of objects dominating o in `subspace`, capped at
+/// `cap` (counting stops early once an object provably exceeds the cap —
+/// pass cap = k for skyband use; 0 means exact counts).
+std::vector<size_t> DominatorCounts(const Dataset& data, DimMask subspace,
+                                    size_t cap = 0);
+
+}  // namespace skycube
+
+#endif  // SKYCUBE_ANALYSIS_SKYBAND_H_

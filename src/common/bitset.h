@@ -1,0 +1,88 @@
+// A minimal dynamic bitset over 64-bit blocks — the backing store for the
+// bitmap skyline algorithm (Tan et al., VLDB'01).
+#ifndef SKYCUBE_COMMON_BITSET_H_
+#define SKYCUBE_COMMON_BITSET_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace skycube {
+
+/// Fixed-size-after-construction bitset with the word-parallel operations
+/// the bitmap skyline needs (and, or, and-not, any, count).
+class DynamicBitset {
+ public:
+  DynamicBitset() : num_bits_(0) {}
+  explicit DynamicBitset(size_t num_bits)
+      : num_bits_(num_bits), blocks_((num_bits + 63) / 64, 0) {}
+
+  size_t size() const { return num_bits_; }
+
+  void Set(size_t bit) {
+    SKYCUBE_DCHECK(bit < num_bits_);
+    blocks_[bit >> 6] |= uint64_t{1} << (bit & 63);
+  }
+  void Reset(size_t bit) {
+    SKYCUBE_DCHECK(bit < num_bits_);
+    blocks_[bit >> 6] &= ~(uint64_t{1} << (bit & 63));
+  }
+  bool Test(size_t bit) const {
+    SKYCUBE_DCHECK(bit < num_bits_);
+    return (blocks_[bit >> 6] >> (bit & 63)) & 1;
+  }
+
+  /// this &= other (sizes must match).
+  DynamicBitset& operator&=(const DynamicBitset& other) {
+    SKYCUBE_DCHECK(num_bits_ == other.num_bits_);
+    for (size_t i = 0; i < blocks_.size(); ++i) blocks_[i] &= other.blocks_[i];
+    return *this;
+  }
+  /// this |= other.
+  DynamicBitset& operator|=(const DynamicBitset& other) {
+    SKYCUBE_DCHECK(num_bits_ == other.num_bits_);
+    for (size_t i = 0; i < blocks_.size(); ++i) blocks_[i] |= other.blocks_[i];
+    return *this;
+  }
+  /// this &= ~other.
+  DynamicBitset& AndNot(const DynamicBitset& other) {
+    SKYCUBE_DCHECK(num_bits_ == other.num_bits_);
+    for (size_t i = 0; i < blocks_.size(); ++i) {
+      blocks_[i] &= ~other.blocks_[i];
+    }
+    return *this;
+  }
+
+  /// True iff (this & other) has any set bit, without materializing it.
+  bool IntersectsWith(const DynamicBitset& other) const {
+    SKYCUBE_DCHECK(num_bits_ == other.num_bits_);
+    for (size_t i = 0; i < blocks_.size(); ++i) {
+      if ((blocks_[i] & other.blocks_[i]) != 0) return true;
+    }
+    return false;
+  }
+
+  bool Any() const {
+    for (uint64_t block : blocks_) {
+      if (block != 0) return true;
+    }
+    return false;
+  }
+
+  size_t Count() const {
+    size_t total = 0;
+    for (uint64_t block : blocks_) total += std::popcount(block);
+    return total;
+  }
+
+ private:
+  size_t num_bits_;
+  std::vector<uint64_t> blocks_;
+};
+
+}  // namespace skycube
+
+#endif  // SKYCUBE_COMMON_BITSET_H_

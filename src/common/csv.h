@@ -1,0 +1,45 @@
+// Minimal CSV reading/writing for dataset import/export. Supports numeric
+// tables with an optional header row; no quoting (the datasets handled here
+// are purely numeric).
+#ifndef SKYCUBE_COMMON_CSV_H_
+#define SKYCUBE_COMMON_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace skycube {
+
+/// Parsed CSV contents: optional column names plus numeric rows, all rows
+/// the same width.
+struct CsvTable {
+  std::vector<std::string> column_names;  // empty if no header
+  std::vector<std::vector<double>> rows;
+};
+
+/// Options for ReadNumericCsv.
+struct CsvReadOptions {
+  /// Treat the first row as a header of column names. When false, every row
+  /// must parse as numbers.
+  bool has_header = true;
+  char delimiter = ',';
+};
+
+/// Reads a numeric CSV file. Fails with InvalidArgument on ragged rows or
+/// unparsable numeric cells, NotFound if the file cannot be opened.
+Result<CsvTable> ReadNumericCsv(const std::string& path,
+                                const CsvReadOptions& options = {});
+
+/// Parses CSV from an in-memory string (same semantics as ReadNumericCsv).
+Result<CsvTable> ParseNumericCsv(const std::string& text,
+                                 const CsvReadOptions& options = {});
+
+/// Writes a numeric CSV file; emits a header row iff column_names is
+/// non-empty. Returns Internal on I/O failure.
+Status WriteNumericCsv(const std::string& path, const CsvTable& table,
+                       char delimiter = ',');
+
+}  // namespace skycube
+
+#endif  // SKYCUBE_COMMON_CSV_H_

@@ -1,0 +1,39 @@
+// Lightweight assertion macros used across the library.
+//
+// SKYCUBE_CHECK is always on (benchmarks included) and aborts with a message;
+// SKYCUBE_DCHECK compiles away in NDEBUG builds. The library does not throw
+// exceptions on hot paths; invariant violations are programming errors and
+// terminate the process.
+#ifndef SKYCUBE_COMMON_MACROS_H_
+#define SKYCUBE_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define SKYCUBE_CHECK(cond)                                                  \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "SKYCUBE_CHECK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define SKYCUBE_CHECK_MSG(cond, msg)                                         \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "SKYCUBE_CHECK failed at %s:%d: %s (%s)\n",       \
+                   __FILE__, __LINE__, #cond, (msg));                        \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#ifdef NDEBUG
+#define SKYCUBE_DCHECK(cond) \
+  do {                       \
+  } while (0)
+#else
+#define SKYCUBE_DCHECK(cond) SKYCUBE_CHECK(cond)
+#endif
+
+#endif  // SKYCUBE_COMMON_MACROS_H_

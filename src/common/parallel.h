@@ -1,0 +1,52 @@
+// Minimal data-parallel helper: static range chunking over std::thread.
+// The library's parallel paths are all "independent work per index with
+// per-chunk output buffers", so this is deliberately tiny — no pool, no
+// work stealing, threads live for one ParallelFor call.
+#ifndef SKYCUBE_COMMON_PARALLEL_H_
+#define SKYCUBE_COMMON_PARALLEL_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace skycube {
+
+/// Number of workers to use for `requested`: 0 means std::hardware
+/// concurrency, anything else is clamped to [1, n].
+inline int EffectiveThreads(int requested, size_t n) {
+  int threads = requested;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+  if (static_cast<size_t>(threads) > n) threads = static_cast<int>(n);
+  return std::max(threads, 1);
+}
+
+/// Invokes fn(chunk_index, begin, end) for a static partition of [0, n)
+/// into `num_threads` contiguous chunks, each on its own thread
+/// (num_threads == 1 runs inline). fn must not throw.
+template <typename Fn>
+void ParallelChunks(size_t n, int num_threads, Fn&& fn) {
+  const int threads = EffectiveThreads(num_threads, n);
+  if (n == 0) return;
+  if (threads == 1) {
+    fn(0, size_t{0}, n);
+    return;
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  const size_t chunk = (n + threads - 1) / threads;
+  for (int t = 0; t < threads; ++t) {
+    const size_t begin = static_cast<size_t>(t) * chunk;
+    const size_t end = std::min(n, begin + chunk);
+    if (begin >= end) break;
+    workers.emplace_back([&fn, t, begin, end] { fn(t, begin, end); });
+  }
+  for (std::thread& worker : workers) worker.join();
+}
+
+}  // namespace skycube
+
+#endif  // SKYCUBE_COMMON_PARALLEL_H_

@@ -1,0 +1,115 @@
+// Minimal Status / Result types for fallible API-boundary operations
+// (file I/O, parsing). Algorithm internals use SKYCUBE_CHECK instead; these
+// types exist so the public API never throws.
+#ifndef SKYCUBE_COMMON_STATUS_H_
+#define SKYCUBE_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/macros.h"
+
+namespace skycube {
+
+/// Error categories for fallible operations.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kInternal,
+};
+
+/// A success-or-error value. Cheap to copy on success (empty message).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable form, e.g. "InvalidArgument: bad header".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Accessing the value of an
+/// error Result is a checked fatal error.
+// GCC 12 emits a well-known maybe-uninitialized false positive for the
+// inactive std::variant alternative's storage under -O2 (PR105593 family);
+// suppress it for this class only.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value — enables `return value;` in functions returning
+  /// Result<T>.
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status; must not be OK.
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    SKYCUBE_CHECK_MSG(!std::get<Status>(data_).ok(),
+                      "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    // Never-deleted singleton: avoids a static with a non-trivial
+    // destructor (and, incidentally, GCC's std::variant maybe-uninitialized
+    // false positive with std::get).
+    static const Status& ok_status = *new Status();
+    const Status* error = std::get_if<Status>(&data_);
+    return error == nullptr ? ok_status : *error;
+  }
+
+  const T& value() const& {
+    const T* v = std::get_if<T>(&data_);
+    SKYCUBE_CHECK_MSG(v != nullptr, status().ToString().c_str());
+    return *v;
+  }
+  T& value() & {
+    T* v = std::get_if<T>(&data_);
+    SKYCUBE_CHECK_MSG(v != nullptr, status().ToString().c_str());
+    return *v;
+  }
+  T&& value() && {
+    T* v = std::get_if<T>(&data_);
+    SKYCUBE_CHECK_MSG(v != nullptr, status().ToString().c_str());
+    return std::move(*v);
+  }
+
+ private:
+  std::variant<T, Status> data_;
+};
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+}  // namespace skycube
+
+#endif  // SKYCUBE_COMMON_STATUS_H_

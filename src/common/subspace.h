@@ -1,0 +1,123 @@
+// Subspaces of an n-dimensional space represented as 64-bit bitmasks.
+//
+// The paper works over subspaces B ⊆ D = (D1..Dn). We cap n at 64 and
+// represent a subspace as a DimMask where bit i set means dimension Di is in
+// the subspace. All lattice operations (subset tests, intersections,
+// enumeration of subsets/supersets) become cheap word operations.
+#ifndef SKYCUBE_COMMON_SUBSPACE_H_
+#define SKYCUBE_COMMON_SUBSPACE_H_
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace skycube {
+
+/// A subspace of the full dimension space, as a bitmask over dimensions.
+/// Bit i corresponds to dimension i (0-based).
+using DimMask = uint64_t;
+
+/// Maximum supported dimensionality.
+inline constexpr int kMaxDims = 64;
+
+/// The empty subspace (the lattice bottom, excluded from "non-trivial"
+/// subspaces in the paper).
+inline constexpr DimMask kEmptyMask = 0;
+
+/// Returns the full-space mask for `num_dims` dimensions.
+constexpr DimMask FullMask(int num_dims) {
+  return num_dims >= kMaxDims ? ~DimMask{0}
+                              : ((DimMask{1} << num_dims) - 1);
+}
+
+/// Returns a mask with only dimension `dim` set.
+constexpr DimMask DimBit(int dim) { return DimMask{1} << dim; }
+
+/// Number of dimensions in the subspace.
+constexpr int MaskSize(DimMask mask) { return std::popcount(mask); }
+
+/// True iff `sub` ⊆ `super`.
+constexpr bool IsSubsetOf(DimMask sub, DimMask super) {
+  return (sub & ~super) == 0;
+}
+
+/// True iff `sub` ⊂ `super` (proper subset).
+constexpr bool IsProperSubsetOf(DimMask sub, DimMask super) {
+  return sub != super && IsSubsetOf(sub, super);
+}
+
+/// True iff dimension `dim` is in `mask`.
+constexpr bool MaskContains(DimMask mask, int dim) {
+  return (mask >> dim) & 1;
+}
+
+/// Index of the lowest set dimension; mask must be non-empty.
+inline int LowestDim(DimMask mask) {
+  SKYCUBE_DCHECK(mask != 0);
+  return std::countr_zero(mask);
+}
+
+/// Iterates the set dimensions of `mask` in increasing order, invoking
+/// `fn(dim)` for each.
+template <typename Fn>
+void ForEachDim(DimMask mask, Fn&& fn) {
+  while (mask != 0) {
+    const int dim = std::countr_zero(mask);
+    fn(dim);
+    mask &= mask - 1;
+  }
+}
+
+/// Returns the set dimensions of `mask` in increasing order.
+std::vector<int> MaskDims(DimMask mask);
+
+/// Enumerates every non-empty subset of `mask` (including `mask` itself),
+/// invoking `fn(subset)`. Order: decreasing as unsigned integers.
+template <typename Fn>
+void ForEachNonEmptySubset(DimMask mask, Fn&& fn) {
+  for (DimMask sub = mask; sub != 0; sub = (sub - 1) & mask) {
+    fn(sub);
+  }
+}
+
+/// Parses a subspace written with uppercase letters, e.g. "ACD" over a
+/// 4-dimensional space means {0, 2, 3}. Supports up to 26 dimensions ('A'
+/// through 'Z'); returns kEmptyMask for the empty string. Dies on invalid
+/// characters or dimensions beyond `num_dims`.
+DimMask MaskFromLetters(const std::string& letters, int num_dims = 26);
+
+/// Formats a subspace as uppercase letters ("ACD"); requires < 26 dims set
+/// beyond 'Z' would be ambiguous, so masks with dims >= 26 fall back to the
+/// numeric form of FormatMaskNumeric.
+std::string FormatMask(DimMask mask);
+
+/// Formats a subspace as "{0,2,3}".
+std::string FormatMaskNumeric(DimMask mask);
+
+/// Lexicographic-by-dimension total order helper: compares two masks first
+/// by size, then numerically. Useful for deterministic output ordering.
+struct MaskSizeThenValueLess {
+  bool operator()(DimMask a, DimMask b) const {
+    const int sa = MaskSize(a);
+    const int sb = MaskSize(b);
+    if (sa != sb) return sa < sb;
+    return a < b;
+  }
+};
+
+/// Removes non-minimal masks: keeps only masks m such that no other kept
+/// mask is a proper subset of m. Duplicates are collapsed. The result is
+/// sorted by (size, value). This is the "minimal subspaces only" maintenance
+/// step from the paper's Example 6.
+std::vector<DimMask> MinimalMasks(std::vector<DimMask> masks);
+
+/// Removes non-maximal masks, the dual of MinimalMasks. The result is sorted
+/// by (size, value).
+std::vector<DimMask> MaximalMasks(std::vector<DimMask> masks);
+
+}  // namespace skycube
+
+#endif  // SKYCUBE_COMMON_SUBSPACE_H_

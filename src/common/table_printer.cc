@@ -1,0 +1,74 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/macros.h"
+
+namespace skycube {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+TablePrinter& TablePrinter::NewRow() {
+  rows_.emplace_back();
+  return *this;
+}
+
+TablePrinter& TablePrinter::AddCell(std::string text) {
+  SKYCUBE_CHECK_MSG(!rows_.empty(), "call NewRow() before adding cells");
+  rows_.back().push_back(std::move(text));
+  return *this;
+}
+
+TablePrinter& TablePrinter::AddInt(int64_t value) {
+  return AddCell(std::to_string(value));
+}
+
+TablePrinter& TablePrinter::AddDouble(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return AddCell(os.str());
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string();
+      os << std::left << std::setw(static_cast<int>(widths[i]) + 2) << cell;
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  std::string rule;
+  for (size_t i = 0; i < widths.size(); ++i) {
+    rule += std::string(widths[i], '-') + "  ";
+  }
+  os << rule << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+void TablePrinter::PrintTsv(std::ostream& os) const {
+  os << '#';
+  for (size_t i = 0; i < headers_.size(); ++i) {
+    os << (i == 0 ? "" : "\t") << headers_[i];
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      os << (i == 0 ? "" : "\t") << row[i];
+    }
+    os << '\n';
+  }
+}
+
+}  // namespace skycube

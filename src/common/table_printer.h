@@ -1,0 +1,41 @@
+// Aligned plain-text table output for the experiment harnesses. Each bench
+// binary prints the same rows/series the paper's figures report; this class
+// keeps that output readable and gnuplot-friendly.
+#ifndef SKYCUBE_COMMON_TABLE_PRINTER_H_
+#define SKYCUBE_COMMON_TABLE_PRINTER_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace skycube {
+
+/// Collects rows of string cells and prints them column-aligned. Also
+/// supports a tab-separated dump (one header line starting with '#') for
+/// piping into gnuplot.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Starts a new row; subsequent Add* calls append cells to it.
+  TablePrinter& NewRow();
+  TablePrinter& AddCell(std::string text);
+  TablePrinter& AddInt(int64_t value);
+  /// Fixed-precision floating point cell.
+  TablePrinter& AddDouble(double value, int precision = 3);
+
+  /// Writes the aligned human-readable table.
+  void Print(std::ostream& os) const;
+  /// Writes the machine-readable TSV form.
+  void PrintTsv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace skycube
+
+#endif  // SKYCUBE_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,49 @@
+// Maximal coincident-group enumeration over the seed objects — the paper's
+// Figure 6 algorithm.
+//
+// A maximal c-group (G, B) over the seed set satisfies: all members share
+// identical values on every dimension of B; no dimension outside B is shared
+// by all members (dimension-maximality); and no object outside G matches the
+// shared projection on B (object-maximality). Singletons are maximal
+// c-groups with B = the full space.
+//
+// The search walks a set-enumeration tree (Rymon, KR'92) rooted at each
+// object, in the style of closed frequent-itemset miners (CLOSET, CHARM):
+// each node carries (G, B); a closure step absorbs every object whose
+// coincidence mask with the branch root contains B; if the closure would
+// absorb an object outside the node's candidate pool (i.e. one ordered
+// before the branch), the node's group is found elsewhere and the branch is
+// pruned. Children extend G by one later object, intersecting B with its
+// coincidence mask. Each maximal c-group is emitted exactly once, in the
+// branch of its smallest member.
+#ifndef SKYCUBE_CORE_CGROUP_MINER_H_
+#define SKYCUBE_CORE_CGROUP_MINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/subspace.h"
+#include "core/pairwise_masks.h"
+
+namespace skycube {
+
+/// A maximal c-group over the seed list. Indices are positions in the
+/// PairwiseMasks seed list (not raw ObjectIds).
+struct MaximalCGroup {
+  std::vector<uint32_t> member_indices;  // ascending
+  DimMask subspace = 0;                  // exact shared mask B
+};
+
+/// Enumerates every maximal c-group of the seed objects (assuming the seeds
+/// are pairwise distinct in the full space; duplicates are still handled —
+/// bound objects simply appear together in every group).
+std::vector<MaximalCGroup> MineMaximalCGroups(const PairwiseMasks& masks);
+
+/// Reference implementation by direct closure of every subset's shared
+/// mask; exponential, used only by tests to validate the miner.
+std::vector<MaximalCGroup> MineMaximalCGroupsBruteForce(
+    const PairwiseMasks& masks);
+
+}  // namespace skycube
+
+#endif  // SKYCUBE_CORE_CGROUP_MINER_H_

@@ -1,0 +1,151 @@
+#include "core/cube.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+#include "core/interval_counting.h"
+
+namespace skycube {
+
+CompressedSkylineCube::CompressedSkylineCube(int num_dims, size_t num_objects,
+                                             SkylineGroupSet groups)
+    : num_dims_(num_dims),
+      num_objects_(num_objects),
+      groups_(std::move(groups)),
+      groups_of_object_(num_objects) {
+  NormalizeGroups(&groups_);
+  for (size_t g = 0; g < groups_.size(); ++g) {
+    for (ObjectId member : groups_[g].members) {
+      SKYCUBE_CHECK_MSG(member < num_objects_, "member id out of range");
+      groups_of_object_[member].push_back(static_cast<uint32_t>(g));
+    }
+  }
+}
+
+bool CompressedSkylineCube::Covers(const SkylineGroup& group,
+                                   DimMask subspace) const {
+  if (!IsSubsetOf(subspace, group.max_subspace)) return false;
+  for (DimMask decisive : group.decisive_subspaces) {
+    if (IsSubsetOf(decisive, subspace)) return true;
+  }
+  return false;
+}
+
+std::vector<ObjectId> CompressedSkylineCube::SubspaceSkyline(
+    DimMask subspace) const {
+  std::vector<ObjectId> result;
+  for (const SkylineGroup& group : groups_) {
+    if (Covers(group, subspace)) {
+      result.insert(result.end(), group.members.begin(), group.members.end());
+    }
+  }
+  // Covering groups are pairwise disjoint; sort for the ascending contract
+  // and deduplicate defensively.
+  std::sort(result.begin(), result.end());
+  result.erase(std::unique(result.begin(), result.end()), result.end());
+  return result;
+}
+
+size_t CompressedSkylineCube::SkylineCardinality(DimMask subspace) const {
+  size_t count = 0;
+  for (const SkylineGroup& group : groups_) {
+    if (Covers(group, subspace)) count += group.members.size();
+  }
+  return count;
+}
+
+std::vector<size_t> CompressedSkylineCube::GroupsCoveringSubspace(
+    DimMask subspace) const {
+  std::vector<size_t> indices;
+  for (size_t g = 0; g < groups_.size(); ++g) {
+    if (Covers(groups_[g], subspace)) indices.push_back(g);
+  }
+  return indices;
+}
+
+bool CompressedSkylineCube::IsInSubspaceSkyline(ObjectId object,
+                                                DimMask subspace) const {
+  SKYCUBE_CHECK(object < num_objects_);
+  for (uint32_t g : groups_of_object_[object]) {
+    if (Covers(groups_[g], subspace)) return true;
+  }
+  return false;
+}
+
+std::vector<CompressedSkylineCube::SkylineInterval>
+CompressedSkylineCube::MembershipIntervals(ObjectId object) const {
+  SKYCUBE_CHECK(object < num_objects_);
+  std::vector<SkylineInterval> intervals;
+  for (uint32_t g : groups_of_object_[object]) {
+    for (DimMask decisive : groups_[g].decisive_subspaces) {
+      intervals.push_back({decisive, groups_[g].max_subspace, g});
+    }
+  }
+  return intervals;
+}
+
+std::vector<DimMask> CompressedSkylineCube::SubspacesWhereSkyline(
+    ObjectId object) const {
+  SKYCUBE_CHECK_MSG(num_dims_ <= 24,
+                    "explicit enumeration limited to 24 dimensions");
+  std::set<DimMask> subspaces;
+  for (const SkylineInterval& interval : MembershipIntervals(object)) {
+    const DimMask free = interval.upper & ~interval.lower;
+    // All A = lower ∪ (subset of free).
+    DimMask sub = free;
+    for (;;) {
+      subspaces.insert(interval.lower | sub);
+      if (sub == 0) break;
+      sub = (sub - 1) & free;
+    }
+  }
+  std::vector<DimMask> out(subspaces.begin(), subspaces.end());
+  std::sort(out.begin(), out.end(), MaskSizeThenValueLess{});
+  return out;
+}
+
+std::vector<DimMask> CompressedSkylineCube::SubspacesWhereAllSkyline(
+    const std::vector<ObjectId>& objects) const {
+  if (objects.empty()) return {};
+  // Intersect the per-object enumerations, smallest candidate set first.
+  std::vector<DimMask> common = SubspacesWhereSkyline(objects.front());
+  for (size_t i = 1; i < objects.size() && !common.empty(); ++i) {
+    std::vector<DimMask> kept;
+    kept.reserve(common.size());
+    for (DimMask subspace : common) {
+      if (IsInSubspaceSkyline(objects[i], subspace)) {
+        kept.push_back(subspace);
+      }
+    }
+    common = std::move(kept);
+  }
+  return common;
+}
+
+uint64_t CompressedSkylineCube::CountSubspacesWhereSkyline(
+    ObjectId object) const {
+  SKYCUBE_CHECK(object < num_objects_);
+  uint64_t total = 0;
+  for (uint32_t g : groups_of_object_[object]) {
+    // Distinct groups of one object cover disjoint subspace sets (two
+    // covering groups at the same subspace would both equal its tie class).
+    total += CountCoveredSubspaces(groups_[g].max_subspace,
+                                   groups_[g].decisive_subspaces);
+  }
+  return total;
+}
+
+uint64_t CompressedSkylineCube::TotalSubspaceSkylineObjects() const {
+  uint64_t total = 0;
+  for (const SkylineGroup& group : groups_) {
+    total += group.members.size() *
+             CountCoveredSubspaces(group.max_subspace,
+                                   group.decisive_subspaces);
+  }
+  return total;
+}
+
+}  // namespace skycube

@@ -1,0 +1,100 @@
+// The compressed skyline cube as a queryable structure. The paper motivates
+// three query classes over the materialized skyline groups (§1):
+//
+//  Q1: given any subspace, return its skyline;
+//  Q2: given an object (or group), return where it is in the skyline;
+//  Q3: multidimensional (OLAP-style) analysis over subspace skylines.
+//
+// All answers are derived purely from the groups and their signatures —
+// the original data is never re-scanned. Soundness/completeness of the
+// derivation (an object is in Sky(B) iff one of its groups has a decisive
+// C ⊆ B ⊆ max_subspace) follows from Definitions 1–2; see the proof notes
+// in tests/core/cube_test.cc.
+#ifndef SKYCUBE_CORE_CUBE_H_
+#define SKYCUBE_CORE_CUBE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/skyline_group.h"
+#include "dataset/dataset.h"
+
+namespace skycube {
+
+/// Immutable query interface over a computed SkylineGroupSet.
+class CompressedSkylineCube {
+ public:
+  /// Wraps `groups` (normalized or not; they are normalized internally).
+  /// `num_dims` is the dimensionality of the space the groups live in;
+  /// `num_objects` the size of the object universe (ids < num_objects).
+  CompressedSkylineCube(int num_dims, size_t num_objects,
+                        SkylineGroupSet groups);
+
+  int num_dims() const { return num_dims_; }
+  size_t num_objects() const { return num_objects_; }
+  size_t num_groups() const { return groups_.size(); }
+  const SkylineGroupSet& groups() const { return groups_; }
+
+  /// A membership interval: the group's objects are in the skyline of every
+  /// subspace A with lower ⊆ A ⊆ upper.
+  struct SkylineInterval {
+    DimMask lower = 0;
+    DimMask upper = 0;
+    size_t group_index = 0;
+  };
+
+  // ----- Q1 -----
+
+  /// The skyline of `subspace` (ascending ids), derived from the groups.
+  std::vector<ObjectId> SubspaceSkyline(DimMask subspace) const;
+
+  /// Number of skyline objects in `subspace` (no id materialization).
+  size_t SkylineCardinality(DimMask subspace) const;
+
+  /// Indices of the groups covering `subspace` (pairwise disjoint member
+  /// sets whose union is the subspace skyline).
+  std::vector<size_t> GroupsCoveringSubspace(DimMask subspace) const;
+
+  // ----- Q2 -----
+
+  /// True iff `object` is in the skyline of `subspace`.
+  bool IsInSubspaceSkyline(ObjectId object, DimMask subspace) const;
+
+  /// All membership intervals of `object` (one per (group, decisive) pair;
+  /// intervals may overlap).
+  std::vector<SkylineInterval> MembershipIntervals(ObjectId object) const;
+
+  /// Explicitly enumerates every subspace where `object` is in the skyline,
+  /// sorted by (size, value). Output can be exponential; dies if
+  /// num_dims > 24.
+  std::vector<DimMask> SubspacesWhereSkyline(ObjectId object) const;
+
+  /// The group form of Q2: every subspace whose skyline contains ALL of
+  /// `objects` (the paper's "given … a group of objects"). Sorted by
+  /// (size, value); same num_dims ≤ 24 bound as SubspacesWhereSkyline.
+  std::vector<DimMask> SubspacesWhereAllSkyline(
+      const std::vector<ObjectId>& objects) const;
+
+  // ----- Q3 -----
+
+  /// Number of subspaces whose skyline contains `object` (inclusion-
+  /// exclusion over the object's intervals; no enumeration).
+  uint64_t CountSubspacesWhereSkyline(ObjectId object) const;
+
+  /// Σ over all non-empty subspaces of |Sky(B)| — the SkyCube size of the
+  /// paper's Figures 9/10 — computed from the compression alone.
+  uint64_t TotalSubspaceSkylineObjects() const;
+
+ private:
+  /// Does group `g` cover subspace `B` (∃ decisive C ⊆ B ⊆ max_subspace)?
+  bool Covers(const SkylineGroup& group, DimMask subspace) const;
+
+  int num_dims_;
+  size_t num_objects_;
+  SkylineGroupSet groups_;
+  std::vector<std::vector<uint32_t>> groups_of_object_;
+};
+
+}  // namespace skycube
+
+#endif  // SKYCUBE_CORE_CUBE_H_

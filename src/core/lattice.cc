@@ -1,0 +1,135 @@
+#include "core/lattice.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/macros.h"
+#include "core/stellar.h"
+#include "skyline/algorithms.h"
+
+namespace skycube {
+
+namespace {
+
+bool MembersProperSubset(const std::vector<ObjectId>& a,
+                         const std::vector<ObjectId>& b) {
+  return a.size() < b.size() &&
+         std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+}  // namespace
+
+SkylineGroupLattice::SkylineGroupLattice(const SkylineGroupSet* groups)
+    : groups_(groups) {
+  const size_t n = groups_->size();
+  // parent -> all descendants by member containment.
+  std::vector<std::vector<size_t>> below(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (i != j && MembersProperSubset((*groups_)[i].members,
+                                        (*groups_)[j].members)) {
+        below[i].push_back(j);
+      }
+    }
+  }
+  // Covering edges: j ∈ below[i] with no k ∈ below[i] having j ∈ below[k].
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j : below[i]) {
+      bool covered = false;
+      for (size_t k : below[i]) {
+        if (k != j && MembersProperSubset((*groups_)[k].members,
+                                          (*groups_)[j].members)) {
+          covered = true;
+          break;
+        }
+      }
+      if (!covered) edges_.push_back({i, j});
+    }
+  }
+  // Roots: groups that are nobody's strict superset target.
+  std::vector<char> has_parent(n, 0);
+  for (const LatticeEdge& edge : edges_) has_parent[edge.child] = 1;
+  for (size_t i = 0; i < n; ++i) {
+    if (!has_parent[i]) roots_.push_back(i);
+  }
+}
+
+std::vector<size_t> SkylineGroupLattice::ChildrenOf(size_t index) const {
+  std::vector<size_t> children;
+  for (const LatticeEdge& edge : edges_) {
+    if (edge.parent == index) children.push_back(edge.child);
+  }
+  return children;
+}
+
+std::vector<size_t> QuotientMap(const SkylineGroupSet& full_groups,
+                                const SkylineGroupSet& seed_groups,
+                                const std::vector<ObjectId>& seed_objects) {
+  std::unordered_map<std::vector<ObjectId>, size_t, VectorU32Hash> by_members;
+  by_members.reserve(seed_groups.size());
+  for (size_t s = 0; s < seed_groups.size(); ++s) {
+    by_members.emplace(seed_groups[s].members, s);
+  }
+  std::vector<ObjectId> sorted_seeds = seed_objects;
+  std::sort(sorted_seeds.begin(), sorted_seeds.end());
+  std::vector<size_t> map;
+  map.reserve(full_groups.size());
+  for (const SkylineGroup& group : full_groups) {
+    std::vector<ObjectId> seed_part;
+    std::set_intersection(group.members.begin(), group.members.end(),
+                          sorted_seeds.begin(), sorted_seeds.end(),
+                          std::back_inserter(seed_part));
+    auto it = by_members.find(seed_part);
+    SKYCUBE_CHECK_MSG(it != by_members.end(),
+                      "Theorem 5 violated: seed part is not a seed group");
+    map.push_back(it->second);
+  }
+  return map;
+}
+
+bool VerifySeedLatticeIsQuotient(const Dataset& data) {
+  const SkylineGroupSet full_groups = ComputeStellar(data);
+  const std::vector<ObjectId> seeds =
+      ComputeSkyline(data, data.full_mask());
+  // The seed lattice is, by Definition 3, the skyline-group lattice of the
+  // data restricted to F(S). Build that restriction with original ids.
+  Dataset seed_data(data.num_dims(), data.dim_names());
+  std::vector<double> row(data.num_dims());
+  for (ObjectId seed : seeds) {
+    row.assign(data.Row(seed), data.Row(seed) + data.num_dims());
+    seed_data.AddRow(row);
+  }
+  SkylineGroupSet seed_groups = ComputeStellar(seed_data);
+  for (SkylineGroup& group : seed_groups) {
+    for (ObjectId& member : group.members) member = seeds[member];
+  }
+  NormalizeGroups(&seed_groups);
+
+  // (a) Totality: QuotientMap dies on violation; run it.
+  const std::vector<size_t> map = QuotientMap(full_groups, seed_groups, seeds);
+  // (b) Surjectivity: every seed group is some group's seed part.
+  std::vector<char> hit(seed_groups.size(), 0);
+  for (size_t s : map) hit[s] = 1;
+  for (char h : hit) {
+    if (!h) return false;
+  }
+  // (c) Order preservation: member containment survives the map.
+  for (size_t i = 0; i < full_groups.size(); ++i) {
+    for (size_t j = 0; j < full_groups.size(); ++j) {
+      if (i == j) continue;
+      if (MembersProperSubset(full_groups[i].members,
+                              full_groups[j].members)) {
+        const std::vector<ObjectId>& si = seed_groups[map[i]].members;
+        const std::vector<ObjectId>& sj = seed_groups[map[j]].members;
+        if (!std::includes(sj.begin(), sj.end(), si.begin(), si.end())) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace skycube

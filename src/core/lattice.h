@@ -1,0 +1,71 @@
+// Lattice structure over skyline groups, and the quotient relationship of
+// the paper's Theorem 2: "the seed lattice SSG(S) is a quotient lattice of
+// the skyline group lattice SG_S."
+//
+// Order: (G1, B1) ⊑ (G2, B2) iff G1 ⊇ G2 (equivalently, for maximal
+// c-groups, B1 ⊆ B2 with G1 ⊇ G2 — member containment determines subspace
+// containment because subspaces are the groups' exact shared masks). The
+// Hasse diagram (covering edges) is what the paper's Figure 3 draws.
+//
+// The quotient map sends each skyline group (G, B) on S to the seed group
+// whose members are G ∩ F(S); Theorem 5 guarantees this is well defined
+// (the seed part of every group is itself a seed skyline group) and
+// order-preserving, and every seed group is hit (so the seed lattice is the
+// image — a quotient).
+#ifndef SKYCUBE_CORE_LATTICE_H_
+#define SKYCUBE_CORE_LATTICE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/skyline_group.h"
+#include "dataset/dataset.h"
+
+namespace skycube {
+
+/// A covering edge of the skyline-group lattice: `child` has strictly more
+/// members (smaller subspace) than `parent`, with nothing in between.
+struct LatticeEdge {
+  size_t parent = 0;
+  size_t child = 0;
+};
+
+/// The Hasse diagram of a SkylineGroupSet under member-set containment.
+class SkylineGroupLattice {
+ public:
+  /// Builds the diagram; `groups` must be normalized (NormalizeGroups).
+  explicit SkylineGroupLattice(const SkylineGroupSet* groups);
+
+  const SkylineGroupSet& groups() const { return *groups_; }
+  const std::vector<LatticeEdge>& edges() const { return edges_; }
+
+  /// Indices of the minimal-member groups (the lattice's top layer in the
+  /// paper's drawing — singletons and other smallest groups).
+  const std::vector<size_t>& roots() const { return roots_; }
+
+  /// Children (covered groups) of group `index`.
+  std::vector<size_t> ChildrenOf(size_t index) const;
+
+ private:
+  const SkylineGroupSet* groups_;
+  std::vector<LatticeEdge> edges_;
+  std::vector<size_t> roots_;
+};
+
+/// The Theorem 2 quotient map: for each group of `full_groups`, the index
+/// of the seed group in `seed_groups` whose member set equals the group's
+/// seed part (members ∩ seed_objects). Dies if the map is undefined for
+/// some group — which would contradict Theorem 5.
+std::vector<size_t> QuotientMap(const SkylineGroupSet& full_groups,
+                                const SkylineGroupSet& seed_groups,
+                                const std::vector<ObjectId>& seed_objects);
+
+/// Checks Theorem 2 end-to-end for `data`: computes both lattices, the
+/// quotient map, and verifies (a) totality, (b) surjectivity, and
+/// (c) order preservation (G1 ⊇ G2 ⇒ seed parts nested the same way).
+/// Returns true iff all hold. Intended for tests and demos.
+bool VerifySeedLatticeIsQuotient(const Dataset& data);
+
+}  // namespace skycube
+
+#endif  // SKYCUBE_CORE_LATTICE_H_

@@ -1,0 +1,152 @@
+#include "core/maintenance.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+#include "core/nonseed_extension.h"
+#include "core/pairwise_masks.h"
+#include "dataset/duplicate_binding.h"
+#include "skyline/algorithms.h"
+#include "skyline/dominance.h"
+
+namespace skycube {
+
+namespace {
+
+// Maps distinct-row member ids in `groups` to original object ids.
+void ExpandGroups(
+    const std::vector<std::vector<ObjectId>>& members_of_distinct,
+    SkylineGroupSet* groups) {
+  for (SkylineGroup& group : *groups) {
+    std::vector<ObjectId> expanded;
+    for (ObjectId distinct_id : group.members) {
+      const std::vector<ObjectId>& twins = members_of_distinct[distinct_id];
+      expanded.insert(expanded.end(), twins.begin(), twins.end());
+    }
+    std::sort(expanded.begin(), expanded.end());
+    group.members = std::move(expanded);
+  }
+}
+
+}  // namespace
+
+IncrementalCubeMaintainer::IncrementalCubeMaintainer(Dataset initial,
+                                                     StellarOptions options)
+    : options_(options),
+      data_(std::move(initial)),
+      distinct_(data_.num_dims(), data_.dim_names()) {
+  // Build the distinct view incrementally from the initial rows.
+  std::vector<double> row(data_.num_dims());
+  for (ObjectId id = 0; id < data_.num_objects(); ++id) {
+    row.assign(data_.Row(id), data_.Row(id) + data_.num_dims());
+    auto [it, inserted] = distinct_of_row_.emplace(
+        row, static_cast<ObjectId>(members_of_distinct_.size()));
+    if (inserted) {
+      distinct_.AddRow(row);
+      members_of_distinct_.emplace_back();
+    }
+    members_of_distinct_[it->second].push_back(id);
+  }
+  RebuildFromScratch();
+}
+
+void IncrementalCubeMaintainer::RebuildFromScratch() {
+  ++stats_.full_recomputes;
+  seeds_ = ComputeSkyline(distinct_, distinct_.full_mask(),
+                          options_.skyline_algorithm);
+  const bool materialize =
+      options_.matrix_mode == StellarOptions::MatrixMode::kMaterialize ||
+      (options_.matrix_mode == StellarOptions::MatrixMode::kAuto &&
+       seeds_.size() <= options_.materialize_max_seeds);
+  PairwiseMasks masks(distinct_, seeds_, distinct_.full_mask(), materialize);
+  seed_groups_ = BuildSeedSkylineGroups(masks);
+  RerunExtension();
+  --stats_.extension_reruns;  // counted by RerunExtension; not a path-3 event
+}
+
+void IncrementalCubeMaintainer::RerunExtension() {
+  ++stats_.extension_reruns;
+  groups_ = ExtendWithNonSeeds(distinct_, seeds_, seed_groups_);
+  ExpandGroups(members_of_distinct_, &groups_);
+  NormalizeGroups(&groups_);
+}
+
+bool IncrementalCubeMaintainer::DominatedBySeed(
+    const std::vector<double>& row) const {
+  for (ObjectId seed : seeds_) {
+    if (RowDominates(distinct_.Row(seed), row.data(),
+                     distinct_.full_mask())) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool IncrementalCubeMaintainer::RelevantToSeedLattice(
+    const std::vector<double>& row) const {
+  for (const SeedSkylineGroup& group : seed_groups_) {
+    const double* rep = distinct_.Row(seeds_[group.seed_indices.front()]);
+    for (DimMask decisive : group.decisive) {
+      bool coincides = true;
+      ForEachDim(decisive, [&](int dim) {
+        coincides &= (row[dim] == rep[dim]);
+      });
+      if (coincides) return true;
+    }
+  }
+  return false;
+}
+
+InsertPath IncrementalCubeMaintainer::Insert(
+    const std::vector<double>& values) {
+  SKYCUBE_CHECK_MSG(static_cast<int>(values.size()) == data_.num_dims(),
+                    "insert width must equal num_dims");
+  ++stats_.inserts;
+
+  // Path 1: duplicate of an existing row — bind and patch memberships.
+  if (auto it = distinct_of_row_.find(values); it != distinct_of_row_.end()) {
+    data_.AddRow(values);
+    const ObjectId new_id = static_cast<ObjectId>(data_.num_objects() - 1);
+    const ObjectId twin = members_of_distinct_[it->second].front();
+    members_of_distinct_[it->second].push_back(new_id);
+    for (SkylineGroup& group : groups_) {
+      if (std::binary_search(group.members.begin(), group.members.end(),
+                             twin)) {
+        group.members.push_back(new_id);  // new_id is the maximum id
+      }
+    }
+    NormalizeGroups(&groups_);
+    ++stats_.duplicate_patches;
+    return InsertPath::kDuplicate;
+  }
+
+  // Classify before mutating (checks run against the current seed lattice).
+  const bool dominated = DominatedBySeed(values);
+  const bool relevant = dominated && RelevantToSeedLattice(values);
+
+  data_.AddRow(values);
+  const ObjectId new_id = static_cast<ObjectId>(data_.num_objects() - 1);
+  distinct_.AddRow(values);
+  distinct_of_row_.emplace(
+      values, static_cast<ObjectId>(members_of_distinct_.size()));
+  members_of_distinct_.push_back({new_id});
+
+  if (!dominated) {
+    // Path 4: the object joins F(S) (and may evict seeds).
+    RebuildFromScratch();
+    return InsertPath::kFullRecompute;
+  }
+  if (!relevant) {
+    // Path 2: Theorem 5 — an irrelevant dominated object cannot join or
+    // split any group.
+    ++stats_.noop_inserts;
+    return InsertPath::kNoOp;
+  }
+  // Path 3: seeds unchanged ⇒ seed lattice unchanged; rerun only step 5.
+  RerunExtension();
+  return InsertPath::kExtensionOnly;
+}
+
+}  // namespace skycube

@@ -1,0 +1,99 @@
+// Incremental maintenance of the compressed skyline cube under insertions —
+// the extension direction the paper cites as [14] (Xia & Zhang, "Refreshing
+// the sky: the compressed skycube with efficient support for frequent
+// updates", SIGMOD'06).
+//
+// The maintainer caches Stellar's intermediates (the distinct-row view, the
+// seed set and the seed lattice) and classifies each insert into one of
+// four paths, cheapest first:
+//
+//  1. duplicate  — the new object equals an existing row: it binds to its
+//     twin (paper §5) and joins exactly the twin's groups (membership
+//     patch; no recomputation);
+//  2. no-op      — the object is dominated in the full space and coincides
+//     with no seed group on any of its decisive subspaces: by Theorem 5 it
+//     can neither join nor split any group;
+//  3. extension  — the object is dominated (seed set unchanged ⇒ the seed
+//     lattice is unchanged) but is relevant to some seed group: only
+//     Stellar's step 5 (non-seed accommodation) reruns;
+//  4. recompute  — the object enters the full-space skyline (possibly
+//     evicting seeds): the seed lattice changes; full pipeline rerun.
+//
+// Deletions are out of scope (they can promote arbitrary non-seeds into
+// the skyline and need the machinery of [14]); Remove() is intentionally
+// absent.
+#ifndef SKYCUBE_CORE_MAINTENANCE_H_
+#define SKYCUBE_CORE_MAINTENANCE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.h"
+#include "core/seed_lattice.h"
+#include "core/skyline_group.h"
+#include "core/stellar.h"
+#include "dataset/dataset.h"
+
+namespace skycube {
+
+/// Which update path an insert took (see file comment).
+enum class InsertPath { kDuplicate, kNoOp, kExtensionOnly, kFullRecompute };
+
+/// Counters over the maintainer's lifetime.
+struct MaintenanceStats {
+  uint64_t inserts = 0;
+  uint64_t duplicate_patches = 0;
+  uint64_t noop_inserts = 0;
+  uint64_t extension_reruns = 0;
+  uint64_t full_recomputes = 0;  // includes the initial build
+};
+
+/// Owns a growing dataset and keeps its compressed skyline cube current.
+/// Invariant after every operation: groups() == ComputeStellar(data()).
+class IncrementalCubeMaintainer {
+ public:
+  /// Builds the initial cube from `initial` with Stellar.
+  explicit IncrementalCubeMaintainer(Dataset initial,
+                                     StellarOptions options = {});
+
+  /// Inserts one object (values.size() == num_dims) and updates the cube.
+  /// Returns the path taken.
+  InsertPath Insert(const std::vector<double>& values);
+
+  /// The current dataset (initial rows plus inserts, in insertion order).
+  const Dataset& data() const { return data_; }
+
+  /// The current compressed cube, normalized.
+  const SkylineGroupSet& groups() const { return groups_; }
+
+  const MaintenanceStats& stats() const { return stats_; }
+
+ private:
+  void RebuildFromScratch();
+  void RerunExtension();
+  /// True iff some current seed strictly dominates `row` in the full space.
+  bool DominatedBySeed(const std::vector<double>& row) const;
+  /// Theorem 5 relevance: does `row` coincide with some seed group's
+  /// projection on one of its decisive subspaces (w.r.t. F(S))?
+  bool RelevantToSeedLattice(const std::vector<double>& row) const;
+
+  StellarOptions options_;
+  Dataset data_;      // original rows
+  Dataset distinct_;  // one row per distinct tuple
+  SkylineGroupSet groups_;
+  MaintenanceStats stats_;
+
+  // Distinct-row bookkeeping (paper §5 duplicate binding, kept incremental).
+  std::unordered_map<std::vector<double>, ObjectId, VectorDoubleHash>
+      distinct_of_row_;
+  std::vector<std::vector<ObjectId>> members_of_distinct_;
+
+  // Cached Stellar intermediates over distinct_, valid between recomputes.
+  std::vector<ObjectId> seeds_;  // distinct ids in F(S)
+  std::vector<SeedSkylineGroup> seed_groups_;
+};
+
+}  // namespace skycube
+
+#endif  // SKYCUBE_CORE_MAINTENANCE_H_

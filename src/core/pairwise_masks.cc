@@ -1,0 +1,42 @@
+#include "core/pairwise_masks.h"
+
+#include <utility>
+
+#include "common/parallel.h"
+
+namespace skycube {
+
+PairwiseMasks::PairwiseMasks(const Dataset& data,
+                             std::vector<ObjectId> objects, DimMask universe,
+                             bool materialize, int num_threads)
+    : data_(&data),
+      objects_(std::move(objects)),
+      universe_(universe),
+      materialized_(materialize) {
+  if (!materialized_) return;
+  const size_t n = objects_.size();
+  dom_.assign(n * n, 0);
+  // Row i owns cells (i, j) and (j, i) for all j > i — every cell has a
+  // unique writer, so static chunking over i is race-free.
+  ParallelChunks(n, num_threads, [&](int, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const double* row_i = data.Row(objects_[i]);
+      for (size_t j = i + 1; j < n; ++j) {
+        const double* row_j = data.Row(objects_[j]);
+        DimMask dom_ij = 0;
+        DimMask dom_ji = 0;
+        ForEachDim(universe_, [&](int dim) {
+          if (row_i[dim] < row_j[dim]) {
+            dom_ij |= DimBit(dim);
+          } else if (row_j[dim] < row_i[dim]) {
+            dom_ji |= DimBit(dim);
+          }
+        });
+        dom_[i * n + j] = dom_ij;
+        dom_[j * n + i] = dom_ji;
+      }
+    }
+  });
+}
+
+}  // namespace skycube

@@ -1,0 +1,79 @@
+#include "core/reference.h"
+
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/macros.h"
+#include "skyline/dominance.h"
+
+namespace skycube {
+
+std::vector<ObjectId> ReferenceSkyline(const Dataset& data, DimMask subspace) {
+  SKYCUBE_CHECK_MSG(data.num_objects() <= 20000,
+                    "reference skyline is quadratic; use ComputeSkyline");
+  std::vector<ObjectId> skyline;
+  for (ObjectId candidate = 0; candidate < data.num_objects(); ++candidate) {
+    bool dominated = false;
+    for (ObjectId other = 0; other < data.num_objects(); ++other) {
+      if (other != candidate &&
+          Dominates(data, other, candidate, subspace)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) skyline.push_back(candidate);
+  }
+  return skyline;
+}
+
+SkylineGroupSet ComputeReferenceCube(const Dataset& data) {
+  SKYCUBE_CHECK_MSG(data.num_dims() <= 16 && data.num_objects() <= 4096,
+                    "reference cube is exhaustive; use Stellar or Skyey");
+  const DimMask full = data.full_mask();
+  std::unordered_map<std::vector<ObjectId>, std::vector<DimMask>, VectorU32Hash>
+      qualifying;
+  ForEachNonEmptySubset(full, [&](DimMask subspace) {
+    // Tie classes over all objects.
+    std::unordered_map<std::vector<double>, std::vector<ObjectId>,
+                       VectorDoubleHash>
+        classes;
+    for (ObjectId id = 0; id < data.num_objects(); ++id) {
+      classes[data.Projection(id, subspace)].push_back(id);
+    }
+    for (auto& [projection, members] : classes) {
+      // Definition 2 (1): the shared projection is in the skyline of the
+      // subspace. Condition (2) — exclusivity — holds by construction (the
+      // class contains every object matching the projection).
+      const ObjectId representative = members.front();
+      bool dominated = false;
+      for (ObjectId other = 0; other < data.num_objects(); ++other) {
+        if (Dominates(data, other, representative, subspace)) {
+          dominated = true;
+          break;
+        }
+      }
+      if (!dominated) qualifying[members].push_back(subspace);
+    }
+  });
+
+  SkylineGroupSet groups;
+  groups.reserve(qualifying.size());
+  for (auto& [members, subspaces] : qualifying) {
+    SkylineGroup group;
+    group.members = members;
+    DimMask shared = full;
+    for (ObjectId member : members) {
+      shared &= data.CoincidenceMask(members.front(), member, full);
+    }
+    group.max_subspace = shared;
+    group.decisive_subspaces = MinimalMasks(subspaces);
+    group.projection = data.Projection(members.front(), shared);
+    groups.push_back(std::move(group));
+  }
+  NormalizeGroups(&groups);
+  return groups;
+}
+
+}  // namespace skycube

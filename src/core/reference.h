@@ -1,0 +1,25 @@
+// Brute-force reference implementation of the compressed skyline cube,
+// straight from Definitions 1 and 2: enumerate every non-empty subspace,
+// build tie classes over ALL objects, test skyline membership by pairwise
+// dominance, and take minimal qualifying subspaces as decisives.
+//
+// O(2^d · n²). Test oracle only — guarded against large inputs.
+#ifndef SKYCUBE_CORE_REFERENCE_H_
+#define SKYCUBE_CORE_REFERENCE_H_
+
+#include "core/skyline_group.h"
+#include "dataset/dataset.h"
+
+namespace skycube {
+
+/// Computes the complete normalized SkylineGroupSet by exhaustive search.
+/// Dies if d > 16 or n > 4096 (use Skyey or Stellar instead).
+SkylineGroupSet ComputeReferenceCube(const Dataset& data);
+
+/// Brute-force subspace skyline (pairwise dominance tests), used to verify
+/// the skyline algorithms and cube queries. Dies if n > 20000.
+std::vector<ObjectId> ReferenceSkyline(const Dataset& data, DimMask subspace);
+
+}  // namespace skycube
+
+#endif  // SKYCUBE_CORE_REFERENCE_H_

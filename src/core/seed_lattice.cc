@@ -1,0 +1,82 @@
+#include "core/seed_lattice.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/parallel.h"
+
+#include "core/cgroup_miner.h"
+#include "core/transversals.h"
+
+namespace skycube {
+
+std::vector<DimMask> DecisiveFromEdges(std::vector<DimMask> edges, DimMask b) {
+  if (edges.empty()) {
+    // No opposing objects: every single dimension of b is decisive.
+    std::vector<DimMask> singles;
+    ForEachDim(b, [&](int dim) { singles.push_back(DimBit(dim)); });
+    return singles;
+  }
+  return MinimalTransversals(std::move(edges), b);
+}
+
+std::vector<SeedSkylineGroup> BuildSeedSkylineGroups(
+    const PairwiseMasks& masks, SeedLatticeStats* stats, int num_threads) {
+  std::vector<MaximalCGroup> cgroups = MineMaximalCGroups(masks);
+  // Per-chunk outputs, concatenated in chunk order for determinism.
+  const int threads = EffectiveThreads(num_threads, cgroups.size());
+  std::vector<std::vector<SeedSkylineGroup>> chunk_groups(
+      std::max(threads, 1));
+  ParallelChunks(
+      cgroups.size(), threads, [&](int chunk, size_t begin, size_t end) {
+        std::vector<char> in_group(masks.size(), 0);
+        std::vector<DimMask> edges;
+        for (size_t g = begin; g < end; ++g) {
+          MaximalCGroup& cgroup = cgroups[g];
+          for (uint32_t member : cgroup.member_indices) in_group[member] = 1;
+          // Corollary 1: one dominance-matrix row scan (any member works as
+          // the reference o because members coincide on B).
+          const uint32_t reference = cgroup.member_indices.front();
+          edges.clear();
+          bool dead = false;
+          for (uint32_t w = 0; w < masks.size(); ++w) {
+            if (in_group[w]) continue;
+            const DimMask edge =
+                masks.Dominance(reference, w) & cgroup.subspace;
+            if (edge == 0) {
+              // Seed w dominates-or-ties the group's projection in B: G_B
+              // is not in the skyline of B, so (G, B) is not a skyline
+              // group.
+              dead = true;
+              break;
+            }
+            edges.push_back(edge);
+          }
+          for (uint32_t member : cgroup.member_indices) in_group[member] = 0;
+          if (dead) continue;
+          SeedSkylineGroup group;
+          group.seed_indices = std::move(cgroup.member_indices);
+          group.max_subspace = cgroup.subspace;
+          group.reduced_edges = ReduceEdges(edges);
+          group.decisive =
+              DecisiveFromEdges(group.reduced_edges, group.max_subspace);
+          // reduced_edges non-empty unless the group faces no other seed;
+          // in both cases DecisiveFromEdges yields a non-empty decisive
+          // list.
+          chunk_groups[chunk].push_back(std::move(group));
+        }
+      });
+  std::vector<SeedSkylineGroup> groups;
+  groups.reserve(cgroups.size());
+  for (std::vector<SeedSkylineGroup>& chunk : chunk_groups) {
+    for (SeedSkylineGroup& group : chunk) groups.push_back(std::move(group));
+  }
+  if (stats != nullptr) {
+    stats->num_maximal_cgroups = cgroups.size();
+    stats->num_seed_skyline_groups = groups.size();
+  }
+  return groups;
+}
+
+}  // namespace skycube

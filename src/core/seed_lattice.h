@@ -1,0 +1,58 @@
+// Seed skyline groups (Definition 3): the skyline groups computed over the
+// full-space skyline objects F(S) only. Stellar first builds these — the
+// "seed lattice", a quotient of the full skyline-group lattice (Theorem 2) —
+// then extends them with non-seed objects (core/nonseed_extension.h).
+#ifndef SKYCUBE_CORE_SEED_LATTICE_H_
+#define SKYCUBE_CORE_SEED_LATTICE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/subspace.h"
+#include "core/pairwise_masks.h"
+
+namespace skycube {
+
+/// A seed skyline group (G, B) with decisive subspaces relative to F(S).
+struct SeedSkylineGroup {
+  /// Ascending indices into the seed list.
+  std::vector<uint32_t> seed_indices;
+  /// Maximal subspace B of the group.
+  DimMask max_subspace = 0;
+  /// Decisive subspaces w.r.t. F(S): the minimal transversals of the
+  /// dominance edges below; by convention, if the group faces no other seed
+  /// at all (|F(S)| = |G|), every single dimension of B is decisive.
+  std::vector<DimMask> decisive;
+  /// The reduced (minimal, deduplicated) dominance edges
+  /// {dom(o, w) ∩ B : w ∈ F(S) − G}, cached for the non-seed extension:
+  /// restricting these to a sub-mask m ⊆ B yields exactly the seed-side
+  /// constraints of any derived group with maximal subspace m.
+  std::vector<DimMask> reduced_edges;
+};
+
+/// Statistics from seed-lattice construction.
+struct SeedLatticeStats {
+  uint64_t num_maximal_cgroups = 0;       // before the decisive filter
+  uint64_t num_seed_skyline_groups = 0;   // after it
+};
+
+/// Computes all seed skyline groups from the pairwise masks over F(S):
+/// mines maximal c-groups (Figure 6), derives each group's decisive
+/// subspaces via minimal transversals (Corollary 1), and drops maximal
+/// c-groups with no non-empty decisive subspace — those are not skyline
+/// groups (paper's Algorithm Stellar, step 4). The per-group transversal
+/// derivation is parallelized over `num_threads` (0 = all hardware
+/// threads); results are deterministic regardless of thread count.
+std::vector<SeedSkylineGroup> BuildSeedSkylineGroups(
+    const PairwiseMasks& masks, SeedLatticeStats* stats = nullptr,
+    int num_threads = 1);
+
+/// Decisive subspaces for one group given its dominance edges within `b`:
+/// minimal transversals, with the empty-transversal convention mapped to
+/// "every single dimension of b" (no opposing object ⇒ any one dimension
+/// qualifies the group exclusively, and subspaces must be non-empty).
+std::vector<DimMask> DecisiveFromEdges(std::vector<DimMask> edges, DimMask b);
+
+}  // namespace skycube
+
+#endif  // SKYCUBE_CORE_SEED_LATTICE_H_

@@ -1,0 +1,142 @@
+#include "core/serialization.h"
+
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+namespace skycube {
+
+std::string SerializeCube(int num_dims, size_t num_objects,
+                          const SkylineGroupSet& groups,
+                          const std::vector<std::string>& dim_names) {
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << "skycube-cube v1\n";
+  os << "dims " << num_dims << " objects " << num_objects << " groups "
+     << groups.size() << "\n";
+  if (!dim_names.empty()) {
+    SKYCUBE_CHECK_MSG(static_cast<int>(dim_names.size()) == num_dims,
+                      "dim_names must match num_dims");
+    os << "names";
+    for (std::string name : dim_names) {
+      for (char& c : name) {
+        if (c == ' ' || c == '\t' || c == '\n' || c == '\r') c = '_';
+      }
+      os << ' ' << name;
+    }
+    os << "\n";
+  }
+  for (const SkylineGroup& group : groups) {
+    os << group.members.size();
+    for (ObjectId member : group.members) os << ' ' << member;
+    os << ' ' << group.max_subspace << ' ' << group.decisive_subspaces.size();
+    for (DimMask decisive : group.decisive_subspaces) os << ' ' << decisive;
+    for (double value : group.projection) os << ' ' << value;
+    os << '\n';
+  }
+  return os.str();
+}
+
+Result<SerializedCube> DeserializeCube(const std::string& text) {
+  std::istringstream is(text);
+  std::string word;
+  is >> word;
+  std::string version;
+  is >> version;
+  if (word != "skycube-cube" || version != "v1") {
+    return Status::InvalidArgument("bad header: expected 'skycube-cube v1'");
+  }
+  SerializedCube cube;
+  size_t num_groups = 0;
+  std::string k_dims;
+  std::string k_objects;
+  std::string k_groups;
+  is >> k_dims >> cube.num_dims >> k_objects >> cube.num_objects >>
+      k_groups >> num_groups;
+  if (!is || k_dims != "dims" || k_objects != "objects" ||
+      k_groups != "groups") {
+    return Status::InvalidArgument("bad metadata line");
+  }
+  if (cube.num_dims < 1 || cube.num_dims > kMaxDims) {
+    return Status::InvalidArgument("dims out of range");
+  }
+  const DimMask full = FullMask(cube.num_dims);
+  // Optional names line.
+  {
+    std::streampos before = is.tellg();
+    std::string maybe_names;
+    if (is >> maybe_names && maybe_names == "names") {
+      cube.dim_names.resize(cube.num_dims);
+      for (std::string& name : cube.dim_names) {
+        if (!(is >> name)) {
+          return Status::InvalidArgument("truncated names line");
+        }
+      }
+    } else {
+      is.clear();
+      is.seekg(before);
+    }
+  }
+  cube.groups.reserve(num_groups);
+  for (size_t g = 0; g < num_groups; ++g) {
+    SkylineGroup group;
+    size_t member_count = 0;
+    if (!(is >> member_count) || member_count == 0) {
+      return Status::InvalidArgument("bad member count in group " +
+                                     std::to_string(g));
+    }
+    group.members.resize(member_count);
+    for (ObjectId& member : group.members) {
+      if (!(is >> member) || member >= cube.num_objects) {
+        return Status::InvalidArgument("bad member id in group " +
+                                       std::to_string(g));
+      }
+    }
+    size_t decisive_count = 0;
+    if (!(is >> group.max_subspace >> decisive_count) ||
+        group.max_subspace == 0 || !IsSubsetOf(group.max_subspace, full) ||
+        decisive_count == 0) {
+      return Status::InvalidArgument("bad subspace data in group " +
+                                     std::to_string(g));
+    }
+    group.decisive_subspaces.resize(decisive_count);
+    for (DimMask& decisive : group.decisive_subspaces) {
+      if (!(is >> decisive) || decisive == 0 ||
+          !IsSubsetOf(decisive, group.max_subspace)) {
+        return Status::InvalidArgument("bad decisive subspace in group " +
+                                       std::to_string(g));
+      }
+    }
+    group.projection.resize(MaskSize(group.max_subspace));
+    for (double& value : group.projection) {
+      if (!(is >> value)) {
+        return Status::InvalidArgument("bad projection in group " +
+                                       std::to_string(g));
+      }
+    }
+    cube.groups.push_back(std::move(group));
+  }
+  return cube;
+}
+
+Status SaveCubeToFile(const std::string& path, int num_dims,
+                      size_t num_objects, const SkylineGroupSet& groups,
+                      const std::vector<std::string>& dim_names) {
+  std::ofstream file(path);
+  if (!file) return Status::Internal("cannot open for write: " + path);
+  file << SerializeCube(num_dims, num_objects, groups, dim_names);
+  file.flush();
+  if (!file) return Status::Internal("I/O error writing: " + path);
+  return Status::Ok();
+}
+
+Result<SerializedCube> LoadCubeFromFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return Status::NotFound("cannot open: " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return DeserializeCube(buffer.str());
+}
+
+}  // namespace skycube

@@ -1,0 +1,78 @@
+#include "core/skyline_group.h"
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+
+namespace skycube {
+
+void NormalizeGroups(SkylineGroupSet* groups) {
+  for (SkylineGroup& group : *groups) {
+    std::sort(group.members.begin(), group.members.end());
+    std::sort(group.decisive_subspaces.begin(), group.decisive_subspaces.end(),
+              MaskSizeThenValueLess{});
+  }
+  std::sort(groups->begin(), groups->end(),
+            [](const SkylineGroup& a, const SkylineGroup& b) {
+              if (a.members != b.members) return a.members < b.members;
+              return a.max_subspace < b.max_subspace;
+            });
+}
+
+std::string FormatGroup(const SkylineGroup& group, int num_dims) {
+  std::ostringstream os;
+  os << "(";
+  for (ObjectId id : group.members) os << "P" << (id + 1);
+  os << ", (";
+  size_t next_projection_index = 0;
+  for (int dim = 0; dim < num_dims; ++dim) {
+    if (dim > 0) os << ",";
+    if (MaskContains(group.max_subspace, dim)) {
+      os << group.projection[next_projection_index++];
+    } else {
+      os << "*";
+    }
+  }
+  os << ")";
+  for (DimMask decisive : group.decisive_subspaces) {
+    os << ", " << FormatMask(decisive);
+  }
+  os << ")";
+  return os.str();
+}
+
+std::string FormatGroups(const SkylineGroupSet& groups, int num_dims) {
+  std::string out;
+  for (const SkylineGroup& group : groups) {
+    out += FormatGroup(group, num_dims);
+    out += "\n";
+  }
+  return out;
+}
+
+bool GroupWellFormed(const SkylineGroup& group) {
+  if (group.members.empty()) return false;
+  if (!std::is_sorted(group.members.begin(), group.members.end())) {
+    return false;
+  }
+  if (std::adjacent_find(group.members.begin(), group.members.end()) !=
+      group.members.end()) {
+    return false;
+  }
+  if (group.max_subspace == 0) return false;
+  if (group.decisive_subspaces.empty()) return false;
+  for (size_t i = 0; i < group.decisive_subspaces.size(); ++i) {
+    const DimMask ci = group.decisive_subspaces[i];
+    if (ci == 0 || !IsSubsetOf(ci, group.max_subspace)) return false;
+    for (size_t j = 0; j < group.decisive_subspaces.size(); ++j) {
+      if (i != j && IsSubsetOf(group.decisive_subspaces[j], ci)) return false;
+    }
+  }
+  if (group.projection.size() !=
+      static_cast<size_t>(MaskSize(group.max_subspace))) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace skycube

@@ -1,0 +1,58 @@
+// The output vocabulary of the compressed skyline cube: skyline groups and
+// their signatures (Definitions 1 and 2 of the paper).
+#ifndef SKYCUBE_CORE_SKYLINE_GROUP_H_
+#define SKYCUBE_CORE_SKYLINE_GROUP_H_
+
+#include <string>
+#include <vector>
+
+#include "common/subspace.h"
+#include "dataset/dataset.h"
+
+namespace skycube {
+
+/// A skyline group (G, B) with its signature Sig(G, B) = ⟨G_B, C1..Ck⟩.
+///
+/// `members` is the maximal set of objects sharing projection `projection`
+/// on the maximal subspace `max_subspace`; every member is in the skyline of
+/// every subspace A with Ci ⊆ A ⊆ max_subspace for some decisive Ci.
+struct SkylineGroup {
+  /// Object ids of G, ascending.
+  std::vector<ObjectId> members;
+  /// The maximal subspace B of the group.
+  DimMask max_subspace = 0;
+  /// All decisive subspaces C1..Ck, sorted by (size, value); never empty
+  /// for a valid skyline group, and every Ci ⊆ max_subspace.
+  std::vector<DimMask> decisive_subspaces;
+  /// The shared projection G_B, dimensions of B in increasing order.
+  std::vector<double> projection;
+
+  /// Structural equality (all four fields).
+  friend bool operator==(const SkylineGroup&, const SkylineGroup&) = default;
+};
+
+/// The compressed skyline cube as plain data: the complete set of skyline
+/// groups. (The query layer lives in core/cube.h.)
+using SkylineGroupSet = std::vector<SkylineGroup>;
+
+/// Sorts groups into the canonical order (by members, then max_subspace)
+/// and each group's decisive list by (size, value). Algorithms already emit
+/// sorted member lists; this makes whole-cube comparison deterministic.
+void NormalizeGroups(SkylineGroupSet* groups);
+
+/// Formats one group like the paper's figures, e.g.
+/// "(P2P5, (2,*,*,3), A D)" — member ids rendered as P<id+1>, the
+/// projection padded with '*' on dimensions outside max_subspace.
+std::string FormatGroup(const SkylineGroup& group, int num_dims);
+
+/// Formats all groups, one per line (for golden tests and examples).
+std::string FormatGroups(const SkylineGroupSet& groups, int num_dims);
+
+/// Internal consistency check used by tests and SKYCUBE_DCHECK paths:
+/// members ascending and unique, decisive non-empty, every decisive ⊆
+/// max_subspace and pairwise incomparable, projection size == |B|.
+bool GroupWellFormed(const SkylineGroup& group);
+
+}  // namespace skycube
+
+#endif  // SKYCUBE_CORE_SKYLINE_GROUP_H_

@@ -1,0 +1,45 @@
+#include "core/transversals.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace skycube {
+
+std::vector<DimMask> ReduceEdges(std::vector<DimMask> edges) {
+  // Minimal edges under ⊆ are exactly what a transversal must hit; an empty
+  // edge is ⊆ everything, so MinimalMasks leaves it as the single survivor.
+  return MinimalMasks(std::move(edges));
+}
+
+std::vector<DimMask> MinimalTransversals(std::vector<DimMask> edges,
+                                         DimMask universe) {
+#ifndef NDEBUG
+  for (DimMask edge : edges) SKYCUBE_DCHECK(IsSubsetOf(edge, universe));
+#else
+  (void)universe;
+#endif
+  edges = ReduceEdges(std::move(edges));
+  if (!edges.empty() && edges.front() == kEmptyMask) {
+    return {};  // an empty edge can never be hit
+  }
+  // Berge's incremental construction. Invariant: `transversals` is the set
+  // of minimal transversals of the edges processed so far ({∅} initially).
+  std::vector<DimMask> transversals = {kEmptyMask};
+  std::vector<DimMask> next;
+  for (DimMask edge : edges) {
+    next.clear();
+    for (DimMask t : transversals) {
+      if ((t & edge) != 0) {
+        next.push_back(t);  // already hits the new edge
+        continue;
+      }
+      ForEachDim(edge, [&](int dim) { next.push_back(t | DimBit(dim)); });
+    }
+    transversals = MinimalMasks(std::move(next));
+  }
+  return transversals;
+}
+
+}  // namespace skycube

@@ -1,0 +1,41 @@
+// Minimal transversals of a bitmask hypergraph — the computational core of
+// decisive-subspace discovery.
+//
+// Theorem 4 / Corollary 1 of the paper: C is a decisive subspace of a
+// skyline group (G, B) iff C is a minimal set hitting every edge
+// T_o = {Dim ∈ B : G_Dim < o.Dim}, o ∉ G. Equivalently: each conjunction of
+// the minimum DNF of ⋀_o (⋁_{Dim ∈ T_o} Dim). Minimal hitting sets of a
+// monotone CNF are exactly that minimum DNF.
+#ifndef SKYCUBE_CORE_TRANSVERSALS_H_
+#define SKYCUBE_CORE_TRANSVERSALS_H_
+
+#include <vector>
+
+#include "common/subspace.h"
+
+namespace skycube {
+
+/// Reduces a hypergraph to its minimal edges: deduplicates and removes
+/// superset edges (a transversal of the minimal edges hits every edge).
+/// An empty edge, if present, is kept (it makes the hypergraph
+/// unsatisfiable) and becomes the single returned edge.
+std::vector<DimMask> ReduceEdges(std::vector<DimMask> edges);
+
+/// Computes all minimal transversals of `edges` over ground set `universe`
+/// (every edge must be ⊆ universe). Returns masks sorted by (size, value).
+/// Returns an empty vector iff some edge is empty (no transversal exists) —
+/// note the contrast with the no-edges case, which returns {∅}... which is
+/// represented as a single empty mask only when edges is empty; callers in
+/// this library always pass at least one edge per non-trivial group.
+///
+/// Algorithm: Berge's incremental intersection with aggressive reduction —
+/// edges are minimized and processed smallest-first; partial transversals
+/// are re-minimized after every edge. Worst case exponential in |universe|
+/// (unavoidable: the output can be exponential), fine for |universe| ≤ 64
+/// and the edge profiles arising here.
+std::vector<DimMask> MinimalTransversals(std::vector<DimMask> edges,
+                                         DimMask universe);
+
+}  // namespace skycube
+
+#endif  // SKYCUBE_CORE_TRANSVERSALS_H_

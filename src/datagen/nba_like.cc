@@ -1,0 +1,89 @@
+#include "datagen/nba_like.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace skycube {
+
+namespace {
+
+// Column layout of the generated table. Mirrors the kind of career-total
+// columns in the NBA regular-season statistics table.
+const char* const kColumns[kNbaLikeNumDims] = {
+    "games",    "minutes",  "points",   "total_rebounds", "assists",
+    "steals",   "blocks",   "fgm",      "fga",            "ftm",
+    "fta",      "tpm",      "tpa",      "off_rebounds",   "def_rebounds",
+    "games_started",         "double_doubles"};
+
+// Per-column per-game base rates for an average starter, scaled by skill and
+// role factors below. Indexed as kColumns.
+constexpr double kPerGameRate[kNbaLikeNumDims] = {
+    1.0,   // games (handled separately)
+    24.0,  // minutes per game
+    10.0,  // points
+    4.5,   // rebounds
+    2.5,   // assists
+    0.8,   // steals
+    0.5,   // blocks
+    4.0,   // field goals made
+    8.8,   // field goals attempted
+    2.0,   // free throws made
+    2.7,   // free throw attempts
+    0.4,   // three pointers made
+    1.2,   // three point attempts
+    1.5,   // offensive rebounds
+    3.0,   // defensive rebounds
+    0.5,   // games started fraction
+    0.05,  // double-doubles fraction
+};
+
+}  // namespace
+
+Dataset GenerateNbaLike(size_t num_players, uint64_t seed) {
+  Rng rng(seed);
+  Dataset data(kNbaLikeNumDims,
+               std::vector<std::string>(kColumns, kColumns + kNbaLikeNumDims));
+  std::vector<double> row(kNbaLikeNumDims);
+  for (size_t player = 0; player < num_players; ++player) {
+    // Career length in games: heavy-tailed. Most players wash out after a
+    // few dozen games; stars play 1000+. Log-uniform between 1 and ~1600.
+    const double u = rng.NextDouble();
+    const int games =
+        std::max<int>(1, static_cast<int>(std::exp(u * u * 7.38)));  // ≤ ~1600
+    // Overall skill in (0, 1.6): most around 0.5..1.0, rare superstars near
+    // the top. Skill correlates every per-game rate.
+    const double skill =
+        std::clamp(0.55 + 0.25 * rng.NextGaussian() + 0.55 * u, 0.05, 1.8);
+    // Role tilts: a big man gets rebounds/blocks, a guard assists/threes.
+    const double bigness = rng.NextDouble();  // 0 = guard, 1 = center
+    double role[kNbaLikeNumDims];
+    std::fill(role, role + kNbaLikeNumDims, 1.0);
+    role[3] = role[13] = role[14] = 0.5 + 1.2 * bigness;   // rebounds
+    role[6] = 0.25 + 1.8 * bigness;                        // blocks
+    role[4] = 1.6 - 1.2 * bigness;                         // assists
+    role[11] = role[12] = std::max(0.05, 1.7 - 1.6 * bigness);  // threes
+    role[5] = 1.3 - 0.6 * bigness;                         // steals
+
+    row[0] = games;
+    for (int col = 1; col < kNbaLikeNumDims; ++col) {
+      const double noise = std::max(0.0, 1.0 + 0.25 * rng.NextGaussian());
+      const double per_game = kPerGameRate[col] * skill * role[col] * noise;
+      row[col] = std::floor(per_game * games);
+    }
+    // Internal consistency: made shots cannot exceed attempts.
+    row[7] = std::min(row[7], row[8]);
+    row[9] = std::min(row[9], row[10]);
+    row[11] = std::min(row[11], row[12]);
+    // Games started and double-doubles cannot exceed games played.
+    row[15] = std::min(row[15], row[0]);
+    row[16] = std::min(row[16], row[0]);
+    data.AddRow(row);
+  }
+  return data;
+}
+
+}  // namespace skycube

@@ -1,0 +1,43 @@
+// NBA-like dataset generator.
+//
+// The paper evaluates on "the Great NBA Players' technical statistics from
+// 1960 to 2001" — 17,265 players × 17 career-total columns, larger is
+// better. The original file (basketballreference.com dump) is proprietary
+// and not available offline, so we substitute a synthetic generator that
+// preserves the properties driving both Skyey and Stellar (see DESIGN.md §4):
+//
+//  1. strong positive cross-column correlation via per-player latent career
+//     length and skill factors (all counting stats scale with both);
+//  2. integer counting values with heavy ties (many marginal players have
+//     identical small totals), which is what creates non-trivial c-groups;
+//  3. a small full-space skyline (a handful of all-time greats dominate),
+//     so the number of skyline groups stays moderate while the number of
+//     subspace skyline objects explodes with dimensionality — the exact
+//     contrast of the paper's Figures 8 and 9;
+//  4. 17 dimensions and 17,265 rows, matching the sweep range d = 1..17.
+//
+// Values are larger-is-better like the real table; callers feed
+// `GenerateNbaLike(...).Negated()` to the (smaller-is-better) algorithms.
+#ifndef SKYCUBE_DATAGEN_NBA_LIKE_H_
+#define SKYCUBE_DATAGEN_NBA_LIKE_H_
+
+#include <cstdint>
+
+#include "dataset/dataset.h"
+
+namespace skycube {
+
+/// Number of players in the paper's NBA table.
+inline constexpr size_t kNbaLikeDefaultPlayers = 17265;
+/// Number of statistic columns in the paper's NBA table.
+inline constexpr int kNbaLikeNumDims = 17;
+
+/// Generates an NBA-like career-statistics dataset: `num_players` rows × 17
+/// integer columns (games, minutes, points, rebounds, ...), larger is
+/// better. Deterministic in `seed`.
+Dataset GenerateNbaLike(size_t num_players = kNbaLikeDefaultPlayers,
+                        uint64_t seed = 2007);
+
+}  // namespace skycube
+
+#endif  // SKYCUBE_DATAGEN_NBA_LIKE_H_

@@ -1,0 +1,115 @@
+#include "datagen/synthetic.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/rng.h"
+
+namespace skycube {
+
+Distribution DistributionFromName(const std::string& name) {
+  if (name == "independent" || name == "equal" || name == "uniform") {
+    return Distribution::kIndependent;
+  }
+  if (name == "correlated" || name == "corr") {
+    return Distribution::kCorrelated;
+  }
+  if (name == "anticorrelated" || name == "anti" ||
+      name == "anti-correlated") {
+    return Distribution::kAntiCorrelated;
+  }
+  SKYCUBE_CHECK_MSG(false, ("unknown distribution: " + name).c_str());
+  return Distribution::kIndependent;
+}
+
+const char* DistributionName(Distribution distribution) {
+  switch (distribution) {
+    case Distribution::kIndependent:
+      return "independent";
+    case Distribution::kCorrelated:
+      return "correlated";
+    case Distribution::kAntiCorrelated:
+      return "anti-correlated";
+  }
+  return "unknown";
+}
+
+Dataset GenerateSynthetic(const SyntheticSpec& spec) {
+  Dataset data = [&] {
+    switch (spec.distribution) {
+      case Distribution::kIndependent:
+        return GenerateIndependent(spec.num_objects, spec.num_dims,
+                                   spec.seed);
+      case Distribution::kCorrelated:
+        return GenerateCorrelated(spec.num_objects, spec.num_dims, spec.seed);
+      case Distribution::kAntiCorrelated:
+        return GenerateAntiCorrelated(spec.num_objects, spec.num_dims,
+                                      spec.seed);
+    }
+    SKYCUBE_CHECK(false);
+  }();
+  if (spec.truncate_decimals >= 0) {
+    return data.Truncated(spec.truncate_decimals);
+  }
+  return data;
+}
+
+Dataset GenerateIndependent(size_t num_objects, int num_dims, uint64_t seed) {
+  Rng rng(seed);
+  Dataset data(num_dims);
+  std::vector<double> row(num_dims);
+  for (size_t i = 0; i < num_objects; ++i) {
+    for (int dim = 0; dim < num_dims; ++dim) row[dim] = rng.NextDouble();
+    data.AddRow(row);
+  }
+  return data;
+}
+
+Dataset GenerateCorrelated(size_t num_objects, int num_dims, uint64_t seed,
+                           double sigma) {
+  Rng rng(seed);
+  Dataset data(num_dims);
+  std::vector<double> row(num_dims);
+  for (size_t i = 0; i < num_objects; ++i) {
+    const double quality = rng.NextDouble();
+    for (int dim = 0; dim < num_dims; ++dim) {
+      row[dim] = std::clamp(quality + sigma * rng.NextGaussian(), 0.0, 1.0);
+    }
+    data.AddRow(row);
+  }
+  return data;
+}
+
+Dataset GenerateAntiCorrelated(size_t num_objects, int num_dims,
+                               uint64_t seed) {
+  Rng rng(seed);
+  Dataset data(num_dims);
+  std::vector<double> row(num_dims);
+  for (size_t i = 0; i < num_objects; ++i) {
+    // The plane Σ x = d * offset with offset tightly around 0.5.
+    const double offset = std::clamp(0.5 + 0.05 * rng.NextGaussian(),
+                                     0.0, 1.0);
+    std::fill(row.begin(), row.end(), offset);
+    if (num_dims > 1) {
+      // Redistribute mass between random pairs, keeping each coordinate in
+      // [0, 1] and the total constant. 2d transfers give strong negative
+      // pairwise correlation.
+      const int transfers = 2 * num_dims;
+      for (int t = 0; t < transfers; ++t) {
+        const int i0 = static_cast<int>(rng.NextBounded(num_dims));
+        int i1 = static_cast<int>(rng.NextBounded(num_dims - 1));
+        if (i1 >= i0) ++i1;
+        const double room = std::min(row[i0], 1.0 - row[i1]);
+        const double delta = rng.NextDouble() * room;
+        row[i0] -= delta;
+        row[i1] += delta;
+      }
+    }
+    data.AddRow(row);
+  }
+  return data;
+}
+
+}  // namespace skycube

@@ -1,0 +1,45 @@
+#include "dataset/duplicate_binding.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace skycube {
+
+std::vector<ObjectId> DuplicateBinding::Expand(
+    const std::vector<ObjectId>& distinct_ids) const {
+  std::vector<ObjectId> out;
+  for (ObjectId id : distinct_ids) {
+    SKYCUBE_CHECK(id < members.size());
+    out.insert(out.end(), members[id].begin(), members[id].end());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+DuplicateBinding BindDuplicates(const Dataset& dataset) {
+  DuplicateBinding binding{Dataset(dataset.num_dims(), dataset.dim_names()),
+                           {},
+                           {}};
+  std::unordered_map<std::vector<double>, ObjectId, VectorDoubleHash> seen;
+  seen.reserve(dataset.num_objects());
+  binding.representative_of.reserve(dataset.num_objects());
+  std::vector<double> row(dataset.num_dims());
+  for (ObjectId id = 0; id < dataset.num_objects(); ++id) {
+    const double* src = dataset.Row(id);
+    row.assign(src, src + dataset.num_dims());
+    auto [it, inserted] = seen.emplace(
+        row, static_cast<ObjectId>(binding.members.size()));
+    if (inserted) {
+      binding.distinct.AddRow(row);
+      binding.members.emplace_back();
+    }
+    binding.members[it->second].push_back(id);
+    binding.representative_of.push_back(it->second);
+  }
+  return binding;
+}
+
+}  // namespace skycube

@@ -1,0 +1,53 @@
+// Duplicate-object binding, the preprocessing assumption of the paper's §5:
+// "there exist no objects u, v ∈ S such that u.D = v.D for every dimension
+// D. If such a situation happens, the two objects can be bound together
+// since they always appear together if they are involved in any skyline
+// groups."
+//
+// BindDuplicates() collapses groups of identical rows into one
+// representative each; the algorithms run on the distinct dataset and the
+// compressed cube expands representatives back to original object ids.
+#ifndef SKYCUBE_DATASET_DUPLICATE_BINDING_H_
+#define SKYCUBE_DATASET_DUPLICATE_BINDING_H_
+
+#include <vector>
+
+#include "dataset/dataset.h"
+
+namespace skycube {
+
+/// Result of collapsing duplicate rows.
+struct DuplicateBinding {
+  /// One row per distinct tuple, in order of first appearance.
+  Dataset distinct;
+  /// members[i] = original object ids bound into distinct row i, ascending.
+  std::vector<std::vector<ObjectId>> members;
+  /// representative_of[orig] = index of the distinct row for original row
+  /// `orig`.
+  std::vector<ObjectId> representative_of;
+
+  /// True iff the input had no duplicates at all.
+  bool identity() const { return distinct.num_objects() == members.size() &&
+                                 distinct.num_objects() ==
+                                     representative_of.size() &&
+                                 AllSingletons(); }
+
+  /// Expands a set of distinct-row ids back to original object ids
+  /// (ascending).
+  std::vector<ObjectId> Expand(const std::vector<ObjectId>& distinct_ids) const;
+
+ private:
+  bool AllSingletons() const {
+    for (const auto& group : members) {
+      if (group.size() != 1) return false;
+    }
+    return true;
+  }
+};
+
+/// Collapses identical full-space rows. O(n) expected via hashing.
+DuplicateBinding BindDuplicates(const Dataset& dataset);
+
+}  // namespace skycube
+
+#endif  // SKYCUBE_DATASET_DUPLICATE_BINDING_H_

@@ -1,0 +1,79 @@
+// LESS — linear elimination sort for skyline (Godfrey, Shipley, Gryz,
+// VLDB 2005). Two ideas on top of SFS: (1) during the initial pass an
+// elimination-filter (EF) window of a few best-scoring objects discards
+// clearly dominated records before the sort; (2) the final pass is the SFS
+// filter over the survivors. On average the sort then touches far fewer
+// records than SFS.
+#include <algorithm>
+#include <vector>
+
+#include "skyline/algorithms.h"
+#include "skyline/dominance.h"
+
+namespace skycube {
+
+namespace {
+
+constexpr size_t kEfWindowSize = 16;
+
+struct Scored {
+  double score;
+  ObjectId id;
+};
+
+}  // namespace
+
+std::vector<ObjectId> SkylineLess(const Dataset& data, DimMask subspace,
+                                  const std::vector<ObjectId>& candidates) {
+  // Pass 1: eliminate records dominated by the EF window while collecting
+  // scores. The EF window retains the lowest-scoring objects seen so far
+  // (low score = likely dominator).
+  std::vector<Scored> ef;  // kept sorted by score ascending, small
+  std::vector<Scored> survivors;
+  survivors.reserve(candidates.size());
+  for (ObjectId id : candidates) {
+    const double* row = data.Row(id);
+    const double score = SortScore(row, subspace);
+    bool dominated = false;
+    for (const Scored& entry : ef) {
+      if (entry.score >= score) break;  // can't dominate: score not smaller
+      if (RowDominates(data.Row(entry.id), row, subspace)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (dominated) continue;
+    survivors.push_back({score, id});
+    // Update EF window: insert, keep the kEfWindowSize lowest scores.
+    if (ef.size() < kEfWindowSize || score < ef.back().score) {
+      auto pos = std::lower_bound(
+          ef.begin(), ef.end(), score,
+          [](const Scored& entry, double s) { return entry.score < s; });
+      ef.insert(pos, {score, id});
+      if (ef.size() > kEfWindowSize) ef.pop_back();
+    }
+  }
+
+  // Pass 2: SFS over the survivors.
+  std::sort(survivors.begin(), survivors.end(),
+            [](const Scored& a, const Scored& b) {
+              if (a.score != b.score) return a.score < b.score;
+              return a.id < b.id;
+            });
+  std::vector<ObjectId> skyline;
+  for (const Scored& entry : survivors) {
+    const double* row = data.Row(entry.id);
+    bool dominated = false;
+    for (ObjectId kept : skyline) {
+      if (RowDominates(data.Row(kept), row, subspace)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) skyline.push_back(entry.id);
+  }
+  std::sort(skyline.begin(), skyline.end());
+  return skyline;
+}
+
+}  // namespace skycube

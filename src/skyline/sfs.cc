@@ -1,0 +1,45 @@
+// Sort-filter-skyline (Chomicki, Godfrey, Gryz, Liang, ICDE 2003).
+// Objects are presorted by a monotone score (here the coordinate sum over
+// the subspace); after the sort no object can dominate an earlier one, so a
+// single pass with a grow-only window suffices — no evictions, unlike BNL.
+#include <algorithm>
+#include <vector>
+
+#include "skyline/algorithms.h"
+#include "skyline/dominance.h"
+
+namespace skycube {
+
+std::vector<ObjectId> SkylineSfs(const Dataset& data, DimMask subspace,
+                                 const std::vector<ObjectId>& candidates) {
+  struct Scored {
+    double score;
+    ObjectId id;
+  };
+  std::vector<Scored> order;
+  order.reserve(candidates.size());
+  for (ObjectId id : candidates) {
+    order.push_back({SortScore(data.Row(id), subspace), id});
+  }
+  std::sort(order.begin(), order.end(), [](const Scored& a, const Scored& b) {
+    if (a.score != b.score) return a.score < b.score;
+    return a.id < b.id;
+  });
+
+  std::vector<ObjectId> skyline;
+  for (const Scored& entry : order) {
+    const double* row = data.Row(entry.id);
+    bool dominated = false;
+    for (ObjectId kept : skyline) {
+      if (RowDominates(data.Row(kept), row, subspace)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) skyline.push_back(entry.id);
+  }
+  std::sort(skyline.begin(), skyline.end());
+  return skyline;
+}
+
+}  // namespace skycube

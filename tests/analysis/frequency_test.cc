@@ -1,0 +1,108 @@
+// Tests for skyline frequency analysis over the compressed cube.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/frequency.h"
+#include "core/stellar.h"
+#include "datagen/synthetic.h"
+#include "dataset/dataset.h"
+#include "skyline/algorithms.h"
+
+namespace skycube {
+namespace {
+
+CompressedSkylineCube MakeCube(const Dataset& data) {
+  return CompressedSkylineCube(data.num_dims(), data.num_objects(),
+                               ComputeStellar(data));
+}
+
+TEST(FrequencyTest, RunningExampleFrequencies) {
+  const Dataset data = Dataset::FromRows({
+                                             {5, 6, 10, 7},  // P1
+                                             {2, 6, 8, 3},   // P2
+                                             {5, 4, 9, 3},   // P3
+                                             {6, 4, 8, 5},   // P4
+                                             {2, 4, 9, 3},   // P5
+                                         })
+                           .value();
+  const CompressedSkylineCube cube = MakeCube(data);
+  const std::vector<uint64_t> freq = SkylineFrequencies(cube);
+  ASSERT_EQ(freq.size(), 5u);
+  EXPECT_EQ(freq[0], 0u);  // P1: no subspace skyline at all
+  // P3: in Sky(B), Sky(D), Sky(BD), Sky(BCD) — see paper_example_test.
+  EXPECT_EQ(freq[2], 4u);
+  // Cross-check all objects against direct enumeration.
+  for (ObjectId id = 0; id < 5; ++id) {
+    uint64_t direct = 0;
+    ForEachNonEmptySubset(data.full_mask(), [&](DimMask subspace) {
+      const std::vector<ObjectId> sky = ComputeSkyline(data, subspace);
+      direct += std::count(sky.begin(), sky.end(), id);
+    });
+    EXPECT_EQ(freq[id], direct) << "object " << id;
+  }
+}
+
+TEST(FrequencyTest, TopKOrderingAndTruncation) {
+  const Dataset data = Dataset::FromRows({
+                                             {5, 6, 10, 7},
+                                             {2, 6, 8, 3},
+                                             {5, 4, 9, 3},
+                                             {6, 4, 8, 5},
+                                             {2, 4, 9, 3},
+                                         })
+                           .value();
+  const CompressedSkylineCube cube = MakeCube(data);
+  const auto top2 = TopKFrequentSkylineObjects(cube, 2);
+  ASSERT_EQ(top2.size(), 2u);
+  EXPECT_GE(top2[0].second, top2[1].second);
+  const auto all = TopKFrequentSkylineObjects(cube, 100);
+  EXPECT_EQ(all.size(), 4u);  // P1 has frequency 0 and is excluded
+  for (size_t i = 1; i < all.size(); ++i) {
+    EXPECT_GE(all[i - 1].second, all[i].second);
+  }
+}
+
+TEST(FrequencyTest, LevelHistogramMatchesDirectEnumeration) {
+  SyntheticSpec spec;
+  spec.num_objects = 250;
+  spec.num_dims = 5;
+  spec.truncate_decimals = 1;
+  spec.seed = 19;
+  for (Distribution dist : {Distribution::kIndependent,
+                            Distribution::kCorrelated,
+                            Distribution::kAntiCorrelated}) {
+    spec.distribution = dist;
+    const Dataset data = GenerateSynthetic(spec);
+    const CompressedSkylineCube cube = MakeCube(data);
+    const std::vector<uint64_t> histogram = SkylineLevelHistogram(cube);
+    ASSERT_EQ(histogram.size(), 5u);
+    std::vector<uint64_t> direct(5, 0);
+    ForEachNonEmptySubset(data.full_mask(), [&](DimMask subspace) {
+      direct[MaskSize(subspace) - 1] +=
+          ComputeSkyline(data, subspace).size();
+    });
+    EXPECT_EQ(histogram, direct) << DistributionName(dist);
+    // Consistency with the scalar total.
+    uint64_t total = 0;
+    for (uint64_t level : histogram) total += level;
+    EXPECT_EQ(total, cube.TotalSubspaceSkylineObjects());
+  }
+}
+
+TEST(FrequencyTest, FrequenciesSumToTotal) {
+  SyntheticSpec spec;
+  spec.num_objects = 120;
+  spec.num_dims = 4;
+  spec.truncate_decimals = 1;
+  spec.seed = 3;
+  const Dataset data = GenerateSynthetic(spec);
+  const CompressedSkylineCube cube = MakeCube(data);
+  const std::vector<uint64_t> freq = SkylineFrequencies(cube);
+  uint64_t sum = 0;
+  for (uint64_t f : freq) sum += f;
+  EXPECT_EQ(sum, cube.TotalSubspaceSkylineObjects());
+}
+
+}  // namespace
+}  // namespace skycube

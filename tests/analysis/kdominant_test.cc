@@ -1,0 +1,127 @@
+// Tests for k-dominant skylines.
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/kdominant.h"
+#include "datagen/synthetic.h"
+#include "dataset/dataset.h"
+#include "skyline/algorithms.h"
+
+namespace skycube {
+namespace {
+
+// Brute force straight from the definition, without the skyline filter.
+std::vector<ObjectId> BruteKDominantSkyline(const Dataset& data,
+                                            DimMask subspace, int k) {
+  std::vector<ObjectId> result;
+  for (ObjectId candidate = 0; candidate < data.num_objects(); ++candidate) {
+    bool beaten = false;
+    for (ObjectId other = 0; other < data.num_objects() && !beaten; ++other) {
+      beaten = other != candidate &&
+               KDominates(data, other, candidate, subspace, k);
+    }
+    if (!beaten) result.push_back(candidate);
+  }
+  return result;
+}
+
+TEST(KDominantTest, KDominatesBasics) {
+  const Dataset data = Dataset::FromRows({
+                                             {1, 2, 9},  // 0
+                                             {2, 1, 1},  // 1
+                                             {1, 2, 8},  // 2: dominates 0
+                                         })
+                           .value();
+  // 0 vs 1: no worse on A only (1<2) → k=1 dominates... also strictly
+  // better on 1 of 1. k=2 requires two no-worse dims: A yes, B no, C no.
+  EXPECT_TRUE(KDominates(data, 0, 1, 0b111, 1));
+  EXPECT_FALSE(KDominates(data, 0, 1, 0b111, 2));
+  // 1 vs 0: no worse on B, C (1<2, 1<9) → 2-dominates but not 3-dominates.
+  EXPECT_TRUE(KDominates(data, 1, 0, 0b111, 2));
+  EXPECT_FALSE(KDominates(data, 1, 0, 0b111, 3));
+  // 2 ordinarily dominates 0 → k-dominates for every k.
+  for (int k = 1; k <= 3; ++k) {
+    EXPECT_TRUE(KDominates(data, 2, 0, 0b111, k));
+    EXPECT_FALSE(KDominates(data, 0, 2, 0b111, k));
+  }
+  // Equal projections never k-dominate.
+  EXPECT_FALSE(KDominates(data, 0, 0, 0b111, 1));
+}
+
+TEST(KDominantTest, FullKEqualsOrdinarySkyline) {
+  SyntheticSpec spec;
+  spec.num_objects = 200;
+  spec.num_dims = 4;
+  spec.truncate_decimals = 2;
+  spec.seed = 5;
+  for (Distribution dist : {Distribution::kIndependent,
+                            Distribution::kCorrelated,
+                            Distribution::kAntiCorrelated}) {
+    spec.distribution = dist;
+    const Dataset data = GenerateSynthetic(spec);
+    EXPECT_EQ(KDominantSkyline(data, data.full_mask(), 4),
+              ComputeSkyline(data, data.full_mask()))
+        << DistributionName(dist);
+  }
+}
+
+TEST(KDominantTest, MonotoneInK) {
+  SyntheticSpec spec;
+  spec.distribution = Distribution::kAntiCorrelated;
+  spec.num_objects = 150;
+  spec.num_dims = 5;
+  spec.seed = 23;
+  const Dataset data = GenerateSynthetic(spec);
+  std::vector<ObjectId> previous;
+  for (int k = 1; k <= 5; ++k) {
+    const std::vector<ObjectId> current =
+        KDominantSkyline(data, data.full_mask(), k);
+    if (k > 1) {
+      EXPECT_TRUE(std::includes(current.begin(), current.end(),
+                                previous.begin(), previous.end()))
+          << "k=" << k << " lost objects from k=" << k - 1;
+    }
+    previous = current;
+  }
+}
+
+TEST(KDominantTest, MatchesBruteForce) {
+  SyntheticSpec spec;
+  spec.num_objects = 120;
+  spec.num_dims = 4;
+  spec.truncate_decimals = 1;
+  for (uint64_t seed : {1u, 9u, 77u}) {
+    spec.seed = seed;
+    for (Distribution dist : {Distribution::kIndependent,
+                              Distribution::kAntiCorrelated}) {
+      spec.distribution = dist;
+      const Dataset data = GenerateSynthetic(spec);
+      for (int k = 1; k <= 4; ++k) {
+        EXPECT_EQ(KDominantSkyline(data, data.full_mask(), k),
+                  BruteKDominantSkyline(data, data.full_mask(), k))
+            << DistributionName(dist) << " k=" << k << " seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(KDominantTest, SubspaceRestriction) {
+  const Dataset data = Dataset::FromRows({
+                                             {1, 9, 9},
+                                             {9, 1, 9},
+                                             {9, 9, 1},
+                                         })
+                           .value();
+  // In full space all three are ordinary skyline; with k=2 each object is
+  // 2-dominated by another (cyclically), so the 2-dominant skyline is
+  // empty — the classic cyclic example.
+  EXPECT_TRUE(KDominantSkyline(data, 0b111, 2).empty());
+  // Restricted to AB with k=2 (ordinary skyline of AB): objects 0 and 1.
+  EXPECT_EQ(KDominantSkyline(data, 0b011, 2),
+            (std::vector<ObjectId>{0, 1}));
+}
+
+}  // namespace
+}  // namespace skycube

@@ -1,0 +1,83 @@
+// Tests for k-skybands.
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/skyband.h"
+#include "datagen/synthetic.h"
+#include "dataset/dataset.h"
+#include "skyline/algorithms.h"
+
+namespace skycube {
+namespace {
+
+TEST(SkybandTest, OneSkybandIsTheSkyline) {
+  SyntheticSpec spec;
+  spec.num_objects = 300;
+  spec.num_dims = 4;
+  spec.truncate_decimals = 2;
+  spec.seed = 6;
+  for (Distribution dist : {Distribution::kIndependent,
+                            Distribution::kCorrelated,
+                            Distribution::kAntiCorrelated}) {
+    spec.distribution = dist;
+    const Dataset data = GenerateSynthetic(spec);
+    ForEachNonEmptySubset(data.full_mask(), [&](DimMask subspace) {
+      EXPECT_EQ(Skyband(data, subspace, 1), ComputeSkyline(data, subspace))
+          << DistributionName(dist) << " " << FormatMask(subspace);
+    });
+  }
+}
+
+TEST(SkybandTest, BandsAreNestedAndEventuallyEverything) {
+  SyntheticSpec spec;
+  spec.distribution = Distribution::kAntiCorrelated;
+  spec.num_objects = 150;
+  spec.num_dims = 3;
+  spec.seed = 12;
+  const Dataset data = GenerateSynthetic(spec);
+  std::vector<ObjectId> previous;
+  for (size_t k = 1; k <= data.num_objects(); k *= 2) {
+    const std::vector<ObjectId> band = Skyband(data, data.full_mask(), k);
+    if (k > 1) {
+      EXPECT_TRUE(std::includes(band.begin(), band.end(), previous.begin(),
+                                previous.end()))
+          << "band " << k << " lost members";
+    }
+    previous = band;
+  }
+  EXPECT_EQ(Skyband(data, data.full_mask(), data.num_objects()).size(),
+            data.num_objects());
+}
+
+TEST(SkybandTest, HandComputedLayers) {
+  // Chain 1 < 2 < 3 < 4 on one dimension.
+  const Dataset data = Dataset::FromRows({{4}, {2}, {3}, {1}}).value();
+  EXPECT_EQ(Skyband(data, 0b1, 1), (std::vector<ObjectId>{3}));
+  EXPECT_EQ(Skyband(data, 0b1, 2), (std::vector<ObjectId>{1, 3}));
+  EXPECT_EQ(Skyband(data, 0b1, 3), (std::vector<ObjectId>{1, 2, 3}));
+  EXPECT_EQ(Skyband(data, 0b1, 4), (std::vector<ObjectId>{0, 1, 2, 3}));
+}
+
+TEST(SkybandTest, DuplicatesShareCounts) {
+  const Dataset data =
+      Dataset::FromRows({{1, 1}, {1, 1}, {2, 2}, {2, 2}}).value();
+  // The twin pair (1,1) dominates both (2,2) twins; twins never dominate
+  // each other.
+  EXPECT_EQ(Skyband(data, 0b11, 1), (std::vector<ObjectId>{0, 1}));
+  EXPECT_EQ(Skyband(data, 0b11, 2), (std::vector<ObjectId>{0, 1}));
+  EXPECT_EQ(Skyband(data, 0b11, 3), (std::vector<ObjectId>{0, 1, 2, 3}));
+}
+
+TEST(SkybandTest, DominatorCountsExactAndCapped) {
+  const Dataset data = Dataset::FromRows({{4}, {2}, {3}, {1}}).value();
+  EXPECT_EQ(DominatorCounts(data, 0b1),
+            (std::vector<size_t>{3, 1, 2, 0}));
+  const std::vector<size_t> capped = DominatorCounts(data, 0b1, 2);
+  EXPECT_EQ(capped[0], 2u);  // capped at 2
+  EXPECT_EQ(capped[3], 0u);
+}
+
+}  // namespace
+}  // namespace skycube

@@ -1,0 +1,68 @@
+// Unit tests for the dynamic bitset backing the bitmap skyline method.
+#include <gtest/gtest.h>
+
+#include "common/bitset.h"
+
+namespace skycube {
+namespace {
+
+TEST(DynamicBitsetTest, SetTestReset) {
+  DynamicBitset bits(130);  // spans three 64-bit blocks
+  EXPECT_EQ(bits.size(), 130u);
+  EXPECT_FALSE(bits.Any());
+  bits.Set(0);
+  bits.Set(63);
+  bits.Set(64);
+  bits.Set(129);
+  EXPECT_TRUE(bits.Test(0));
+  EXPECT_TRUE(bits.Test(63));
+  EXPECT_TRUE(bits.Test(64));
+  EXPECT_TRUE(bits.Test(129));
+  EXPECT_FALSE(bits.Test(1));
+  EXPECT_EQ(bits.Count(), 4u);
+  bits.Reset(63);
+  EXPECT_FALSE(bits.Test(63));
+  EXPECT_EQ(bits.Count(), 3u);
+}
+
+TEST(DynamicBitsetTest, AndOrAndNot) {
+  DynamicBitset a(70);
+  DynamicBitset b(70);
+  a.Set(1);
+  a.Set(65);
+  a.Set(3);
+  b.Set(65);
+  b.Set(3);
+  b.Set(7);
+  DynamicBitset and_result = a;
+  and_result &= b;
+  EXPECT_EQ(and_result.Count(), 2u);
+  EXPECT_TRUE(and_result.Test(65));
+  EXPECT_TRUE(and_result.Test(3));
+  DynamicBitset or_result = a;
+  or_result |= b;
+  EXPECT_EQ(or_result.Count(), 4u);
+  DynamicBitset diff = a;
+  diff.AndNot(b);
+  EXPECT_EQ(diff.Count(), 1u);
+  EXPECT_TRUE(diff.Test(1));
+}
+
+TEST(DynamicBitsetTest, IntersectsWithAvoidsMaterialization) {
+  DynamicBitset a(100);
+  DynamicBitset b(100);
+  a.Set(99);
+  b.Set(98);
+  EXPECT_FALSE(a.IntersectsWith(b));
+  b.Set(99);
+  EXPECT_TRUE(a.IntersectsWith(b));
+}
+
+TEST(DynamicBitsetTest, EmptyBitset) {
+  DynamicBitset bits(0);
+  EXPECT_FALSE(bits.Any());
+  EXPECT_EQ(bits.Count(), 0u);
+}
+
+}  // namespace
+}  // namespace skycube

@@ -1,0 +1,84 @@
+// Unit tests for the CSV reader/writer.
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/csv.h"
+
+namespace skycube {
+namespace {
+
+TEST(CsvTest, ParsesHeaderAndRows) {
+  const Result<CsvTable> result =
+      ParseNumericCsv("a,b,c\n1,2,3\n4.5,-6,7e2\n");
+  ASSERT_TRUE(result.ok());
+  const CsvTable& table = result.value();
+  EXPECT_EQ(table.column_names,
+            (std::vector<std::string>{"a", "b", "c"}));
+  ASSERT_EQ(table.rows.size(), 2u);
+  EXPECT_EQ(table.rows[0], (std::vector<double>{1, 2, 3}));
+  EXPECT_EQ(table.rows[1], (std::vector<double>{4.5, -6, 700}));
+}
+
+TEST(CsvTest, ParsesWithoutHeader) {
+  CsvReadOptions options;
+  options.has_header = false;
+  const Result<CsvTable> result = ParseNumericCsv("1,2\n3,4\n", options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().column_names.empty());
+  EXPECT_EQ(result.value().rows.size(), 2u);
+}
+
+TEST(CsvTest, SkipsBlankLinesAndCarriageReturns) {
+  const Result<CsvTable> result = ParseNumericCsv("x,y\r\n\n1,2\r\n\n3,4\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().rows.size(), 2u);
+  EXPECT_EQ(result.value().column_names[1], "y");
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  const Result<CsvTable> result = ParseNumericCsv("a,b\n1,2\n3\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, RejectsNonNumericCells) {
+  const Result<CsvTable> result = ParseNumericCsv("a\n1\nbanana\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("banana"), std::string::npos);
+}
+
+TEST(CsvTest, RejectsMissingHeader) {
+  EXPECT_FALSE(ParseNumericCsv("").ok());
+}
+
+TEST(CsvTest, CustomDelimiter) {
+  CsvReadOptions options;
+  options.delimiter = '\t';
+  const Result<CsvTable> result = ParseNumericCsv("a\tb\n1\t2\n", options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().rows[0], (std::vector<double>{1, 2}));
+}
+
+TEST(CsvTest, WriteReadRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/csv_roundtrip.csv";
+  CsvTable table;
+  table.column_names = {"p", "q"};
+  table.rows = {{0.1, 2}, {3, 40000.5}};
+  ASSERT_TRUE(WriteNumericCsv(path, table).ok());
+  const Result<CsvTable> loaded = ReadNumericCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().column_names, table.column_names);
+  EXPECT_EQ(loaded.value().rows, table.rows);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ReadMissingFileIsNotFound) {
+  const Result<CsvTable> result = ReadNumericCsv("/no/such/file.csv");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace skycube

@@ -1,0 +1,86 @@
+// Tests for the ParallelChunks helper.
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+
+namespace skycube {
+namespace {
+
+TEST(ParallelTest, EffectiveThreadsClamping) {
+  EXPECT_EQ(EffectiveThreads(1, 100), 1);
+  EXPECT_EQ(EffectiveThreads(4, 100), 4);
+  EXPECT_EQ(EffectiveThreads(4, 2), 2);   // never more threads than items
+  EXPECT_GE(EffectiveThreads(0, 100), 1);  // hardware concurrency ≥ 1
+  EXPECT_EQ(EffectiveThreads(-3, 100), EffectiveThreads(0, 100));
+}
+
+TEST(ParallelTest, CoversRangeExactlyOnce) {
+  for (int threads : {1, 2, 3, 7}) {
+    for (size_t n : {size_t{0}, size_t{1}, size_t{10}, size_t{1000}}) {
+      std::mutex mu;
+      std::vector<char> seen(n, 0);
+      ParallelChunks(n, threads, [&](int, size_t begin, size_t end) {
+        std::lock_guard<std::mutex> lock(mu);
+        for (size_t i = begin; i < end; ++i) {
+          EXPECT_EQ(seen[i], 0) << "index covered twice";
+          seen[i] = 1;
+        }
+      });
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(seen[i], 1) << "index " << i << " not covered";
+      }
+    }
+  }
+}
+
+TEST(ParallelTest, ChunkIndicesAreDistinctAndContiguous) {
+  std::mutex mu;
+  std::vector<std::pair<size_t, size_t>> ranges(4, {0, 0});
+  std::set<int> chunks;
+  ParallelChunks(100, 4, [&](int chunk, size_t begin, size_t end) {
+    std::lock_guard<std::mutex> lock(mu);
+    EXPECT_TRUE(chunks.insert(chunk).second);
+    ASSERT_LT(chunk, 4);
+    ranges[chunk] = {begin, end};
+  });
+  EXPECT_EQ(chunks.size(), 4u);
+  // Chunks partition [0, 100) in order.
+  size_t cursor = 0;
+  for (const auto& [begin, end] : ranges) {
+    EXPECT_EQ(begin, cursor);
+    EXPECT_LE(begin, end);
+    cursor = end;
+  }
+  EXPECT_EQ(cursor, 100u);
+}
+
+TEST(ParallelTest, SingleThreadRunsInline) {
+  std::atomic<int> calls{0};
+  ParallelChunks(50, 1, [&](int chunk, size_t begin, size_t end) {
+    ++calls;
+    EXPECT_EQ(chunk, 0);
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 50u);
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ParallelTest, ParallelSumMatchesSequential) {
+  const size_t n = 100000;
+  std::vector<uint64_t> partial(8, 0);
+  ParallelChunks(n, 8, [&](int chunk, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) partial[chunk] += i;
+  });
+  uint64_t total = 0;
+  for (uint64_t p : partial) total += p;
+  EXPECT_EQ(total, n * (n - 1) / 2);
+}
+
+}  // namespace
+}  // namespace skycube

@@ -1,0 +1,95 @@
+#include "common/subspace.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace skycube {
+namespace {
+
+TEST(SubspaceTest, FullMask) {
+  EXPECT_EQ(FullMask(1), 0b1u);
+  EXPECT_EQ(FullMask(4), 0b1111u);
+  EXPECT_EQ(FullMask(64), ~DimMask{0});
+}
+
+TEST(SubspaceTest, MaskSizeAndBits) {
+  EXPECT_EQ(MaskSize(kEmptyMask), 0);
+  EXPECT_EQ(MaskSize(0b1011u), 3);
+  EXPECT_EQ(DimBit(0), 0b1u);
+  EXPECT_EQ(DimBit(5), 0b100000u);
+  EXPECT_TRUE(MaskContains(0b1010u, 1));
+  EXPECT_FALSE(MaskContains(0b1010u, 0));
+}
+
+TEST(SubspaceTest, SubsetTests) {
+  EXPECT_TRUE(IsSubsetOf(0b0011u, 0b0111u));
+  EXPECT_TRUE(IsSubsetOf(0b0111u, 0b0111u));
+  EXPECT_FALSE(IsSubsetOf(0b1000u, 0b0111u));
+  EXPECT_TRUE(IsProperSubsetOf(0b0011u, 0b0111u));
+  EXPECT_FALSE(IsProperSubsetOf(0b0111u, 0b0111u));
+  EXPECT_TRUE(IsSubsetOf(kEmptyMask, kEmptyMask));
+}
+
+TEST(SubspaceTest, LowestDimAndIteration) {
+  EXPECT_EQ(LowestDim(0b1000u), 3);
+  std::vector<int> dims;
+  ForEachDim(0b10110u, [&](int dim) { dims.push_back(dim); });
+  EXPECT_EQ(dims, (std::vector<int>{1, 2, 4}));
+  EXPECT_EQ(MaskDims(0b101u), (std::vector<int>{0, 2}));
+  EXPECT_TRUE(MaskDims(kEmptyMask).empty());
+}
+
+TEST(SubspaceTest, ForEachNonEmptySubsetEnumeratesAll) {
+  std::vector<DimMask> subsets;
+  ForEachNonEmptySubset(0b1011u, [&](DimMask sub) { subsets.push_back(sub); });
+  EXPECT_EQ(subsets.size(), 7u);  // 2^3 − 1
+  for (DimMask sub : subsets) {
+    EXPECT_NE(sub, kEmptyMask);
+    EXPECT_TRUE(IsSubsetOf(sub, 0b1011u));
+  }
+  // No duplicates.
+  std::sort(subsets.begin(), subsets.end());
+  EXPECT_EQ(std::adjacent_find(subsets.begin(), subsets.end()),
+            subsets.end());
+}
+
+TEST(SubspaceTest, LettersRoundTrip) {
+  EXPECT_EQ(MaskFromLetters("ACD"), 0b1101u);
+  EXPECT_EQ(MaskFromLetters(""), kEmptyMask);
+  EXPECT_EQ(FormatMask(0b1101u), "ACD");
+  EXPECT_EQ(FormatMask(kEmptyMask), "{}");
+  EXPECT_EQ(FormatMaskNumeric(0b1101u), "{0,2,3}");
+}
+
+TEST(SubspaceTest, FormatMaskFallsBackNumericBeyondZ) {
+  EXPECT_EQ(FormatMask(DimBit(30)), "{30}");
+}
+
+TEST(SubspaceTest, MinimalMasks) {
+  // {AB, A, ABC, CD} → minimal are A and CD.
+  std::vector<DimMask> masks = {0b0011, 0b0001, 0b0111, 0b1100};
+  EXPECT_EQ(MinimalMasks(masks), (std::vector<DimMask>{0b0001, 0b1100}));
+  // Duplicates collapse.
+  EXPECT_EQ(MinimalMasks({0b01, 0b01}), (std::vector<DimMask>{0b01}));
+  EXPECT_TRUE(MinimalMasks({}).empty());
+  // The empty mask is minimal below everything.
+  EXPECT_EQ(MinimalMasks({0b01, 0}), (std::vector<DimMask>{0}));
+}
+
+TEST(SubspaceTest, MaximalMasks) {
+  std::vector<DimMask> masks = {0b0011, 0b0001, 0b0111, 0b1100};
+  // Sorted by (size, value): CD (size 2) before ABC (size 3).
+  EXPECT_EQ(MaximalMasks(masks), (std::vector<DimMask>{0b1100, 0b0111}));
+  EXPECT_TRUE(MaximalMasks({}).empty());
+}
+
+TEST(SubspaceTest, MaskSizeThenValueLess) {
+  MaskSizeThenValueLess less;
+  EXPECT_TRUE(less(0b1, 0b11));    // smaller size first
+  EXPECT_TRUE(less(0b01, 0b10));   // same size: numeric
+  EXPECT_FALSE(less(0b10, 0b10));  // irreflexive
+}
+
+}  // namespace
+}  // namespace skycube

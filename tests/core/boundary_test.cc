@@ -1,0 +1,158 @@
+// Boundary and robustness tests: high dimensionality (up to the 64-dim
+// cap), extreme values, and adversarial tie structures.
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/cube.h"
+#include "core/reference.h"
+#include "core/skyey.h"
+#include "core/stellar.h"
+#include "datagen/synthetic.h"
+#include "dataset/dataset.h"
+#include "skyline/algorithms.h"
+
+namespace skycube {
+namespace {
+
+// A note on high-dimensional inputs: the number of decisive subspaces
+// (minimal transversals) of a group can be exponential in the
+// dimensionality when many mutually incomparable seeds differ on large
+// scattered dimension sets — random 40+-dim data makes the OUTPUT itself
+// astronomically large, which no algorithm can avoid. The high-d tests
+// below therefore use structured data whose decisive sets stay small;
+// random-data coverage stays at the paper's dimensionalities (d ≤ 17).
+
+TEST(BoundaryTest, HighDimensionalStellarOnly) {
+  // d = 40 is far beyond anything Skyey-style subspace search could touch;
+  // Stellar must still work (its cost depends on seeds, not 2^d). A chain
+  // of objects, each dominated by the previous and tying it on a sliding
+  // window of dimensions, gives one seed and a cascade of derived groups.
+  const int d = 40;
+  std::vector<std::vector<double>> rows;
+  for (int i = 0; i < 12; ++i) {
+    std::vector<double> row(d);
+    // Object i has value i on dims < 3*i and value i+… increasing rows:
+    // row i is row 0 raised by 1 outside a shrinking prefix.
+    for (int dim = 0; dim < d; ++dim) {
+      row[dim] = (dim >= 3 * i) ? static_cast<double>(i) : 0.0;
+    }
+    rows.push_back(std::move(row));
+  }
+  const Dataset data = Dataset::FromRows(std::move(rows)).value();
+  // Row 0 is all-zero and dominates everything: a single seed.
+  const SkylineGroupSet groups = ComputeStellar(data);
+  ASSERT_FALSE(groups.empty());
+  for (const SkylineGroup& group : groups) {
+    EXPECT_TRUE(GroupWellFormed(group));
+  }
+  const CompressedSkylineCube cube(data.num_dims(), data.num_objects(),
+                                   groups);
+  for (DimMask subspace :
+       {DimMask{0b1}, FullMask(40), MaskFromLetters("ACF", 40),
+        (DimMask{1} << 39) | 0b11}) {
+    EXPECT_EQ(cube.SubspaceSkyline(subspace),
+              ComputeSkyline(data, subspace))
+        << FormatMaskNumeric(subspace);
+  }
+}
+
+TEST(BoundaryTest, SixtyFourDimensions) {
+  // The DimMask cap itself: a seed that dominates everything, plus two
+  // objects tying it on complementary 32-dim halves.
+  const int d = 64;
+  std::vector<double> zeros(d, 0.0);
+  std::vector<double> low_half(d);
+  std::vector<double> high_half(d);
+  for (int dim = 0; dim < d; ++dim) {
+    low_half[dim] = dim < 32 ? 0.0 : 1.0;
+    high_half[dim] = dim < 32 ? 1.0 : 0.0;
+  }
+  const Dataset data =
+      Dataset::FromRows({zeros, low_half, high_half}).value();
+  EXPECT_EQ(data.full_mask(), ~DimMask{0});
+  SkylineGroupSet groups = ComputeStellar(data);
+  for (const SkylineGroup& group : groups) {
+    EXPECT_TRUE(GroupWellFormed(group));
+  }
+  // Expected groups: ({0}, full), ({0,1}, low 32), ({0,2}, high 32). The
+  // singleton's dominance edges are the two disjoint 32-dim halves, so its
+  // decisive subspaces are all 32 × 32 cross-half dimension pairs.
+  ASSERT_EQ(groups.size(), 3u);
+  NormalizeGroups(&groups);
+  EXPECT_EQ(groups[0].members, (std::vector<ObjectId>{0}));
+  EXPECT_EQ(groups[0].max_subspace, ~DimMask{0});
+  EXPECT_EQ(groups[0].decisive_subspaces.size(), 1024u);
+  for (DimMask decisive : groups[0].decisive_subspaces) {
+    EXPECT_EQ(MaskSize(decisive), 2);
+    EXPECT_NE(decisive & FullMask(32), kEmptyMask);
+    EXPECT_NE(decisive & ~FullMask(32), kEmptyMask);
+  }
+  EXPECT_EQ(groups[1].members, (std::vector<ObjectId>{0, 1}));
+  EXPECT_EQ(groups[1].max_subspace, FullMask(32));
+  EXPECT_EQ(groups[2].members, (std::vector<ObjectId>{0, 2}));
+  EXPECT_EQ(groups[2].max_subspace, ~DimMask{0} & ~FullMask(32));
+}
+
+TEST(BoundaryTest, ExtremeValues) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const double huge = std::numeric_limits<double>::max();
+  const Dataset data = Dataset::FromRows({
+                                             {0.0, huge},
+                                             {-huge, inf},
+                                             {-0.0, huge},  // ties row 0
+                                             {1e-300, -1e300},
+                                         })
+                           .value();
+  const SkylineGroupSet stellar = ComputeStellar(data);
+  EXPECT_EQ(stellar, ComputeSkyey(data));
+  for (const SkylineGroup& group : stellar) {
+    EXPECT_TRUE(GroupWellFormed(group));
+  }
+}
+
+TEST(BoundaryTest, NegativeZeroTiesPositiveZero) {
+  const Dataset data = Dataset::FromRows({{0.0, 1.0}, {-0.0, 2.0}}).value();
+  const SkylineGroupSet groups = ComputeStellar(data);
+  // Both share dimension A (0.0 == -0.0): group {0,1} on A must exist.
+  bool found = false;
+  for (const SkylineGroup& group : groups) {
+    found |= group.members == std::vector<ObjectId>{0, 1} &&
+             group.max_subspace == 0b01;
+  }
+  EXPECT_TRUE(found);
+  EXPECT_EQ(groups, ComputeSkyey(data));
+}
+
+TEST(BoundaryTest, AllValuesEqualEverywhere) {
+  const Dataset data =
+      Dataset::FromRows({{7, 7}, {7, 7}, {7, 7}, {7, 7}}).value();
+  const SkylineGroupSet groups = ComputeStellar(data);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].members, (std::vector<ObjectId>{0, 1, 2, 3}));
+  EXPECT_EQ(groups[0].max_subspace, 0b11u);
+  EXPECT_EQ(groups, ComputeSkyey(data));
+  EXPECT_EQ(groups, ComputeReferenceCube(data));
+}
+
+TEST(BoundaryTest, AntichainEveryObjectItsOwnGroup) {
+  // A pure antichain with no shared values: n singleton groups, each with
+  // max subspace = full space.
+  std::vector<std::vector<double>> rows;
+  const int n = 20;
+  for (int i = 0; i < n; ++i) {
+    rows.push_back({static_cast<double>(i), static_cast<double>(n - 1 - i)});
+  }
+  const Dataset data = Dataset::FromRows(std::move(rows)).value();
+  const SkylineGroupSet groups = ComputeStellar(data);
+  EXPECT_EQ(groups.size(), static_cast<size_t>(n));
+  for (const SkylineGroup& group : groups) {
+    EXPECT_EQ(group.members.size(), 1u);
+    EXPECT_EQ(group.max_subspace, 0b11u);
+  }
+  EXPECT_EQ(groups, ComputeSkyey(data));
+}
+
+}  // namespace
+}  // namespace skycube

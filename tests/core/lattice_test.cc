@@ -1,0 +1,143 @@
+// Tests for the skyline-group lattice and the Theorem 2 quotient property.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/lattice.h"
+#include "core/stellar.h"
+#include "datagen/synthetic.h"
+#include "dataset/dataset.h"
+#include "skyline/algorithms.h"
+
+namespace skycube {
+namespace {
+
+Dataset RunningExample() {
+  return Dataset::FromRows({
+                               {5, 6, 10, 7},
+                               {2, 6, 8, 3},
+                               {5, 4, 9, 3},
+                               {6, 4, 8, 5},
+                               {2, 4, 9, 3},
+                           })
+      .value();
+}
+
+TEST(LatticeTest, RunningExampleStructureMatchesFigure3b) {
+  const Dataset data = RunningExample();
+  const SkylineGroupSet groups = ComputeStellar(data);
+  const SkylineGroupLattice lattice(&groups);
+  // Roots are the three singleton seed groups P2, P4, P5.
+  std::vector<std::vector<ObjectId>> root_members;
+  for (size_t root : lattice.roots()) {
+    root_members.push_back(groups[root].members);
+  }
+  EXPECT_EQ(root_members.size(), 3u);
+  EXPECT_NE(std::find(root_members.begin(), root_members.end(),
+                      std::vector<ObjectId>{1}),
+            root_members.end());
+  EXPECT_NE(std::find(root_members.begin(), root_members.end(),
+                      std::vector<ObjectId>{3}),
+            root_members.end());
+  EXPECT_NE(std::find(root_members.begin(), root_members.end(),
+                      std::vector<ObjectId>{4}),
+            root_members.end());
+  // Figure 3(b) edges: P2 covers P2P4 and P2P5; P2P5 covers P2P3P5;
+  // P5 covers P2P5, P3P5; P3P5 covers P2P3P5 and P3P4P5... (P3P4P5 covers
+  // nothing below). Spot-check a covering edge and a non-edge.
+  auto index_of = [&](std::vector<ObjectId> members) -> size_t {
+    for (size_t i = 0; i < groups.size(); ++i) {
+      if (groups[i].members == members) return i;
+    }
+    ADD_FAILURE() << "group not found";
+    return 0;
+  };
+  const size_t p5 = index_of({4});
+  const size_t p3p5 = index_of({2, 4});
+  const size_t p2p3p5 = index_of({1, 2, 4});
+  std::vector<size_t> children = lattice.ChildrenOf(p5);
+  EXPECT_NE(std::find(children.begin(), children.end(), p3p5),
+            children.end());
+  // P2P3P5 is below P3P5, so the edge P5 → P2P3P5 must NOT be a covering
+  // edge (it is transitive).
+  EXPECT_EQ(std::find(children.begin(), children.end(), p2p3p5),
+            children.end());
+}
+
+TEST(LatticeTest, EdgesAreCoveringRelations) {
+  SyntheticSpec spec;
+  spec.num_objects = 200;
+  spec.num_dims = 4;
+  spec.truncate_decimals = 1;
+  spec.seed = 13;
+  const Dataset data = GenerateSynthetic(spec);
+  const SkylineGroupSet groups = ComputeStellar(data);
+  const SkylineGroupLattice lattice(&groups);
+  for (const LatticeEdge& edge : lattice.edges()) {
+    const auto& parent = groups[edge.parent].members;
+    const auto& child = groups[edge.child].members;
+    EXPECT_LT(parent.size(), child.size());
+    EXPECT_TRUE(std::includes(child.begin(), child.end(), parent.begin(),
+                              parent.end()));
+    // No group strictly between parent and child.
+    for (const SkylineGroup& mid : groups) {
+      if (mid.members.size() <= parent.size() ||
+          mid.members.size() >= child.size()) {
+        continue;
+      }
+      const bool contains_parent =
+          std::includes(mid.members.begin(), mid.members.end(),
+                        parent.begin(), parent.end());
+      const bool inside_child = std::includes(
+          child.begin(), child.end(), mid.members.begin(), mid.members.end());
+      EXPECT_FALSE(contains_parent && inside_child);
+    }
+  }
+}
+
+TEST(LatticeTest, QuotientMapOnRunningExample) {
+  const Dataset data = RunningExample();
+  const SkylineGroupSet full = ComputeStellar(data);
+  // Seed groups: restrict the data to the seeds P2, P4, P5 (ids 1, 3, 4).
+  Dataset seed_data = Dataset::FromRows({
+                                            {2, 6, 8, 3},
+                                            {6, 4, 8, 5},
+                                            {2, 4, 9, 3},
+                                        })
+                          .value();
+  SkylineGroupSet seed_groups = ComputeStellar(seed_data);
+  const std::vector<ObjectId> seed_ids = {1, 3, 4};
+  for (SkylineGroup& group : seed_groups) {
+    for (ObjectId& member : group.members) member = seed_ids[member];
+  }
+  NormalizeGroups(&seed_groups);
+  ASSERT_EQ(seed_groups.size(), 6u);  // Figure 3(a)
+  const std::vector<size_t> map = QuotientMap(full, seed_groups, seed_ids);
+  ASSERT_EQ(map.size(), full.size());
+  // The map must hit every seed group (surjectivity: quotient).
+  std::vector<char> hit(seed_groups.size(), 0);
+  for (size_t s : map) hit[s] = 1;
+  for (size_t s = 0; s < hit.size(); ++s) {
+    EXPECT_TRUE(hit[s]) << "seed group " << s << " not covered";
+  }
+}
+
+TEST(LatticeTest, Theorem2HoldsOnRandomData) {
+  for (Distribution dist : {Distribution::kIndependent,
+                            Distribution::kCorrelated,
+                            Distribution::kAntiCorrelated}) {
+    for (uint64_t seed : {1u, 2u, 3u}) {
+      SyntheticSpec spec;
+      spec.distribution = dist;
+      spec.num_objects = 150;
+      spec.num_dims = 4;
+      spec.truncate_decimals = 1;
+      spec.seed = seed;
+      EXPECT_TRUE(VerifySeedLatticeIsQuotient(GenerateSynthetic(spec)))
+          << DistributionName(dist) << " seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace skycube

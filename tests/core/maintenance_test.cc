@@ -1,0 +1,145 @@
+// Tests for incremental cube maintenance: after every insert, the
+// maintained cube must equal a from-scratch Stellar run, and the insert
+// must take the cheapest admissible path.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/maintenance.h"
+#include "core/stellar.h"
+#include "datagen/synthetic.h"
+#include "dataset/dataset.h"
+
+namespace skycube {
+namespace {
+
+Dataset RunningExample() {
+  return Dataset::FromRows({
+                               {5, 6, 10, 7},  // P1
+                               {2, 6, 8, 3},   // P2
+                               {5, 4, 9, 3},   // P3
+                               {6, 4, 8, 5},   // P4
+                               {2, 4, 9, 3},   // P5
+                           })
+      .value();
+}
+
+void ExpectCubeCurrent(const IncrementalCubeMaintainer& maintainer) {
+  EXPECT_EQ(maintainer.groups(), ComputeStellar(maintainer.data()));
+}
+
+TEST(MaintenanceTest, InitialBuildMatchesStellar) {
+  IncrementalCubeMaintainer maintainer(RunningExample());
+  ExpectCubeCurrent(maintainer);
+  EXPECT_EQ(maintainer.stats().full_recomputes, 1u);  // the initial build
+}
+
+TEST(MaintenanceTest, DuplicateInsertPatchesMemberships) {
+  IncrementalCubeMaintainer maintainer(RunningExample());
+  // Insert a duplicate of P5 — it must join every group P5 belongs to.
+  EXPECT_EQ(maintainer.Insert({2, 4, 9, 3}), InsertPath::kDuplicate);
+  ExpectCubeCurrent(maintainer);
+  EXPECT_EQ(maintainer.stats().duplicate_patches, 1u);
+  size_t groups_with_new = 0;
+  size_t groups_with_p5 = 0;
+  for (const SkylineGroup& group : maintainer.groups()) {
+    groups_with_new +=
+        std::count(group.members.begin(), group.members.end(), 5u);
+    groups_with_p5 +=
+        std::count(group.members.begin(), group.members.end(), 4u);
+  }
+  EXPECT_EQ(groups_with_new, groups_with_p5);
+  EXPECT_GT(groups_with_new, 0u);
+}
+
+TEST(MaintenanceTest, IrrelevantDominatedInsertIsNoOp) {
+  IncrementalCubeMaintainer maintainer(RunningExample());
+  const SkylineGroupSet before = maintainer.groups();
+  // (7, 8, 11, 9): dominated by P2 everywhere, shares no value with any
+  // group on any decisive subspace.
+  EXPECT_EQ(maintainer.Insert({7, 8, 11, 9}), InsertPath::kNoOp);
+  EXPECT_EQ(maintainer.groups(), before);
+  ExpectCubeCurrent(maintainer);
+  EXPECT_EQ(maintainer.stats().noop_inserts, 1u);
+}
+
+TEST(MaintenanceTest, RelevantDominatedInsertRerunsExtensionOnly) {
+  IncrementalCubeMaintainer maintainer(RunningExample());
+  const uint64_t recomputes_before = maintainer.stats().full_recomputes;
+  // (9, 9, 9, 3): dominated (e.g. by P5) but ties value 3 on D — D is a
+  // decisive subspace of seed group P2P5, so the group P2P3P5 must grow.
+  EXPECT_EQ(maintainer.Insert({9, 9, 9, 3}), InsertPath::kExtensionOnly);
+  ExpectCubeCurrent(maintainer);
+  EXPECT_EQ(maintainer.stats().full_recomputes, recomputes_before);
+  bool found = false;
+  for (const SkylineGroup& group : maintainer.groups()) {
+    if (group.members == std::vector<ObjectId>{1, 2, 4, 5}) {
+      EXPECT_EQ(group.max_subspace, MaskFromLetters("D"));
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << "P2P3P5 should have grown into P2P3P5P6";
+}
+
+TEST(MaintenanceTest, NewSkylineObjectForcesRecompute) {
+  IncrementalCubeMaintainer maintainer(RunningExample());
+  const uint64_t recomputes_before = maintainer.stats().full_recomputes;
+  // (1, 1, 1, 1) dominates everything: it evicts all seeds.
+  EXPECT_EQ(maintainer.Insert({1, 1, 1, 1}), InsertPath::kFullRecompute);
+  ExpectCubeCurrent(maintainer);
+  EXPECT_EQ(maintainer.stats().full_recomputes, recomputes_before + 1);
+}
+
+TEST(MaintenanceTest, RandomInsertStreamStaysCurrent) {
+  SyntheticSpec spec;
+  spec.distribution = Distribution::kIndependent;
+  spec.num_objects = 80;
+  spec.num_dims = 3;
+  spec.truncate_decimals = 1;  // heavy ties → all paths exercised
+  spec.seed = 21;
+  IncrementalCubeMaintainer maintainer(GenerateSynthetic(spec));
+  Rng rng(5);
+  for (int i = 0; i < 60; ++i) {
+    std::vector<double> row(3);
+    for (double& v : row) {
+      v = static_cast<double>(rng.NextBounded(11)) / 10.0;
+    }
+    maintainer.Insert(row);
+    ASSERT_EQ(maintainer.groups(), ComputeStellar(maintainer.data()))
+        << "insert " << i;
+  }
+  // The stream should have hit several distinct paths.
+  const MaintenanceStats& stats = maintainer.stats();
+  EXPECT_EQ(stats.inserts, 60u);
+  EXPECT_GT(stats.duplicate_patches + stats.noop_inserts +
+                stats.extension_reruns + stats.full_recomputes,
+            0u);
+}
+
+TEST(MaintenanceTest, PathsActuallyDiversify) {
+  SyntheticSpec spec;
+  spec.distribution = Distribution::kAntiCorrelated;
+  spec.num_objects = 120;
+  spec.num_dims = 3;
+  spec.truncate_decimals = 1;
+  spec.seed = 8;
+  IncrementalCubeMaintainer maintainer(GenerateSynthetic(spec));
+  Rng rng(11);
+  size_t path_counts[4] = {0, 0, 0, 0};
+  for (int i = 0; i < 120; ++i) {
+    std::vector<double> row(3);
+    for (double& v : row) {
+      v = static_cast<double>(rng.NextBounded(11)) / 10.0;
+    }
+    path_counts[static_cast<int>(maintainer.Insert(row))]++;
+  }
+  ExpectCubeCurrent(maintainer);
+  // With heavy ties over an 11-value grid, all four paths occur.
+  EXPECT_GT(path_counts[0], 0u) << "no duplicate path taken";
+  EXPECT_GT(path_counts[1] + path_counts[2], 0u) << "no dominated path";
+  EXPECT_GT(path_counts[3], 0u) << "no recompute path taken";
+}
+
+}  // namespace
+}  // namespace skycube

@@ -1,0 +1,106 @@
+// Round-trip and validation tests for cube serialization.
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/serialization.h"
+#include "core/stellar.h"
+#include "datagen/synthetic.h"
+#include "dataset/dataset.h"
+
+namespace skycube {
+namespace {
+
+TEST(SerializationTest, RoundTripRunningExample) {
+  const Dataset data = Dataset::FromRows({
+                                             {5, 6, 10, 7},
+                                             {2, 6, 8, 3},
+                                             {5, 4, 9, 3},
+                                             {6, 4, 8, 5},
+                                             {2, 4, 9, 3},
+                                         })
+                           .value();
+  const SkylineGroupSet groups = ComputeStellar(data);
+  const std::string text =
+      SerializeCube(data.num_dims(), data.num_objects(), groups);
+  const Result<SerializedCube> loaded = DeserializeCube(text);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().num_dims, 4);
+  EXPECT_EQ(loaded.value().num_objects, 5u);
+  EXPECT_EQ(loaded.value().groups, groups);
+}
+
+TEST(SerializationTest, RoundTripExactDoubles) {
+  SyntheticSpec spec;
+  spec.num_objects = 150;
+  spec.num_dims = 4;
+  spec.truncate_decimals = -1;  // full-precision doubles
+  spec.seed = 31;
+  const Dataset data = GenerateSynthetic(spec);
+  const SkylineGroupSet groups = ComputeStellar(data);
+  const Result<SerializedCube> loaded =
+      DeserializeCube(SerializeCube(4, data.num_objects(), groups));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().groups, groups);  // bit-exact projections
+}
+
+TEST(SerializationTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/cube_roundtrip.txt";
+  const Dataset data = Dataset::FromRows({{1, 2}, {2, 1}}).value();
+  const SkylineGroupSet groups = ComputeStellar(data);
+  ASSERT_TRUE(SaveCubeToFile(path, 2, 2, groups).ok());
+  const Result<SerializedCube> loaded = LoadCubeFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().groups, groups);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, DimensionNamesRoundTrip) {
+  const Dataset data =
+      Dataset::FromRows({{1, 2}, {2, 1}}, {"price", "travel time"}).value();
+  const SkylineGroupSet groups = ComputeStellar(data);
+  const std::string text =
+      SerializeCube(2, 2, groups, data.dim_names());
+  const Result<SerializedCube> loaded = DeserializeCube(text);
+  ASSERT_TRUE(loaded.ok());
+  // Whitespace inside a name is rewritten to '_' on save.
+  EXPECT_EQ(loaded.value().dim_names,
+            (std::vector<std::string>{"price", "travel_time"}));
+  EXPECT_EQ(loaded.value().groups, groups);
+  // Files without names stay loadable, with empty names.
+  const Result<SerializedCube> unnamed =
+      DeserializeCube(SerializeCube(2, 2, groups));
+  ASSERT_TRUE(unnamed.ok());
+  EXPECT_TRUE(unnamed.value().dim_names.empty());
+  EXPECT_EQ(unnamed.value().groups, groups);
+}
+
+TEST(SerializationTest, RejectsBadInput) {
+  EXPECT_FALSE(DeserializeCube("").ok());
+  EXPECT_FALSE(DeserializeCube("skycube-cube v2\n").ok());
+  EXPECT_FALSE(DeserializeCube("banana v1\n").ok());
+  // Member id out of range.
+  EXPECT_FALSE(
+      DeserializeCube("skycube-cube v1\ndims 2 objects 2 groups 1\n"
+                      "1 7 3 1 1 0.5 0.5\n")
+          .ok());
+  // Decisive outside the maximal subspace.
+  EXPECT_FALSE(
+      DeserializeCube("skycube-cube v1\ndims 2 objects 2 groups 1\n"
+                      "1 0 1 1 2 0.5\n")
+          .ok());
+  // Truncated group line.
+  EXPECT_FALSE(
+      DeserializeCube("skycube-cube v1\ndims 2 objects 2 groups 1\n1 0\n")
+          .ok());
+  // Empty subspace.
+  EXPECT_FALSE(
+      DeserializeCube("skycube-cube v1\ndims 2 objects 2 groups 1\n"
+                      "1 0 0 1 1 0.5\n")
+          .ok());
+  EXPECT_FALSE(LoadCubeFromFile("/no/such/file").ok());
+}
+
+}  // namespace
+}  // namespace skycube

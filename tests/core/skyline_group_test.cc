@@ -1,0 +1,90 @@
+// Unit tests for SkylineGroup normalization, formatting and validation.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/skyline_group.h"
+
+namespace skycube {
+namespace {
+
+SkylineGroup MakeGroup() {
+  SkylineGroup group;
+  group.members = {1, 4};
+  group.max_subspace = MaskFromLetters("AD");
+  group.decisive_subspaces = {MaskFromLetters("A")};
+  group.projection = {2, 3};
+  return group;
+}
+
+TEST(SkylineGroupTest, FormatMatchesPaperNotation) {
+  EXPECT_EQ(FormatGroup(MakeGroup(), 4), "(P2P5, (2,*,*,3), A)");
+}
+
+TEST(SkylineGroupTest, FormatMultipleDecisives) {
+  SkylineGroup group = MakeGroup();
+  group.members = {1};
+  group.max_subspace = MaskFromLetters("ABCD");
+  group.decisive_subspaces = {MaskFromLetters("AC"), MaskFromLetters("CD")};
+  group.projection = {2, 6, 8, 3};
+  EXPECT_EQ(FormatGroup(group, 4), "(P2, (2,6,8,3), AC, CD)");
+}
+
+TEST(SkylineGroupTest, NormalizeSortsEverything) {
+  SkylineGroup a = MakeGroup();
+  SkylineGroup b = MakeGroup();
+  b.members = {0};
+  b.max_subspace = 0b1;
+  b.projection = {7};
+  b.decisive_subspaces = {0b1};
+  SkylineGroupSet groups = {a, b};
+  NormalizeGroups(&groups);
+  EXPECT_EQ(groups[0].members, (std::vector<ObjectId>{0}));
+  EXPECT_EQ(groups[1].members, (std::vector<ObjectId>{1, 4}));
+}
+
+TEST(SkylineGroupTest, WellFormedAcceptsValidGroup) {
+  EXPECT_TRUE(GroupWellFormed(MakeGroup()));
+}
+
+TEST(SkylineGroupTest, WellFormedRejectsBadGroups) {
+  {
+    SkylineGroup group = MakeGroup();
+    group.members.clear();
+    EXPECT_FALSE(GroupWellFormed(group));
+  }
+  {
+    SkylineGroup group = MakeGroup();
+    group.members = {4, 1};  // unsorted
+    EXPECT_FALSE(GroupWellFormed(group));
+  }
+  {
+    SkylineGroup group = MakeGroup();
+    group.members = {1, 1};  // duplicate
+    EXPECT_FALSE(GroupWellFormed(group));
+  }
+  {
+    SkylineGroup group = MakeGroup();
+    group.decisive_subspaces.clear();  // a skyline group always has one
+    EXPECT_FALSE(GroupWellFormed(group));
+  }
+  {
+    SkylineGroup group = MakeGroup();
+    group.decisive_subspaces = {MaskFromLetters("B")};  // outside B
+    EXPECT_FALSE(GroupWellFormed(group));
+  }
+  {
+    SkylineGroup group = MakeGroup();
+    // Comparable decisives violate minimality.
+    group.decisive_subspaces = {MaskFromLetters("A"), MaskFromLetters("AD")};
+    EXPECT_FALSE(GroupWellFormed(group));
+  }
+  {
+    SkylineGroup group = MakeGroup();
+    group.projection = {2};  // wrong arity
+    EXPECT_FALSE(GroupWellFormed(group));
+  }
+}
+
+}  // namespace
+}  // namespace skycube

@@ -1,0 +1,117 @@
+// Moderate-scale randomized differential tests: Stellar vs Skyey on
+// thousands of objects (too big for the brute-force oracle, big enough to
+// exercise the candidate-sharing, matrix and extension paths that tiny
+// inputs never stress), plus workload shapes the small sweeps don't cover
+// (NBA-like prefixes, integer grids, clustered fares).
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/lattice.h"
+#include "core/serialization.h"
+#include "core/skyey.h"
+#include "core/stellar.h"
+#include "datagen/nba_like.h"
+#include "datagen/synthetic.h"
+#include "dataset/dataset.h"
+
+namespace skycube {
+namespace {
+
+void ExpectEnginesAgree(const Dataset& data, const std::string& label) {
+  const SkylineGroupSet stellar = ComputeStellar(data);
+  const SkylineGroupSet skyey = ComputeSkyey(data);
+  ASSERT_EQ(stellar.size(), skyey.size()) << label;
+  ASSERT_EQ(stellar, skyey) << label;
+  for (const SkylineGroup& group : stellar) {
+    ASSERT_TRUE(GroupWellFormed(group))
+        << label << ": " << FormatGroup(group, data.num_dims());
+  }
+}
+
+TEST(StressTest, SyntheticMidScale) {
+  for (Distribution dist : {Distribution::kIndependent,
+                            Distribution::kCorrelated,
+                            Distribution::kAntiCorrelated}) {
+    for (int d : {4, 7}) {
+      SyntheticSpec spec;
+      spec.distribution = dist;
+      spec.num_objects = 3000;
+      spec.num_dims = d;
+      spec.truncate_decimals = 2;
+      spec.seed = 424242;
+      ExpectEnginesAgree(GenerateSynthetic(spec),
+                         std::string(DistributionName(dist)) + "/d" +
+                             std::to_string(d));
+    }
+  }
+}
+
+TEST(StressTest, NbaLikePrefixes) {
+  const Dataset nba = GenerateNbaLike(4000, 11).Negated();
+  for (int d : {3, 6, 9}) {
+    ExpectEnginesAgree(nba.WithPrefixDims(d), "nba/d" + std::to_string(d));
+  }
+}
+
+TEST(StressTest, CoarseIntegerGrid) {
+  // Tiny value domains make nearly everything coincide somewhere — the
+  // worst case for the grouping machinery.
+  Rng rng(3);
+  std::vector<std::vector<double>> rows;
+  for (int i = 0; i < 2500; ++i) {
+    rows.push_back({static_cast<double>(rng.NextBounded(4)),
+                    static_cast<double>(rng.NextBounded(4)),
+                    static_cast<double>(rng.NextBounded(4)),
+                    static_cast<double>(rng.NextBounded(4)),
+                    static_cast<double>(rng.NextBounded(4))});
+  }
+  ExpectEnginesAgree(Dataset::FromRows(std::move(rows)).value(), "grid4^5");
+}
+
+TEST(StressTest, MixedCardinalityColumns) {
+  // One near-unique column next to near-constant columns: maximal
+  // subspaces vary wildly across groups.
+  Rng rng(8);
+  std::vector<std::vector<double>> rows;
+  for (int i = 0; i < 2000; ++i) {
+    rows.push_back({static_cast<double>(rng.NextBounded(1000000)),
+                    static_cast<double>(rng.NextBounded(2)),
+                    static_cast<double>(rng.NextBounded(3)),
+                    static_cast<double>(rng.NextBounded(500))});
+  }
+  ExpectEnginesAgree(Dataset::FromRows(std::move(rows)).value(), "mixed");
+}
+
+TEST(StressTest, Theorem2QuotientAtScale) {
+  SyntheticSpec spec;
+  spec.distribution = Distribution::kIndependent;
+  spec.num_objects = 1500;
+  spec.num_dims = 5;
+  spec.truncate_decimals = 2;
+  spec.seed = 5;
+  EXPECT_TRUE(VerifySeedLatticeIsQuotient(GenerateSynthetic(spec)));
+  const Dataset nba = GenerateNbaLike(2000, 77).Negated().WithPrefixDims(6);
+  EXPECT_TRUE(VerifySeedLatticeIsQuotient(nba));
+}
+
+TEST(StressTest, SerializedCubeAnswersLikeFreshOne) {
+  SyntheticSpec spec;
+  spec.distribution = Distribution::kAntiCorrelated;
+  spec.num_objects = 1200;
+  spec.num_dims = 5;
+  spec.truncate_decimals = 2;
+  spec.seed = 99;
+  const Dataset data = GenerateSynthetic(spec);
+  const SkylineGroupSet groups = ComputeStellar(data);
+  const Result<SerializedCube> loaded = DeserializeCube(
+      SerializeCube(data.num_dims(), data.num_objects(), groups));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().groups, groups);
+}
+
+}  // namespace
+}  // namespace skycube

@@ -1,0 +1,124 @@
+// Unit and property tests for minimal-transversal computation (the engine
+// behind decisive subspaces, Corollary 1).
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/transversals.h"
+
+namespace skycube {
+namespace {
+
+TEST(ReduceEdgesTest, RemovesSupersetsAndDuplicates) {
+  EXPECT_EQ(ReduceEdges({0b011, 0b001, 0b111, 0b001}),
+            (std::vector<DimMask>{0b001}));
+  EXPECT_EQ(ReduceEdges({0b011, 0b101}),
+            (std::vector<DimMask>{0b011, 0b101}));
+  EXPECT_TRUE(ReduceEdges({}).empty());
+}
+
+TEST(ReduceEdgesTest, EmptyEdgeSwallowsEverything) {
+  EXPECT_EQ(ReduceEdges({0b011, 0, 0b101}), (std::vector<DimMask>{0}));
+}
+
+TEST(MinimalTransversalsTest, PaperExample5) {
+  // P2's decisive subspaces: edges {AD, C} → (A∨D)∧C → AC, CD.
+  const DimMask kA = 0b0001, kC = 0b0100, kD = 0b1000;
+  EXPECT_EQ(MinimalTransversals({kA | kD, kC}, 0b1111),
+            (std::vector<DimMask>{kA | kC, kC | kD}));
+}
+
+TEST(MinimalTransversalsTest, SingleEdgeYieldsSingletons) {
+  EXPECT_EQ(MinimalTransversals({0b1011}, 0b1111),
+            (std::vector<DimMask>{0b0001, 0b0010, 0b1000}));
+}
+
+TEST(MinimalTransversalsTest, EmptyEdgeMeansNoTransversal) {
+  EXPECT_TRUE(MinimalTransversals({0b01, 0}, 0b11).empty());
+}
+
+TEST(MinimalTransversalsTest, NoEdgesMeansEmptyTransversal) {
+  EXPECT_EQ(MinimalTransversals({}, 0b11),
+            (std::vector<DimMask>{kEmptyMask}));
+}
+
+TEST(MinimalTransversalsTest, DisjointEdgesMultiply) {
+  // {AB, CD} → transversals {AC, AD, BC, BD}.
+  std::vector<DimMask> result = MinimalTransversals({0b0011, 0b1100}, 0b1111);
+  EXPECT_EQ(result, (std::vector<DimMask>{0b0101, 0b0110, 0b1001, 0b1010}));
+}
+
+TEST(MinimalTransversalsTest, IdenticalSingletonEdges) {
+  EXPECT_EQ(MinimalTransversals({0b010, 0b010, 0b010}, 0b111),
+            (std::vector<DimMask>{0b010}));
+}
+
+// Brute-force transversal checker: enumerate all subsets of the universe.
+std::vector<DimMask> BruteForceTransversals(const std::vector<DimMask>& edges,
+                                            DimMask universe) {
+  std::vector<DimMask> hits;
+  // Enumerates the subsets of `universe` ascending: (s − u) & u steps to the
+  // next subset; the loop ends after visiting `universe` itself.
+  for (DimMask candidate = 0;;
+       candidate = (candidate - universe) & universe) {
+    bool all_hit = true;
+    for (DimMask edge : edges) {
+      if ((candidate & edge) == 0) {
+        all_hit = false;
+        break;
+      }
+    }
+    if (all_hit) hits.push_back(candidate);
+    if (candidate == universe) break;
+  }
+  std::sort(hits.begin(), hits.end());
+  hits.erase(std::unique(hits.begin(), hits.end()), hits.end());
+  return MinimalMasks(std::move(hits));
+}
+
+TEST(MinimalTransversalsTest, RandomHypergraphsMatchBruteForce) {
+  Rng rng(31);
+  for (int round = 0; round < 200; ++round) {
+    const int dims = 1 + static_cast<int>(rng.NextBounded(7));
+    const DimMask universe = FullMask(dims);
+    const size_t num_edges = rng.NextBounded(8);
+    std::vector<DimMask> edges;
+    for (size_t e = 0; e < num_edges; ++e) {
+      edges.push_back(rng.NextBounded(universe + 1));  // may include ∅
+    }
+    const bool has_empty_edge =
+        std::count(edges.begin(), edges.end(), kEmptyMask) > 0;
+    std::vector<DimMask> got = MinimalTransversals(edges, universe);
+    if (has_empty_edge) {
+      EXPECT_TRUE(got.empty()) << "round " << round;
+      continue;
+    }
+    EXPECT_EQ(got, BruteForceTransversals(edges, universe))
+        << "round " << round;
+  }
+}
+
+TEST(MinimalTransversalsTest, OutputsArePairwiseIncomparable) {
+  Rng rng(77);
+  for (int round = 0; round < 50; ++round) {
+    const DimMask universe = FullMask(6);
+    std::vector<DimMask> edges;
+    for (int e = 0; e < 5; ++e) {
+      edges.push_back(1 + rng.NextBounded(universe));  // non-empty
+    }
+    std::vector<DimMask> result = MinimalTransversals(edges, universe);
+    ASSERT_FALSE(result.empty());
+    for (size_t i = 0; i < result.size(); ++i) {
+      for (size_t j = 0; j < result.size(); ++j) {
+        if (i != j) {
+          EXPECT_FALSE(IsSubsetOf(result[i], result[j]));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace skycube

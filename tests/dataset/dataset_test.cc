@@ -1,0 +1,128 @@
+// Unit tests for the Dataset container and its transforms.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dataset/dataset.h"
+
+namespace skycube {
+namespace {
+
+TEST(DatasetTest, FromRowsBasics) {
+  const Dataset data =
+      Dataset::FromRows({{1, 2, 3}, {4, 5, 6}}, {"x", "y", "z"}).value();
+  EXPECT_EQ(data.num_dims(), 3);
+  EXPECT_EQ(data.num_objects(), 2u);
+  EXPECT_EQ(data.Value(0, 0), 1);
+  EXPECT_EQ(data.Value(1, 2), 6);
+  EXPECT_EQ(data.dim_name(1), "y");
+  EXPECT_EQ(data.full_mask(), 0b111u);
+}
+
+TEST(DatasetTest, DefaultDimNamesAreLetters) {
+  const Dataset data = Dataset::FromRows({{1, 2, 3, 4}}).value();
+  EXPECT_EQ(data.dim_name(0), "A");
+  EXPECT_EQ(data.dim_name(3), "D");
+}
+
+TEST(DatasetTest, DefaultDimNamesBeyond26AreNumbered) {
+  Dataset data(30);
+  EXPECT_EQ(data.dim_name(0), "D1");
+  EXPECT_EQ(data.dim_name(29), "D30");
+}
+
+TEST(DatasetTest, FromRowsRejectsRaggedRows) {
+  EXPECT_FALSE(Dataset::FromRows({{1, 2}, {3}}).ok());
+}
+
+TEST(DatasetTest, FromRowsRejectsEmptyWithoutNames) {
+  EXPECT_FALSE(Dataset::FromRows({}).ok());
+}
+
+TEST(DatasetTest, ProjectionFollowsDimensionOrder) {
+  const Dataset data = Dataset::FromRows({{10, 20, 30, 40}}).value();
+  EXPECT_EQ(data.Projection(0, 0b1010), (std::vector<double>{20, 40}));
+  EXPECT_EQ(data.Projection(0, 0b1111),
+            (std::vector<double>{10, 20, 30, 40}));
+}
+
+TEST(DatasetTest, ProjectionsEqualAndMasks) {
+  const Dataset data =
+      Dataset::FromRows({{1, 2, 3}, {1, 5, 3}, {2, 2, 3}}).value();
+  EXPECT_TRUE(data.ProjectionsEqual(0, 1, 0b101));
+  EXPECT_FALSE(data.ProjectionsEqual(0, 1, 0b111));
+  EXPECT_EQ(data.CoincidenceMask(0, 1, 0b111), 0b101u);
+  EXPECT_EQ(data.CoincidenceMask(0, 2, 0b111), 0b110u);
+  EXPECT_EQ(data.DominanceMask(0, 1, 0b111), 0b010u);  // 2 < 5 on dim B
+  EXPECT_EQ(data.DominanceMask(0, 2, 0b111), 0b001u);  // 1 < 2 on dim A
+  EXPECT_EQ(data.DominanceMask(2, 0, 0b111), kEmptyMask);
+}
+
+TEST(DatasetTest, WithPrefixDims) {
+  const Dataset data = Dataset::FromRows({{1, 2, 3}, {4, 5, 6}}).value();
+  const Dataset prefix = data.WithPrefixDims(2);
+  EXPECT_EQ(prefix.num_dims(), 2);
+  EXPECT_EQ(prefix.num_objects(), 2u);
+  EXPECT_EQ(prefix.Value(1, 1), 5);
+}
+
+TEST(DatasetTest, WithFirstRows) {
+  const Dataset data = Dataset::FromRows({{1}, {2}, {3}}).value();
+  const Dataset head = data.WithFirstRows(2);
+  EXPECT_EQ(head.num_objects(), 2u);
+  EXPECT_EQ(head.Value(1, 0), 2);
+}
+
+TEST(DatasetTest, NegatedFlipsBetterDirection) {
+  const Dataset data = Dataset::FromRows({{1, -2}}).value();
+  const Dataset negated = data.Negated();
+  EXPECT_EQ(negated.Value(0, 0), -1);
+  EXPECT_EQ(negated.Value(0, 1), 2);
+}
+
+TEST(DatasetTest, TruncatedIntroducesTies) {
+  const Dataset data =
+      Dataset::FromRows({{0.12349}, {0.12341}, {0.9999}}).value();
+  const Dataset truncated = data.Truncated(4);
+  EXPECT_EQ(truncated.Value(0, 0), truncated.Value(1, 0));
+  EXPECT_NE(truncated.Value(0, 0), truncated.Value(2, 0));
+  // Truncation is toward zero, 4 digits.
+  EXPECT_DOUBLE_EQ(truncated.Value(0, 0), 0.1234);
+}
+
+TEST(DatasetTest, MaskFromNames) {
+  const Dataset data =
+      Dataset::FromRows({{1, 2, 3}}, {"price", "time", "stops"}).value();
+  EXPECT_EQ(data.MaskFromNames("price").value(), 0b001u);
+  EXPECT_EQ(data.MaskFromNames("price,stops").value(), 0b101u);
+  EXPECT_EQ(data.MaskFromNames("time+stops").value(), 0b110u);
+  EXPECT_EQ(data.MaskFromNames(" price , time ").value(), 0b011u);
+  EXPECT_FALSE(data.MaskFromNames("banana").ok());
+  EXPECT_EQ(data.MaskFromNames("banana").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_FALSE(data.MaskFromNames("").ok());
+  EXPECT_FALSE(data.MaskFromNames(",,").ok());
+}
+
+TEST(DatasetTest, CsvRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/dataset_roundtrip.csv";
+  const Dataset data =
+      Dataset::FromRows({{1.5, 2}, {3, 4.25}}, {"price", "time"}).value();
+  ASSERT_TRUE(data.ToCsvFile(path).ok());
+  const Dataset loaded = Dataset::FromCsvFile(path).value();
+  EXPECT_EQ(loaded.num_dims(), 2);
+  EXPECT_EQ(loaded.num_objects(), 2u);
+  EXPECT_EQ(loaded.dim_name(0), "price");
+  EXPECT_EQ(loaded.Value(0, 0), 1.5);
+  EXPECT_EQ(loaded.Value(1, 1), 4.25);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetTest, FromCsvFileMissing) {
+  EXPECT_FALSE(Dataset::FromCsvFile("/nonexistent/nope.csv").ok());
+}
+
+}  // namespace
+}  // namespace skycube

@@ -1,0 +1,65 @@
+// Unit tests for duplicate-object binding (paper §5 preprocessing).
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dataset/duplicate_binding.h"
+
+namespace skycube {
+namespace {
+
+TEST(DuplicateBindingTest, NoDuplicatesIsIdentity) {
+  const Dataset data = Dataset::FromRows({{1, 2}, {3, 4}, {5, 6}}).value();
+  const DuplicateBinding binding = BindDuplicates(data);
+  EXPECT_TRUE(binding.identity());
+  EXPECT_EQ(binding.distinct.num_objects(), 3u);
+  for (ObjectId id = 0; id < 3; ++id) {
+    EXPECT_EQ(binding.representative_of[id], id);
+    EXPECT_EQ(binding.members[id], (std::vector<ObjectId>{id}));
+  }
+}
+
+TEST(DuplicateBindingTest, CollapsesEqualRowsPreservingFirstOrder) {
+  const Dataset data = Dataset::FromRows({
+                                             {1, 2},  // 0 → distinct 0
+                                             {3, 4},  // 1 → distinct 1
+                                             {1, 2},  // 2 → distinct 0
+                                             {1, 2},  // 3 → distinct 0
+                                             {3, 4},  // 4 → distinct 1
+                                         })
+                           .value();
+  const DuplicateBinding binding = BindDuplicates(data);
+  EXPECT_FALSE(binding.identity());
+  ASSERT_EQ(binding.distinct.num_objects(), 2u);
+  EXPECT_EQ(binding.distinct.Value(0, 0), 1);
+  EXPECT_EQ(binding.distinct.Value(1, 0), 3);
+  EXPECT_EQ(binding.members[0], (std::vector<ObjectId>{0, 2, 3}));
+  EXPECT_EQ(binding.members[1], (std::vector<ObjectId>{1, 4}));
+  EXPECT_EQ(binding.representative_of,
+            (std::vector<ObjectId>{0, 1, 0, 0, 1}));
+}
+
+TEST(DuplicateBindingTest, ExpandMergesAndSorts) {
+  const Dataset data = Dataset::FromRows({
+                                             {9, 9},  // 0
+                                             {1, 1},  // 1
+                                             {9, 9},  // 2
+                                         })
+                           .value();
+  const DuplicateBinding binding = BindDuplicates(data);
+  // Distinct ids: 0 = {0,2}, 1 = {1}.
+  EXPECT_EQ(binding.Expand({1, 0}), (std::vector<ObjectId>{0, 1, 2}));
+  EXPECT_EQ(binding.Expand({0}), (std::vector<ObjectId>{0, 2}));
+  EXPECT_TRUE(binding.Expand({}).empty());
+}
+
+TEST(DuplicateBindingTest, ZeroAndNegativeZeroBind) {
+  const Dataset data = Dataset::FromRows({{0.0}, {-0.0}}).value();
+  const DuplicateBinding binding = BindDuplicates(data);
+  // 0.0 == -0.0, so the rows must bind (hash must agree with ==).
+  EXPECT_EQ(binding.distinct.num_objects(), 1u);
+  EXPECT_EQ(binding.members[0], (std::vector<ObjectId>{0, 1}));
+}
+
+}  // namespace
+}  // namespace skycube

@@ -1,0 +1,46 @@
+# End-to-end integration test of skycube_cli, run by ctest:
+#   generate → compute → query (Q1 + Q2) → inspect
+# Invoked as:
+#   cmake -DCLI=<path-to-binary> -DWORK_DIR=<scratch-dir> -P cli_test.cmake
+function(run_cli expect_substring)
+  execute_process(
+    COMMAND ${CLI} ${ARGN}
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err
+    RESULT_VARIABLE code)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "skycube_cli ${ARGN} failed (${code}): ${err}")
+  endif()
+  if(NOT out MATCHES "${expect_substring}")
+    message(FATAL_ERROR
+      "skycube_cli ${ARGN}: expected output matching '${expect_substring}', "
+      "got:\n${out}")
+  endif()
+endfunction()
+
+set(data "${WORK_DIR}/cli_test_data.csv")
+set(cube "${WORK_DIR}/cli_test_cube.txt")
+
+run_cli("wrote 2000 × 4 correlated dataset"
+  generate --dist=correlated --tuples=2000 --dims=4 --seed=5 --out=${data})
+run_cli("stellar: 2000 objects.*cube saved"
+  compute --data=${data} --out=${cube})
+run_cli("skyline of AC:" query --cube=${cube} --subspace=AC)
+run_cli("skyline of AC:" query --cube=${cube} --columns=A,C)
+run_cli("is in the skyline of" query --cube=${cube} --object=0)
+run_cli("compression ratio" inspect --cube=${cube} --top=3)
+
+# The bad paths must fail cleanly (non-zero exit, no crash).
+execute_process(COMMAND ${CLI} query --cube=/nonexistent --subspace=A
+                RESULT_VARIABLE code ERROR_QUIET OUTPUT_QUIET)
+if(code EQUAL 0)
+  message(FATAL_ERROR "query against missing cube unexpectedly succeeded")
+endif()
+execute_process(COMMAND ${CLI} frobnicate
+                RESULT_VARIABLE code ERROR_QUIET OUTPUT_QUIET)
+if(code EQUAL 0)
+  message(FATAL_ERROR "unknown subcommand unexpectedly succeeded")
+endif()
+
+file(REMOVE ${data} ${cube})
+message(STATUS "skycube_cli end-to-end: OK")

@@ -1,0 +1,266 @@
+// skycube — command-line front end to the library.
+//
+// Subcommands:
+//   generate  --dist=<independent|correlated|anti> --tuples=N --dims=D
+//             [--seed=S] [--truncate=K] --out=data.csv
+//             Generate a synthetic dataset (Börzsönyi generator) as CSV.
+//   nba       [--players=N] [--seed=S] --out=nba.csv
+//             Generate the NBA-like dataset (larger-is-better columns).
+//   compute   --data=data.csv [--algo=<stellar|skyey>] [--negate]
+//             [--out=cube.txt] [--print]
+//             Compute the compressed skyline cube and optionally save it.
+//   query     --cube=cube.txt
+//             (--subspace=LETTERS | --columns=name1,name2 | --object=ID)
+//             Q1 (subspace skyline) or Q2 (object membership) queries
+//             against a saved cube, without touching the data.
+//   inspect   --cube=cube.txt [--top=K]
+//             Cube statistics: group count, compression ratio, the K most
+//             frequent skyline objects.
+//
+// Example end-to-end session:
+//   skycube_cli generate --dist=correlated --tuples=10000 --dims=6
+//       --out=/tmp/data.csv            (one line; wrapped here for width)
+//   skycube_cli compute --data=/tmp/data.csv --out=/tmp/cube.txt
+//   skycube_cli query --cube=/tmp/cube.txt --subspace=ACE
+//   skycube_cli inspect --cube=/tmp/cube.txt --top=10
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/frequency.h"
+#include "common/flags.h"
+#include "common/timer.h"
+#include "core/cube.h"
+#include "core/serialization.h"
+#include "core/skyey.h"
+#include "core/stellar.h"
+#include "datagen/nba_like.h"
+#include "datagen/synthetic.h"
+#include "dataset/dataset.h"
+
+namespace skycube {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: skycube_cli <generate|nba|compute|query|inspect> "
+               "[flags]\n(see the header of tools/skycube_cli.cc)\n");
+  return 2;
+}
+
+int Generate(const FlagParser& flags) {
+  SyntheticSpec spec;
+  spec.distribution =
+      DistributionFromName(flags.GetString("dist", "independent"));
+  spec.num_objects = flags.GetInt("tuples", 10000);
+  spec.num_dims = static_cast<int>(flags.GetInt("dims", 5));
+  spec.seed = flags.GetInt("seed", 42);
+  spec.truncate_decimals = static_cast<int>(flags.GetInt("truncate", 4));
+  const std::string out = flags.GetString("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "generate: --out is required\n");
+    return 2;
+  }
+  const Dataset data = GenerateSynthetic(spec);
+  const Status status = data.ToCsvFile(out);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu × %d %s dataset to %s\n", data.num_objects(),
+              data.num_dims(), DistributionName(spec.distribution),
+              out.c_str());
+  return 0;
+}
+
+int Nba(const FlagParser& flags) {
+  const std::string out = flags.GetString("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "nba: --out is required\n");
+    return 2;
+  }
+  const Dataset data = GenerateNbaLike(
+      flags.GetInt("players", kNbaLikeDefaultPlayers),
+      flags.GetInt("seed", 2007));
+  const Status status = data.ToCsvFile(out);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote NBA-like dataset (%zu players, larger-is-better) to "
+              "%s\n  (pass --negate to `compute` for this file)\n",
+              data.num_objects(), out.c_str());
+  return 0;
+}
+
+int Compute(const FlagParser& flags) {
+  const std::string path = flags.GetString("data", "");
+  if (path.empty()) {
+    std::fprintf(stderr, "compute: --data is required\n");
+    return 2;
+  }
+  Result<Dataset> loaded = Dataset::FromCsvFile(path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  Dataset data = std::move(loaded).value();
+  if (flags.GetBool("negate", false)) data = data.Negated();
+
+  const std::string algo = flags.GetString("algo", "stellar");
+  WallTimer timer;
+  SkylineGroupSet groups;
+  if (algo == "stellar") {
+    StellarStats stats;
+    groups = ComputeStellar(data, {}, &stats);
+    std::printf("stellar: %zu objects, %llu seeds, %zu groups in %.3f s\n",
+                data.num_objects(),
+                static_cast<unsigned long long>(stats.num_seeds),
+                groups.size(), timer.ElapsedSeconds());
+  } else if (algo == "skyey") {
+    SkyeyStats stats;
+    groups = ComputeSkyey(data, {}, &stats);
+    std::printf("skyey: %zu objects, %llu subspaces, %zu groups in %.3f s\n",
+                data.num_objects(),
+                static_cast<unsigned long long>(stats.subspaces_searched),
+                groups.size(), timer.ElapsedSeconds());
+  } else {
+    std::fprintf(stderr, "compute: unknown --algo '%s'\n", algo.c_str());
+    return 2;
+  }
+  if (flags.GetBool("print", false)) {
+    std::printf("%s", FormatGroups(groups, data.num_dims()).c_str());
+  }
+  const std::string out = flags.GetString("out", "");
+  if (!out.empty()) {
+    const Status status = SaveCubeToFile(
+        out, data.num_dims(), data.num_objects(), groups, data.dim_names());
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("cube saved to %s\n", out.c_str());
+  }
+  return 0;
+}
+
+struct LoadedQueryCube {
+  CompressedSkylineCube cube;
+  std::vector<std::string> dim_names;
+};
+
+Result<LoadedQueryCube> LoadCube(const FlagParser& flags) {
+  const std::string path = flags.GetString("cube", "");
+  if (path.empty()) {
+    return Status::InvalidArgument("--cube is required");
+  }
+  Result<SerializedCube> loaded = LoadCubeFromFile(path);
+  if (!loaded.ok()) return loaded.status();
+  return LoadedQueryCube{
+      CompressedSkylineCube(loaded.value().num_dims,
+                            loaded.value().num_objects,
+                            std::move(loaded.value().groups)),
+      std::move(loaded.value().dim_names)};
+}
+
+int Query(const FlagParser& flags) {
+  Result<LoadedQueryCube> loaded = LoadCube(flags);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  const CompressedSkylineCube& cube = loaded.value().cube;
+  if (flags.Has("subspace") || flags.Has("columns")) {
+    DimMask mask = 0;
+    if (flags.Has("columns")) {
+      // Column names, e.g. --columns=price,stops (needs a cube saved with
+      // names).
+      const Result<DimMask> parsed = MaskFromNameList(
+          loaded.value().dim_names, flags.GetString("columns", ""));
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "query: %s%s\n",
+                     parsed.status().ToString().c_str(),
+                     loaded.value().dim_names.empty()
+                         ? " (cube file has no column names)"
+                         : "");
+        return 2;
+      }
+      mask = parsed.value();
+    } else {
+      mask = MaskFromLetters(flags.GetString("subspace", ""),
+                             cube.num_dims());
+    }
+    if (mask == 0) {
+      std::fprintf(stderr, "query: empty subspace\n");
+      return 2;
+    }
+    const std::vector<ObjectId> skyline = cube.SubspaceSkyline(mask);
+    std::printf("skyline of %s: %zu objects\n", FormatMask(mask).c_str(),
+                skyline.size());
+    for (ObjectId id : skyline) std::printf("%u\n", id);
+    return 0;
+  }
+  if (flags.Has("object")) {
+    const ObjectId id = static_cast<ObjectId>(flags.GetInt("object", 0));
+    if (id >= cube.num_objects()) {
+      std::fprintf(stderr, "query: object id out of range\n");
+      return 2;
+    }
+    std::printf("object %u is in the skyline of %llu subspaces\n", id,
+                static_cast<unsigned long long>(
+                    cube.CountSubspacesWhereSkyline(id)));
+    for (const auto& interval : cube.MembershipIntervals(id)) {
+      std::printf("  every A with %s ⊆ A ⊆ %s\n",
+                  FormatMask(interval.lower).c_str(),
+                  FormatMask(interval.upper).c_str());
+    }
+    return 0;
+  }
+  std::fprintf(stderr,
+               "query: pass --subspace=LETTERS, --columns=NAMES or "
+               "--object=ID\n");
+  return 2;
+}
+
+int Inspect(const FlagParser& flags) {
+  Result<LoadedQueryCube> loaded = LoadCube(flags);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  const CompressedSkylineCube& c = loaded.value().cube;
+  const uint64_t total = c.TotalSubspaceSkylineObjects();
+  std::printf("dims: %d  objects: %zu  groups: %zu\n", c.num_dims(),
+              c.num_objects(), c.num_groups());
+  std::printf("subspace skyline objects: %llu  (compression ratio %.1fx)\n",
+              static_cast<unsigned long long>(total),
+              c.num_groups() == 0
+                  ? 0.0
+                  : static_cast<double>(total) /
+                        static_cast<double>(c.num_groups()));
+  const int64_t top = flags.GetInt("top", 5);
+  std::printf("most frequent skyline objects:\n");
+  for (const auto& [id, freq] :
+       TopKFrequentSkylineObjects(c, static_cast<size_t>(top))) {
+    std::printf("  object %-8u in %llu subspaces\n", id,
+                static_cast<unsigned long long>(freq));
+  }
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const FlagParser flags(argc - 1, argv + 1);
+  if (command == "generate") return Generate(flags);
+  if (command == "nba") return Nba(flags);
+  if (command == "compute") return Compute(flags);
+  if (command == "query") return Query(flags);
+  if (command == "inspect") return Inspect(flags);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace skycube
+
+int main(int argc, char** argv) { return skycube::Run(argc, argv); }
