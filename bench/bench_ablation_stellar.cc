@@ -21,6 +21,9 @@ int main(int argc, char** argv) {
   const size_t tuples = flags.GetInt("tuples", full ? 100000 : 20000);
   const uint64_t seed = flags.GetInt("seed", 1);
   PrintHeader("Ablation: Stellar design choices", full);
+  BenchJson json(flags, "ablation_stellar");
+  json.AddScalar("full", full ? "full" : "default");
+  json.AddScalar("tuples", static_cast<int64_t>(tuples));
 
   const struct {
     Distribution distribution;
@@ -51,6 +54,7 @@ int main(int argc, char** argv) {
         .AddDouble(stats.seconds_total, 4);
   }
   EmitTable(phases);
+  json.AddTable("phase_breakdown", phases);
 
   // 2. Matrix materialization.
   std::printf("--- dominance matrix: materialized vs on-the-fly ---\n");
@@ -70,6 +74,7 @@ int main(int argc, char** argv) {
         .AddDouble(fly_sec, 4);
   }
   EmitTable(matrix);
+  json.AddTable("matrix_mode", matrix);
 
   // 3. Full-space skyline algorithm.
   std::printf("--- step-1 skyline algorithm choice ---\n");
@@ -86,6 +91,7 @@ int main(int argc, char** argv) {
     }
   }
   EmitTable(algos);
+  json.AddTable("skyline_algorithm", algos);
 
   // 4. Skyey candidate sharing.
   std::printf("--- Skyey: parent-candidate sharing on/off ---\n");
@@ -104,5 +110,6 @@ int main(int argc, char** argv) {
         .AddDouble(TimeIt([&] { ComputeSkyey(data, fresh); }), 4);
   }
   EmitTable(sharing);
+  json.AddTable("skyey_sharing", sharing);
   return 0;
 }

@@ -24,6 +24,9 @@ int main(int argc, char** argv) {
   const size_t tuples = flags.GetInt("tuples", full ? 100000 : 20000);
   const uint64_t seed = flags.GetInt("seed", 1);
   PrintHeader("Figure 10: skyline distribution in synthetic data sets", full);
+  BenchJson json(flags, "fig10_distribution");
+  json.AddScalar("full", full ? "full" : "default");
+  json.AddScalar("tuples", static_cast<int64_t>(tuples));
   std::printf("tuples per data set: %zu\n\n", tuples);
 
   struct Series {
@@ -59,6 +62,7 @@ int main(int argc, char** argv) {
                      1);
     }
     EmitTable(table);
+    json.AddTable(DistributionName(s.distribution), table);
   }
   std::printf(
       "expected shape: correlated — groups ≪ objects (strong compression); "

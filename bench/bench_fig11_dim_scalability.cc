@@ -24,6 +24,9 @@ int main(int argc, char** argv) {
   const uint64_t seed = flags.GetInt("seed", 1);
   PrintHeader("Figure 11: runtime vs dimensionality, synthetic data sets",
               full);
+  BenchJson json(flags, "fig11_dim_scalability");
+  json.AddScalar("full", full ? "full" : "default");
+  json.AddScalar("tuples", static_cast<int64_t>(tuples));
   std::printf("tuples per data set: %zu\n\n", tuples);
 
   struct Series {
@@ -68,6 +71,7 @@ int main(int argc, char** argv) {
           .AddDouble(stellar_sec / skyey_sec, 2);
     }
     EmitTable(table);
+    json.AddTable(DistributionName(s.distribution), table);
   }
   std::printf("expected shape: Stellar wins on correlated (gap grows with "
               "d), smaller gap on equal, Skyey wins on anti-correlated.\n");

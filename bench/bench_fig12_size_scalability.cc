@@ -23,6 +23,8 @@ int main(int argc, char** argv) {
   const uint64_t seed = flags.GetInt("seed", 1);
   PrintHeader("Figure 12: runtime vs database size, synthetic data sets",
               full);
+  BenchJson json(flags, "fig12_size_scalability");
+  json.AddScalar("full", full ? "full" : "default");
 
   std::vector<size_t> sizes;
   for (int i = 1; i <= 5; ++i) {
@@ -68,6 +70,7 @@ int main(int argc, char** argv) {
           .AddDouble(stellar_sec / skyey_sec, 2);
     }
     EmitTable(table);
+    json.AddTable(DistributionName(s.distribution), table);
   }
   std::printf("expected shape: ~linear growth in n for both; Stellar ahead "
               "on (a)/(b), behind on (c).\n");

@@ -25,6 +25,8 @@ int main(int argc, char** argv) {
   const int skyey_max_d =
       static_cast<int>(flags.GetInt("skyey-max-d", full ? 17 : 12));
   PrintHeader("Figure 8: runtime vs dimensionality, NBA data set", full);
+  BenchJson json(flags, "fig8_nba_runtime");
+  json.AddScalar("full", full ? "full" : "default");
 
   const Dataset nba = PaperNba(flags.GetInt("seed", 2007));
   std::printf("data: %zu players, %d dimensions (NBA-like substitute, see "
@@ -52,6 +54,7 @@ int main(int argc, char** argv) {
     }
   }
   EmitTable(table);
+  json.AddTable("runtime", table);
   std::printf("expected shape: Stellar flat in d; Skyey ~2^d growth, "
               "orders of magnitude slower at high d.\n");
   return 0;

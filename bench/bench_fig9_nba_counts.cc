@@ -25,6 +25,8 @@ int main(int argc, char** argv) {
       "Figure 9: #skyline groups vs #subspace skyline objects, NBA data",
       full);
 
+  BenchJson json(flags, "fig9_nba_counts");
+  json.AddScalar("full", full ? "full" : "default");
   const Dataset nba = PaperNba(flags.GetInt("seed", 2007));
   TablePrinter table(
       {"d", "seeds", "skyline_groups", "subspace_skyline_objects", "ratio"});
@@ -47,6 +49,7 @@ int main(int argc, char** argv) {
                    1);
   }
   EmitTable(table);
+  json.AddTable("counts", table);
   std::printf("expected shape: objects column ~exponential in d; groups "
               "column ~flat (near the number of seeds).\n");
   return 0;

@@ -1,0 +1,266 @@
+// Closed-loop load generator for SkycubeService: N client threads issue a
+// Zipf-skewed stream of queries against one shared service and we measure
+// sustained QPS, per-request latency (p50/p95/p99) and cache behaviour,
+// once with the result cache disabled and once warm — the speedup between
+// the two is what materializing + memoizing the compressed cube buys a
+// serving tier.
+//
+// Workload: the subspace of each query is drawn from a Zipf(theta)
+// distribution over a seeded random permutation of all non-empty subspaces,
+// approximating the "popular dashboards get most of the traffic" skew of a
+// real analytics service.
+//
+// Flags:
+//   --threads=N        client threads                     (default 4)
+//   --requests=N       measured requests per thread       (default 5000)
+//   --warmup=N         unmeasured requests per thread     (default requests/2)
+//   --tuples=N --dims=D --dist=NAME --seed=S   dataset    (2000×8 independent)
+//   --zipf-theta=T     skew exponent                      (default 1.1)
+//   --cache-capacity=N result cache entries               (default 65536)
+//   --batch=N          submit in batches of N via ExecuteBatch (default 1)
+//   --mix=q1|mixed     pure Q1-skyline or an 80/10/8/2 Q1/card/Q2/Q3 mix
+//   --full             paper-sized: 20000×10, 20000 requests/thread
+//   --json[=PATH]      machine-readable BENCH_service_throughput.json
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/rng.h"
+#include "core/stellar.h"
+#include "service/service.h"
+#include "service/service_stats.h"
+
+namespace skycube::bench {
+namespace {
+
+/// Zipf(theta) sampler over ranks [0, n): P(r) ∝ 1/(r+1)^theta, via a
+/// precomputed CDF and binary search.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double theta) : cdf_(n) {
+    double total = 0;
+    for (size_t r = 0; r < n; ++r) {
+      total += 1.0 / std::pow(static_cast<double>(r + 1), theta);
+      cdf_[r] = total;
+    }
+    for (double& c : cdf_) c /= total;
+  }
+
+  size_t Sample(Rng& rng) const {
+    const double u = rng.NextDouble();
+    return static_cast<size_t>(
+        std::lower_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+struct Workload {
+  std::vector<DimMask> subspaces_by_rank;  // rank 0 = most popular
+  ZipfSampler zipf;
+  bool mixed = false;
+  size_t num_objects = 0;
+};
+
+QueryRequest DrawRequest(const Workload& workload, Rng& rng) {
+  const DimMask subspace =
+      workload.subspaces_by_rank[workload.zipf.Sample(rng)];
+  if (!workload.mixed) return QueryRequest::SubspaceSkyline(subspace);
+  const uint64_t roll = rng.NextBounded(100);
+  if (roll < 80) return QueryRequest::SubspaceSkyline(subspace);
+  if (roll < 90) return QueryRequest::SkylineCardinality(subspace);
+  const ObjectId object = static_cast<ObjectId>(
+      rng.NextBounded(workload.num_objects));
+  if (roll < 98) return QueryRequest::Membership(object, subspace);
+  return QueryRequest::MembershipCount(object);
+}
+
+struct RunResult {
+  double seconds = 0;
+  uint64_t requests = 0;
+  // Client-side latency of the measured phase (ns).
+  uint64_t p50 = 0;
+  uint64_t p95 = 0;
+  uint64_t p99 = 0;
+  ServiceStats service;
+};
+
+/// One closed-loop run: `threads` clients, `warmup + requests` queries
+/// each; only the last `requests` are timed and recorded.
+RunResult RunClients(SkycubeService& service, const Workload& workload,
+                     int threads, uint64_t warmup, uint64_t requests,
+                     uint64_t seed, int batch) {
+  RunResult result;
+  LatencyHistogram latency;  // measured phase only, client-side
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> clients;
+  clients.reserve(threads);
+  WallTimer timer;
+  for (int t = 0; t < threads; ++t) {
+    clients.emplace_back([&, t] {
+      Rng rng(seed + static_cast<uint64_t>(t) * 7919);
+      auto run_one = [&](bool measured) {
+        if (batch <= 1) {
+          const WallTimer request_timer;
+          const QueryResponse response =
+              service.Execute(DrawRequest(workload, rng));
+          if (measured) {
+            latency.Record(static_cast<uint64_t>(
+                request_timer.ElapsedSeconds() * 1e9));
+          }
+          return response.ok;
+        }
+        std::vector<QueryRequest> burst;
+        burst.reserve(batch);
+        for (int i = 0; i < batch; ++i) {
+          burst.push_back(DrawRequest(workload, rng));
+        }
+        const WallTimer request_timer;
+        const std::vector<QueryResponse> responses =
+            service.ExecuteBatch(burst);
+        if (measured) {
+          // Attribute the batch latency to each request in it.
+          const uint64_t nanos_each = static_cast<uint64_t>(
+              request_timer.ElapsedSeconds() * 1e9 / batch);
+          for (size_t i = 0; i < responses.size(); ++i) {
+            latency.Record(nanos_each);
+          }
+        }
+        bool ok = true;
+        for (const QueryResponse& response : responses) ok &= response.ok;
+        return ok;
+      };
+      const uint64_t step = batch <= 1 ? 1 : static_cast<uint64_t>(batch);
+      ready.fetch_add(1);
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (uint64_t i = 0; i < warmup; i += step) run_one(false);
+      for (uint64_t i = 0; i < requests; i += step) {
+        if (!run_one(true)) {
+          std::fprintf(stderr, "client %d: query failed\n", t);
+          std::abort();
+        }
+      }
+    });
+  }
+  while (ready.load() < threads) std::this_thread::yield();
+  timer.Reset();
+  go.store(true, std::memory_order_release);
+  for (std::thread& client : clients) client.join();
+  result.seconds = timer.ElapsedSeconds();
+  result.requests = latency.TotalCount();
+  result.p50 = latency.PercentileNanos(0.50);
+  result.p95 = latency.PercentileNanos(0.95);
+  result.p99 = latency.PercentileNanos(0.99);
+  result.service = service.stats();
+  return result;
+}
+
+int Run(int argc, char** argv) {
+  const FlagParser flags(argc, argv);
+  const bool full = flags.GetBool("full", false);
+  const int threads = static_cast<int>(flags.GetInt("threads", 4));
+  const uint64_t requests =
+      static_cast<uint64_t>(flags.GetInt("requests", full ? 20000 : 5000));
+  const uint64_t warmup =
+      static_cast<uint64_t>(flags.GetInt("warmup", requests / 2));
+  const size_t tuples =
+      static_cast<size_t>(flags.GetInt("tuples", full ? 20000 : 2000));
+  const int dims = static_cast<int>(flags.GetInt("dims", full ? 10 : 8));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  const double theta = flags.GetDouble("zipf-theta", 1.1);
+  const size_t cache_capacity =
+      static_cast<size_t>(flags.GetInt("cache-capacity", 1 << 16));
+  const int batch = static_cast<int>(flags.GetInt("batch", 1));
+  const bool mixed = flags.GetString("mix", "q1") == "mixed";
+  PrintHeader("Service throughput: concurrent clients, Zipf-skewed "
+              "subspace mix",
+              full);
+  BenchJson json(flags, "service_throughput");
+
+  const Dataset data = PaperSynthetic(
+      DistributionFromName(flags.GetString("dist", "independent")), tuples,
+      dims, seed);
+  WallTimer build_timer;
+  auto cube = std::make_shared<const CompressedSkylineCube>(
+      data.num_dims(), data.num_objects(), ComputeStellar(data));
+  const double build_sec = build_timer.ElapsedSeconds();
+  std::printf("data: %zu × %d, %zu groups (cube built in %.3f s)\n",
+              data.num_objects(), data.num_dims(), cube->num_groups(),
+              build_sec);
+  std::printf("clients: %d threads × %llu requests (+%llu warmup), "
+              "zipf theta %.2f, mix %s, batch %d\n\n",
+              threads, static_cast<unsigned long long>(requests),
+              static_cast<unsigned long long>(warmup), theta,
+              mixed ? "mixed" : "q1", batch);
+
+  // Popularity order: a seeded permutation of all non-empty subspaces.
+  Workload workload{{}, ZipfSampler(FullMask(dims), theta), mixed,
+                    data.num_objects()};
+  workload.subspaces_by_rank.reserve(FullMask(dims));
+  for (DimMask mask = 1; mask <= FullMask(dims); ++mask) {
+    workload.subspaces_by_rank.push_back(mask);
+  }
+  Rng shuffle_rng(seed ^ 0xC0FFEE);
+  for (size_t i = workload.subspaces_by_rank.size(); i > 1; --i) {
+    std::swap(workload.subspaces_by_rank[i - 1],
+              workload.subspaces_by_rank[shuffle_rng.NextBounded(i)]);
+  }
+
+  TablePrinter table({"config", "threads", "requests", "seconds", "qps",
+                      "p50_us", "p95_us", "p99_us", "hit_rate",
+                      "cache_entries", "evictions"});
+  double qps[2] = {0, 0};
+  for (const bool cached : {false, true}) {
+    SkycubeServiceOptions options;
+    options.cache.capacity = cached ? cache_capacity : 0;
+    options.batch_threads = threads;
+    SkycubeService service(cube, options);
+    const RunResult run = RunClients(service, workload, threads, warmup,
+                                     requests, seed + (cached ? 1 : 0),
+                                     batch);
+    qps[cached ? 1 : 0] =
+        static_cast<double>(run.requests) / run.seconds;
+    table.NewRow()
+        .AddCell(cached ? "cache" : "no-cache")
+        .AddInt(threads)
+        .AddInt(static_cast<int64_t>(run.requests))
+        .AddDouble(run.seconds, 3)
+        .AddDouble(qps[cached ? 1 : 0], 0)
+        .AddDouble(static_cast<double>(run.p50) / 1e3, 2)
+        .AddDouble(static_cast<double>(run.p95) / 1e3, 2)
+        .AddDouble(static_cast<double>(run.p99) / 1e3, 2)
+        .AddDouble(run.service.cache_hit_rate, 3)
+        .AddInt(static_cast<int64_t>(run.service.cache_entries))
+        .AddInt(static_cast<int64_t>(run.service.cache_evictions));
+  }
+  EmitTable(table);
+  json.AddTable("throughput", table);
+
+  const double speedup = qps[0] > 0 ? qps[1] / qps[0] : 0;
+  std::printf("warm-cache speedup over no-cache: %.1fx\n", speedup);
+  json.AddScalar("threads", static_cast<int64_t>(threads));
+  json.AddScalar("zipf_theta", theta);
+  json.AddScalar("mix", std::string(mixed ? "mixed" : "q1"));
+  json.AddScalar("build_seconds", build_sec);
+  json.AddScalar("qps_no_cache", qps[0]);
+  json.AddScalar("qps_cache", qps[1]);
+  json.AddScalar("speedup", speedup);
+  std::printf("expected shape: warm Zipf-skewed traffic is served almost "
+              "entirely from the cache; ≥5x the no-cache throughput.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace skycube::bench
+
+int main(int argc, char** argv) {
+  return skycube::bench::Run(argc, argv);
+}

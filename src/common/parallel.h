@@ -1,14 +1,29 @@
-// Minimal data-parallel helper: static range chunking over std::thread.
-// The library's parallel paths are all "independent work per index with
-// per-chunk output buffers", so this is deliberately tiny — no pool, no
-// work stealing, threads live for one ParallelFor call.
+// Data-parallel helper: static range chunking, executed on the shared
+// ThreadPool (common/thread_pool.h). Workers are pooled and reused; a
+// ParallelChunks call no longer spawns threads.
+//
+// Scheduling: chunk indices are claimed from an atomic counter by (a) helper
+// tasks submitted to the shared pool and (b) the calling thread itself, so a
+// call always completes even when the pool is saturated or its queue is
+// full — the caller just processes more (possibly all) of the chunks. Nested
+// calls from inside a pool worker run inline for the same reason: a worker
+// blocking on chunks that only other workers could run is the classic
+// fixed-pool deadlock.
 #ifndef SKYCUBE_COMMON_PARALLEL_H_
 #define SKYCUBE_COMMON_PARALLEL_H_
 
 #include <algorithm>
+#include <atomic>
+#include <condition_variable>
 #include <cstddef>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <functional>
+#include <mutex>
 #include <thread>
-#include <vector>
+
+#include "common/thread_pool.h"
 
 namespace skycube {
 
@@ -24,27 +39,89 @@ inline int EffectiveThreads(int requested, size_t n) {
   return std::max(threads, 1);
 }
 
+namespace internal {
+
+/// Enforces the "fn must not throw" contract of ParallelChunks: an exception
+/// escaping a worker would otherwise reach std::terminate with no context
+/// (std::thread) or corrupt the pool (ThreadPool). Instead we die loudly,
+/// naming the offender.
+template <typename Fn>
+void RunChunkNoThrow(Fn& fn, int chunk, size_t begin, size_t end) {
+  try {
+    fn(chunk, begin, end);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr,
+                 "ParallelChunks: worker for chunk %d [%zu, %zu) threw "
+                 "(contract: fn must not throw): %s\n",
+                 chunk, begin, end, e.what());
+    std::abort();
+  } catch (...) {
+    std::fprintf(stderr,
+                 "ParallelChunks: worker for chunk %d [%zu, %zu) threw a "
+                 "non-std::exception (contract: fn must not throw)\n",
+                 chunk, begin, end);
+    std::abort();
+  }
+}
+
+}  // namespace internal
+
 /// Invokes fn(chunk_index, begin, end) for a static partition of [0, n)
-/// into `num_threads` contiguous chunks, each on its own thread
-/// (num_threads == 1 runs inline). fn must not throw.
+/// into `num_threads` contiguous chunks, distributed over the shared
+/// ThreadPool (num_threads == 1 runs inline; so do nested calls from pool
+/// workers). Chunk indices are dense in [0, num_chunks) regardless of which
+/// thread runs them, so per-chunk output buffers keep working. fn must not
+/// throw: a throwing fn aborts the process with a diagnostic.
 template <typename Fn>
 void ParallelChunks(size_t n, int num_threads, Fn&& fn) {
   const int threads = EffectiveThreads(num_threads, n);
   if (n == 0) return;
-  if (threads == 1) {
-    fn(0, size_t{0}, n);
-    return;
-  }
-  std::vector<std::thread> workers;
-  workers.reserve(threads);
   const size_t chunk = (n + threads - 1) / threads;
-  for (int t = 0; t < threads; ++t) {
+  const int num_chunks = static_cast<int>((n + chunk - 1) / chunk);
+  auto run_chunk = [&fn, chunk, n](int t) {
     const size_t begin = static_cast<size_t>(t) * chunk;
     const size_t end = std::min(n, begin + chunk);
-    if (begin >= end) break;
-    workers.emplace_back([&fn, t, begin, end] { fn(t, begin, end); });
+    internal::RunChunkNoThrow(fn, t, begin, end);
+  };
+  if (num_chunks == 1 || ThreadPool::OnWorkerThread()) {
+    for (int t = 0; t < num_chunks; ++t) run_chunk(t);
+    return;
   }
-  for (std::thread& worker : workers) worker.join();
+
+  // Work-claiming runners: pool helpers and the caller race to claim chunk
+  // indices. The caller must not return while a submitted runner might still
+  // touch these locals, hence the exited-runner handshake.
+  std::atomic<int> next_chunk{0};
+  std::mutex mu;
+  std::condition_variable all_exited;
+  int exited = 0;
+  auto runner = [&] {
+    for (;;) {
+      const int t = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (t >= num_chunks) break;
+      run_chunk(t);
+    }
+    // Notify while holding the lock: the caller destroys these locals the
+    // moment it can observe the predicate, and it can only observe it under
+    // mu — an unlocked notify could touch an already-destroyed condvar.
+    std::lock_guard<std::mutex> lock(mu);
+    ++exited;
+    all_exited.notify_one();
+  };
+  ThreadPool& pool = ThreadPool::Shared();
+  int submitted = 0;
+  const int helpers =
+      std::min(num_chunks - 1, std::max(pool.num_threads(), 1));
+  for (int i = 0; i < helpers; ++i) {
+    // Best effort: a full pool queue means enough backlog that the caller
+    // can just run the chunks itself.
+    std::function<void()> task = runner;
+    if (!pool.TrySubmit(task)) break;
+    ++submitted;
+  }
+  runner();  // the caller claims chunks too
+  std::unique_lock<std::mutex> lock(mu);
+  all_exited.wait(lock, [&] { return exited == submitted + 1; });
 }
 
 }  // namespace skycube

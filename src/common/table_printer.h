@@ -31,6 +31,10 @@ class TablePrinter {
   /// Writes the machine-readable TSV form.
   void PrintTsv(std::ostream& os) const;
 
+  /// Raw access for machine-readable exporters (bench --json).
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

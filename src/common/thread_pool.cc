@@ -1,0 +1,112 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace skycube {
+
+namespace {
+
+thread_local bool t_on_worker_thread = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(Options options) : options_(options) {
+  int threads = options_.num_threads;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+  options_.queue_capacity = std::max<size_t>(options_.queue_capacity, 1);
+  workers_.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  SKYCUBE_CHECK(queue_.empty());  // workers drain before exiting
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  SKYCUBE_CHECK_MSG(static_cast<bool>(task), "Submit of an empty task");
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    SKYCUBE_CHECK_MSG(!shutting_down_, "Submit after shutdown began");
+    if (queue_.size() >= options_.queue_capacity) {
+      ++stats_.submit_waits;
+      not_full_.wait(lock, [this] {
+        return queue_.size() < options_.queue_capacity || shutting_down_;
+      });
+      SKYCUBE_CHECK_MSG(!shutting_down_, "Submit raced pool shutdown");
+    }
+    queue_.push_back(std::move(task));
+    ++stats_.tasks_submitted;
+    stats_.queue_depth_high_water =
+        std::max(stats_.queue_depth_high_water, queue_.size());
+  }
+  not_empty_.notify_one();
+}
+
+bool ThreadPool::TrySubmit(std::function<void()>& task) {
+  SKYCUBE_CHECK_MSG(static_cast<bool>(task), "TrySubmit of an empty task");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SKYCUBE_CHECK_MSG(!shutting_down_, "TrySubmit after shutdown began");
+    if (queue_.size() >= options_.queue_capacity) return false;
+    queue_.push_back(std::move(task));
+    ++stats_.tasks_submitted;
+    stats_.queue_depth_high_water =
+        std::max(stats_.queue_depth_high_water, queue_.size());
+  }
+  not_empty_.notify_one();
+  return true;
+}
+
+size_t ThreadPool::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+ThreadPoolStats ThreadPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+bool ThreadPool::OnWorkerThread() { return t_on_worker_thread; }
+
+ThreadPool& ThreadPool::Shared() {
+  // Function-local static: created on first use, destroyed after main — the
+  // destructor drains, so queued ParallelChunks work cannot be dropped.
+  static ThreadPool pool(Options{});
+  return pool;
+}
+
+void ThreadPool::WorkerLoop() {
+  t_on_worker_thread = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_empty_.wait(lock,
+                      [this] { return !queue_.empty() || shutting_down_; });
+      if (queue_.empty()) return;  // shutting down with nothing left
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++stats_.tasks_executed;
+    }
+    not_full_.notify_one();
+    task();
+  }
+}
+
+}  // namespace skycube

@@ -99,11 +99,17 @@ bool IncrementalCubeMaintainer::RelevantToSeedLattice(
   return false;
 }
 
+CompressedSkylineCube IncrementalCubeMaintainer::MakeCube() const {
+  return CompressedSkylineCube(data_.num_dims(), data_.num_objects(),
+                               groups_);
+}
+
 InsertPath IncrementalCubeMaintainer::Insert(
     const std::vector<double>& values) {
   SKYCUBE_CHECK_MSG(static_cast<int>(values.size()) == data_.num_dims(),
                     "insert width must equal num_dims");
   ++stats_.inserts;
+  ++version_;
 
   // Path 1: duplicate of an existing row — bind and patch memberships.
   if (auto it = distinct_of_row_.find(values); it != distinct_of_row_.end()) {

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "common/hash.h"
+#include "core/cube.h"
 #include "core/seed_lattice.h"
 #include "core/skyline_group.h"
 #include "core/stellar.h"
@@ -67,6 +68,16 @@ class IncrementalCubeMaintainer {
   /// The current compressed cube, normalized.
   const SkylineGroupSet& groups() const { return groups_; }
 
+  /// Monotonically increasing cube version: 1 after construction, +1 per
+  /// Insert. Lets a serving layer detect that a snapshot it published is
+  /// stale.
+  uint64_t version() const { return version_; }
+
+  /// Packages the current groups as an immutable queryable snapshot, ready
+  /// for SkycubeService::Reload (service/service.h). The snapshot copies
+  /// the groups, so the maintainer can keep mutating afterwards.
+  CompressedSkylineCube MakeCube() const;
+
   const MaintenanceStats& stats() const { return stats_; }
 
  private:
@@ -79,6 +90,7 @@ class IncrementalCubeMaintainer {
   bool RelevantToSeedLattice(const std::vector<double>& row) const;
 
   StellarOptions options_;
+  uint64_t version_ = 1;
   Dataset data_;      // original rows
   Dataset distinct_;  // one row per distinct tuple
   SkylineGroupSet groups_;

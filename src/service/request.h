@@ -1,0 +1,83 @@
+// Typed request/response vocabulary of the skycube query service.
+//
+// One request shape covers the paper's three query classes (§1): Q1 takes a
+// subspace, Q2 takes (object, subspace), Q3 takes an object or nothing.
+// Responses are cheap to copy — the only bulky payload (a Q1 skyline) sits
+// behind a shared_ptr so a cache hit hands out the cached vector without
+// duplicating it.
+#ifndef SKYCUBE_SERVICE_REQUEST_H_
+#define SKYCUBE_SERVICE_REQUEST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/subspace.h"
+#include "dataset/dataset.h"
+
+namespace skycube {
+
+/// The query classes the service answers, mapped to CompressedSkylineCube
+/// calls.
+enum class QueryKind : uint8_t {
+  kSubspaceSkyline = 0,     // Q1: ids of Sky(subspace)
+  kSkylineCardinality = 1,  // Q1: |Sky(subspace)| without materializing ids
+  kMembership = 2,          // Q2: object ∈ Sky(subspace)?
+  kMembershipCount = 3,     // Q3: #subspaces whose skyline contains object
+  kSkycubeSize = 4,         // Q3: Σ over subspaces of |Sky(B)|
+};
+
+/// Number of distinct QueryKind values (for per-kind counters).
+inline constexpr int kNumQueryKinds = 5;
+
+/// Short lowercase name ("skyline", "cardinality", ...).
+const char* QueryKindName(QueryKind kind);
+
+/// One query. Unused fields are ignored (e.g. `object` for Q1 kinds).
+struct QueryRequest {
+  QueryKind kind = QueryKind::kSubspaceSkyline;
+  DimMask subspace = 0;
+  ObjectId object = 0;
+
+  static QueryRequest SubspaceSkyline(DimMask subspace) {
+    return {QueryKind::kSubspaceSkyline, subspace, 0};
+  }
+  static QueryRequest SkylineCardinality(DimMask subspace) {
+    return {QueryKind::kSkylineCardinality, subspace, 0};
+  }
+  static QueryRequest Membership(ObjectId object, DimMask subspace) {
+    return {QueryKind::kMembership, subspace, object};
+  }
+  static QueryRequest MembershipCount(ObjectId object) {
+    return {QueryKind::kMembershipCount, 0, object};
+  }
+  static QueryRequest SkycubeSize() {
+    return {QueryKind::kSkycubeSize, 0, 0};
+  }
+};
+
+/// One answer. `ok` is false only for malformed requests (empty subspace,
+/// object id out of range); the payload field used depends on `kind`.
+struct QueryResponse {
+  QueryKind kind = QueryKind::kSubspaceSkyline;
+  bool ok = true;
+  std::string error;  // set iff !ok
+
+  /// Q1 kSubspaceSkyline payload (ascending ids); null for other kinds.
+  std::shared_ptr<const std::vector<ObjectId>> ids;
+  /// kSkylineCardinality / kMembershipCount / kSkycubeSize payload.
+  uint64_t count = 0;
+  /// kMembership payload.
+  bool member = false;
+
+  /// Version of the cube snapshot that produced this answer (monotonically
+  /// increasing across SkycubeService::Reload calls, starting at 1).
+  uint64_t snapshot_version = 0;
+  /// True iff the answer came from the result cache.
+  bool cache_hit = false;
+};
+
+}  // namespace skycube
+
+#endif  // SKYCUBE_SERVICE_REQUEST_H_

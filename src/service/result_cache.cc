@@ -1,0 +1,98 @@
+#include "service/result_cache.h"
+
+#include <algorithm>
+#include <bit>
+#include <utility>
+
+#include "common/hash.h"
+#include "common/macros.h"
+
+namespace skycube {
+
+size_t ResultCache::KeyHash::operator()(const Key& key) const {
+  uint64_t h = HashCombine(0x5C7BE5ULL, static_cast<uint64_t>(key.kind));
+  h = HashCombine(h, key.subspace);
+  h = HashCombine(h, key.object);
+  h = HashCombine(h, key.version);
+  return static_cast<size_t>(h);
+}
+
+ResultCache::ResultCache(ResultCacheOptions options)
+    : capacity_(options.capacity) {
+  size_t shards = std::bit_ceil(std::max<size_t>(options.num_shards, 1));
+  // No point in more shards than capacity slots.
+  if (capacity_ > 0 && shards > capacity_) {
+    shards = std::bit_floor(capacity_);
+  }
+  shard_mask_ = shards - 1;
+  per_shard_capacity_ = capacity_ == 0 ? 0 : (capacity_ + shards - 1) / shards;
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ResultCache::Shard& ResultCache::ShardFor(const Key& key) {
+  return *shards_[KeyHash{}(key) & shard_mask_];
+}
+
+bool ResultCache::Lookup(const Key& key, QueryResponse* response) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    ++shard.misses;
+    return false;
+  }
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  *response = it->second->response;
+  return true;
+}
+
+void ResultCache::Insert(const Key& key, const QueryResponse& response) {
+  if (!enabled()) return;
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    // Refresh: racing computations of the same key produce equal answers
+    // (same snapshot version), so keeping either is fine.
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    it->second->response = response;
+    return;
+  }
+  shard.lru.push_front(Entry{key, response});
+  shard.map.emplace(key, shard.lru.begin());
+  ++shard.insertions;
+  if (shard.lru.size() > per_shard_capacity_) {
+    shard.map.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+void ResultCache::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->invalidations += shard->lru.size();
+    shard->map.clear();
+    shard->lru.clear();
+  }
+}
+
+ResultCacheStats ResultCache::stats() const {
+  ResultCacheStats stats;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    stats.hits += shard->hits;
+    stats.misses += shard->misses;
+    stats.insertions += shard->insertions;
+    stats.evictions += shard->evictions;
+    stats.invalidations += shard->invalidations;
+    stats.entries += shard->lru.size();
+  }
+  return stats;
+}
+
+}  // namespace skycube

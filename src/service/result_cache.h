@@ -1,0 +1,115 @@
+// Sharded LRU cache of query results, keyed by
+// (query_kind, subspace_mask, object_id, snapshot_version).
+//
+// Sharding bounds lock contention: a key hashes to one shard, each shard is
+// an independent mutex + intrusively-linked LRU list + hash map. The
+// snapshot version is part of the key, so results computed against an old
+// snapshot can never be served after a swap even if an in-flight query
+// inserts them *after* the swap's Clear() — they simply never match again
+// and age out of the LRU. Clear() exists to release the memory eagerly.
+#ifndef SKYCUBE_SERVICE_RESULT_CACHE_H_
+#define SKYCUBE_SERVICE_RESULT_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "service/request.h"
+
+namespace skycube {
+
+/// Cumulative counters of a ResultCache. hits + misses == lookups.
+struct ResultCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;    // LRU capacity evictions
+  uint64_t invalidations = 0;  // entries dropped by Clear()
+  size_t entries = 0;        // current size across shards
+
+  double HitRate() const {
+    const uint64_t lookups = hits + misses;
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(lookups);
+  }
+};
+
+/// Construction knobs for a ResultCache.
+struct ResultCacheOptions {
+  /// Total entries across all shards; 0 disables the cache entirely
+  /// (lookups always miss, inserts are dropped).
+  size_t capacity = 1 << 16;
+  /// Number of independent LRU shards (rounded up to a power of two).
+  size_t num_shards = 8;
+};
+
+class ResultCache {
+ public:
+  explicit ResultCache(ResultCacheOptions options = {});
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// The full cache key. `version` is the snapshot version the result was
+  /// computed against.
+  struct Key {
+    QueryKind kind = QueryKind::kSubspaceSkyline;
+    DimMask subspace = 0;
+    ObjectId object = 0;
+    uint64_t version = 0;
+
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+
+  /// Looks `key` up, refreshing its LRU position. Returns true and fills
+  /// `*response` on a hit.
+  bool Lookup(const Key& key, QueryResponse* response);
+
+  /// Inserts (or refreshes) `key`, evicting the shard's LRU tail at
+  /// capacity. No-op when the cache is disabled (capacity 0).
+  void Insert(const Key& key, const QueryResponse& response);
+
+  /// Drops every entry (snapshot swap). Counters persist.
+  void Clear();
+
+  size_t capacity() const { return capacity_; }
+  bool enabled() const { return capacity_ > 0; }
+
+  ResultCacheStats stats() const;
+
+ private:
+  struct KeyHash {
+    size_t operator()(const Key& key) const;
+  };
+  struct Entry {
+    Key key;
+    QueryResponse response;
+  };
+  struct Shard {
+    std::mutex mu;
+    /// Front = most recently used.
+    std::list<Entry> lru;
+    std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> map;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+    uint64_t invalidations = 0;
+  };
+
+  Shard& ShardFor(const Key& key);
+
+  size_t capacity_ = 0;
+  size_t per_shard_capacity_ = 0;
+  size_t shard_mask_ = 0;  // num_shards - 1 (power of two)
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace skycube
+
+#endif  // SKYCUBE_SERVICE_RESULT_CACHE_H_

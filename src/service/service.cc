@@ -1,0 +1,252 @@
+#include "service/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/parallel.h"
+
+namespace skycube {
+
+const char* QueryKindName(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kSubspaceSkyline:
+      return "skyline";
+    case QueryKind::kSkylineCardinality:
+      return "cardinality";
+    case QueryKind::kMembership:
+      return "membership";
+    case QueryKind::kMembershipCount:
+      return "membership_count";
+    case QueryKind::kSkycubeSize:
+      return "skycube_size";
+  }
+  return "unknown";
+}
+
+namespace {
+
+QueryResponse InvalidRequest(const QueryRequest& request, uint64_t version,
+                             const char* why) {
+  QueryResponse response;
+  response.kind = request.kind;
+  response.ok = false;
+  response.error = why;
+  response.snapshot_version = version;
+  return response;
+}
+
+}  // namespace
+
+SkycubeService::SkycubeService(
+    std::shared_ptr<const CompressedSkylineCube> cube,
+    SkycubeServiceOptions options)
+    : options_(options), cache_(options.cache) {
+  SKYCUBE_CHECK_MSG(cube != nullptr, "SkycubeService needs a cube");
+  auto snap = std::make_shared<Snapshot>();
+  snap->cube = std::move(cube);
+  snap->version = 1;
+  snapshot_.store(std::move(snap), std::memory_order_release);
+}
+
+SkycubeService::~SkycubeService() = default;
+
+QueryResponse SkycubeService::Execute(const QueryRequest& request) {
+  const auto start = std::chrono::steady_clock::now();
+  const std::shared_ptr<const Snapshot> snap = LoadSnapshot();
+  QueryResponse response = ExecuteOn(request, *snap);
+  latency_.Record(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count()));
+  return response;
+}
+
+QueryResponse SkycubeService::ExecuteOn(const QueryRequest& request,
+                                        const Snapshot& snap) {
+  queries_by_kind_[static_cast<int>(request.kind)].fetch_add(
+      1, std::memory_order_relaxed);
+  // Reject malformed requests before the cache probe: they are never
+  // cached, so probing for them would only pollute the miss counter.
+  if (const char* error = ValidationError(request, *snap.cube)) {
+    invalid_requests_.fetch_add(1, std::memory_order_relaxed);
+    return InvalidRequest(request, snap.version, error);
+  }
+  const ResultCache::Key key{request.kind, request.subspace, request.object,
+                             snap.version};
+  QueryResponse response;
+  if (cache_.enabled() && cache_.Lookup(key, &response)) {
+    response.cache_hit = true;
+    return response;
+  }
+  response = Compute(request, snap);
+  cache_.Insert(key, response);
+  return response;
+}
+
+const char* SkycubeService::ValidationError(
+    const QueryRequest& request, const CompressedSkylineCube& cube) {
+  const bool needs_subspace = request.kind == QueryKind::kSubspaceSkyline ||
+                              request.kind == QueryKind::kSkylineCardinality ||
+                              request.kind == QueryKind::kMembership;
+  if (needs_subspace) {
+    if (request.subspace == kEmptyMask) return "empty subspace";
+    if (!IsSubsetOf(request.subspace, FullMask(cube.num_dims()))) {
+      return "subspace has dimensions beyond the cube";
+    }
+  }
+  const bool needs_object = request.kind == QueryKind::kMembership ||
+                            request.kind == QueryKind::kMembershipCount;
+  if (needs_object && request.object >= cube.num_objects()) {
+    return "object id out of range";
+  }
+  return nullptr;
+}
+
+QueryResponse SkycubeService::Compute(const QueryRequest& request,
+                                      const Snapshot& snap) const {
+  const CompressedSkylineCube& cube = *snap.cube;
+  QueryResponse response;
+  response.kind = request.kind;
+  response.snapshot_version = snap.version;
+
+  switch (request.kind) {
+    case QueryKind::kSubspaceSkyline:
+      response.ids = std::make_shared<const std::vector<ObjectId>>(
+          cube.SubspaceSkyline(request.subspace));
+      response.count = response.ids->size();
+      break;
+    case QueryKind::kSkylineCardinality:
+      response.count = cube.SkylineCardinality(request.subspace);
+      break;
+    case QueryKind::kMembership:
+      response.member =
+          cube.IsInSubspaceSkyline(request.object, request.subspace);
+      break;
+    case QueryKind::kMembershipCount:
+      response.count = cube.CountSubspacesWhereSkyline(request.object);
+      break;
+    case QueryKind::kSkycubeSize:
+      response.count = cube.TotalSubspaceSkylineObjects();
+      break;
+  }
+  return response;
+}
+
+std::vector<QueryResponse> SkycubeService::ExecuteBatch(
+    const std::vector<QueryRequest>& requests) {
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<QueryResponse> responses(requests.size());
+  if (requests.empty()) return responses;
+  const auto start = std::chrono::steady_clock::now();
+  // One snapshot load for the whole batch: every response is consistent
+  // with the same cube version.
+  const std::shared_ptr<const Snapshot> snap = LoadSnapshot();
+  ThreadPool& pool = BatchPool();
+  std::atomic<size_t> next{0};
+  std::mutex mu;
+  std::condition_variable all_exited;
+  int exited = 0;
+  auto runner = [&] {
+    for (;;) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= requests.size()) break;
+      responses[i] = ExecuteOn(requests[i], *snap);
+    }
+    // Notify under the lock: the caller's stack frame (and this condvar)
+    // dies as soon as it can observe the predicate, which requires mu.
+    std::lock_guard<std::mutex> lock(mu);
+    ++exited;
+    all_exited.notify_one();
+  };
+  int submitted = 0;
+  const int helpers = std::min(static_cast<int>(requests.size()) - 1,
+                               pool.num_threads());
+  for (int i = 0; i < helpers; ++i) {
+    std::function<void()> task = runner;
+    if (!pool.TrySubmit(task)) break;
+    ++submitted;
+  }
+  runner();  // the caller works through the batch too
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    all_exited.wait(lock, [&] { return exited == submitted + 1; });
+  }
+  latency_.Record(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count()));
+  return responses;
+}
+
+void SkycubeService::Reload(
+    std::shared_ptr<const CompressedSkylineCube> cube) {
+  SKYCUBE_CHECK_MSG(cube != nullptr, "Reload needs a cube");
+  auto next = std::make_shared<Snapshot>();
+  next->cube = std::move(cube);
+  std::shared_ptr<const Snapshot> current =
+      snapshot_.load(std::memory_order_acquire);
+  do {
+    next->version = current->version + 1;
+  } while (!snapshot_.compare_exchange_weak(current, next,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_acquire));
+  snapshot_swaps_.fetch_add(1, std::memory_order_relaxed);
+  // Version-keyed entries of the old snapshot can never be served again;
+  // Clear() just releases their memory promptly.
+  cache_.Clear();
+}
+
+std::shared_ptr<const CompressedSkylineCube> SkycubeService::snapshot()
+    const {
+  return LoadSnapshot()->cube;
+}
+
+uint64_t SkycubeService::snapshot_version() const {
+  return LoadSnapshot()->version;
+}
+
+ThreadPool& SkycubeService::BatchPool() {
+  std::call_once(pool_once_, [this] {
+    pool_ = std::make_unique<ThreadPool>(ThreadPoolOptions{
+        options_.batch_threads, options_.queue_capacity});
+    pool_ptr_.store(pool_.get(), std::memory_order_release);
+  });
+  return *pool_;
+}
+
+ServiceStats SkycubeService::stats() const {
+  ServiceStats stats;
+  for (int kind = 0; kind < kNumQueryKinds; ++kind) {
+    stats.queries_by_kind[kind] =
+        queries_by_kind_[kind].load(std::memory_order_relaxed);
+    stats.queries_total += stats.queries_by_kind[kind];
+  }
+  stats.invalid_requests = invalid_requests_.load(std::memory_order_relaxed);
+  stats.batches = batches_.load(std::memory_order_relaxed);
+
+  const ResultCacheStats cache = cache_.stats();
+  stats.cache_hits = cache.hits;
+  stats.cache_misses = cache.misses;
+  stats.cache_evictions = cache.evictions;
+  stats.cache_entries = cache.entries;
+  stats.cache_hit_rate = cache.HitRate();
+
+  const std::shared_ptr<const Snapshot> snap = LoadSnapshot();
+  stats.snapshot_version = snap->version;
+  stats.snapshot_swaps = snapshot_swaps_.load(std::memory_order_relaxed);
+  if (const ThreadPool* pool = pool_ptr_.load(std::memory_order_acquire)) {
+    stats.queue_depth_high_water = pool->stats().queue_depth_high_water;
+  }
+
+  stats.latency_mean_nanos = latency_.MeanNanos();
+  stats.latency_p50_nanos = latency_.PercentileNanos(0.50);
+  stats.latency_p95_nanos = latency_.PercentileNanos(0.95);
+  stats.latency_p99_nanos = latency_.PercentileNanos(0.99);
+  return stats;
+}
+
+}  // namespace skycube

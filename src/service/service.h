@@ -1,0 +1,119 @@
+// SkycubeService: a long-lived, thread-safe query front end over an
+// immutable CompressedSkylineCube snapshot.
+//
+// Architecture (docs/SERVICE.md):
+//  - the cube lives behind std::atomic<std::shared_ptr<const Snapshot>>;
+//    readers load the pointer once per query and keep the snapshot alive
+//    for the duration — Reload() swaps the pointer and never blocks
+//    readers, so a query overlapping a swap is answered consistently by
+//    exactly one of the two snapshots (its version says which);
+//  - answers are memoized in a sharded LRU ResultCache keyed by
+//    (kind, subspace, object, snapshot_version); keying by version makes a
+//    swap an implicit whole-cache invalidation (Clear() just reclaims the
+//    memory eagerly);
+//  - batches fan out over a ThreadPool; single queries run on the caller's
+//    thread (a cached Q1 answer is a hash probe — cheaper than a handoff).
+#ifndef SKYCUBE_SERVICE_SERVICE_H_
+#define SKYCUBE_SERVICE_SERVICE_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/cube.h"
+#include "service/request.h"
+#include "service/result_cache.h"
+#include "service/service_stats.h"
+
+namespace skycube {
+
+/// Construction knobs for a SkycubeService.
+struct SkycubeServiceOptions {
+  /// Result cache sizing; capacity 0 disables caching.
+  ResultCacheOptions cache;
+  /// Worker threads for batch fan-out (0 = hardware concurrency). The pool
+  /// is created lazily on the first ExecuteBatch call.
+  int batch_threads = 0;
+  /// Bounded work-queue capacity of the batch pool.
+  size_t queue_capacity = 1024;
+};
+
+class SkycubeService {
+ public:
+  /// Starts serving `cube` as snapshot version 1.
+  SkycubeService(std::shared_ptr<const CompressedSkylineCube> cube,
+                 SkycubeServiceOptions options = {});
+  ~SkycubeService();
+
+  SkycubeService(const SkycubeService&) = delete;
+  SkycubeService& operator=(const SkycubeService&) = delete;
+
+  /// Answers one query on the calling thread (cache → snapshot). Safe from
+  /// any number of threads concurrently, including across Reload calls.
+  QueryResponse Execute(const QueryRequest& request);
+
+  /// Answers a batch, fanning the requests out across the service pool;
+  /// responses[i] answers requests[i]. The calling thread participates, so
+  /// this never deadlocks even with a saturated pool.
+  std::vector<QueryResponse> ExecuteBatch(
+      const std::vector<QueryRequest>& requests);
+
+  /// Atomically replaces the served snapshot (version + 1) and invalidates
+  /// the result cache. In-flight queries finish against whichever snapshot
+  /// they loaded; new queries see `cube`.
+  void Reload(std::shared_ptr<const CompressedSkylineCube> cube);
+
+  /// The currently served cube (shared ownership keeps it valid even if a
+  /// Reload lands immediately after).
+  std::shared_ptr<const CompressedSkylineCube> snapshot() const;
+  uint64_t snapshot_version() const;
+
+  ServiceStats stats() const;
+
+ private:
+  struct Snapshot {
+    std::shared_ptr<const CompressedSkylineCube> cube;
+    uint64_t version = 0;
+  };
+
+  std::shared_ptr<const Snapshot> LoadSnapshot() const {
+    return snapshot_.load(std::memory_order_acquire);
+  }
+
+  /// nullptr if `request` is well-formed for `cube`, else the error text.
+  static const char* ValidationError(const QueryRequest& request,
+                                     const CompressedSkylineCube& cube);
+
+  /// Computes a validated `request` against `snap` (no cache involvement).
+  QueryResponse Compute(const QueryRequest& request,
+                        const Snapshot& snap) const;
+
+  /// Cache-through execution against `snap`.
+  QueryResponse ExecuteOn(const QueryRequest& request, const Snapshot& snap);
+
+  ThreadPool& BatchPool();
+
+  SkycubeServiceOptions options_;
+  std::atomic<std::shared_ptr<const Snapshot>> snapshot_;
+  ResultCache cache_;
+
+  std::atomic<uint64_t> snapshot_swaps_{0};
+  std::array<std::atomic<uint64_t>, kNumQueryKinds> queries_by_kind_{};
+  std::atomic<uint64_t> invalid_requests_{0};
+  std::atomic<uint64_t> batches_{0};
+  LatencyHistogram latency_;
+
+  std::once_flag pool_once_;
+  std::unique_ptr<ThreadPool> pool_;
+  /// Set (once) after pool_ is constructed; lets stats() read the pool
+  /// without racing its lazy creation.
+  std::atomic<ThreadPool*> pool_ptr_{nullptr};
+};
+
+}  // namespace skycube
+
+#endif  // SKYCUBE_SERVICE_SERVICE_H_

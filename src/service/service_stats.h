@@ -1,0 +1,102 @@
+// Observability of the serving path: per-kind query counters and a
+// lock-free log-scale latency histogram, aggregated into ServiceStats
+// snapshots.
+#ifndef SKYCUBE_SERVICE_SERVICE_STATS_H_
+#define SKYCUBE_SERVICE_SERVICE_STATS_H_
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+
+#include "service/request.h"
+
+namespace skycube {
+
+/// A fixed set of power-of-two latency buckets over nanoseconds. Bucket i
+/// counts samples in [2^i, 2^(i+1)) ns; with 40 buckets the histogram spans
+/// ~1 ns to ~18 minutes. Recording is one relaxed fetch_add — safe from any
+/// number of threads.
+class LatencyHistogram {
+ public:
+  static constexpr int kNumBuckets = 40;
+
+  void Record(uint64_t nanos) {
+    int bucket = 64 - std::countl_zero(nanos | 1) - 1;  // floor(log2)
+    if (bucket >= kNumBuckets) bucket = kNumBuckets - 1;
+    buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+    total_nanos_.fetch_add(nanos, std::memory_order_relaxed);
+  }
+
+  uint64_t TotalCount() const {
+    uint64_t n = 0;
+    for (const auto& bucket : buckets_) {
+      n += bucket.load(std::memory_order_relaxed);
+    }
+    return n;
+  }
+
+  double MeanNanos() const {
+    const uint64_t n = TotalCount();
+    return n == 0 ? 0.0
+                  : static_cast<double>(
+                        total_nanos_.load(std::memory_order_relaxed)) /
+                        static_cast<double>(n);
+  }
+
+  /// Upper bound (in ns) of the bucket containing quantile `q` ∈ [0, 1] —
+  /// e.g. PercentileNanos(0.99) for p99. Resolution is the 2× bucket width.
+  uint64_t PercentileNanos(double q) const {
+    const uint64_t total = TotalCount();
+    if (total == 0) return 0;
+    uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(total));
+    if (rank >= total) rank = total - 1;
+    uint64_t seen = 0;
+    for (int i = 0; i < kNumBuckets; ++i) {
+      seen += buckets_[i].load(std::memory_order_relaxed);
+      if (seen > rank) return uint64_t{1} << (i + 1);
+    }
+    return uint64_t{1} << kNumBuckets;
+  }
+
+  void Reset() {
+    for (auto& bucket : buckets_) {
+      bucket.store(0, std::memory_order_relaxed);
+    }
+    total_nanos_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> total_nanos_{0};
+};
+
+/// A point-in-time snapshot of the service counters (plain data, copyable).
+struct ServiceStats {
+  /// Queries served, by QueryKind (index = static_cast<int>(kind)).
+  std::array<uint64_t, kNumQueryKinds> queries_by_kind{};
+  uint64_t queries_total = 0;
+  uint64_t invalid_requests = 0;
+  uint64_t batches = 0;
+
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_evictions = 0;
+  size_t cache_entries = 0;
+  double cache_hit_rate = 0.0;
+
+  uint64_t snapshot_version = 0;
+  uint64_t snapshot_swaps = 0;
+
+  /// High-water mark of the batch-execution pool's queue depth.
+  size_t queue_depth_high_water = 0;
+
+  double latency_mean_nanos = 0.0;
+  uint64_t latency_p50_nanos = 0;
+  uint64_t latency_p95_nanos = 0;
+  uint64_t latency_p99_nanos = 0;
+};
+
+}  // namespace skycube
+
+#endif  // SKYCUBE_SERVICE_SERVICE_STATS_H_

@@ -1,0 +1,134 @@
+// Tests for the ThreadPool behind ParallelChunks and SkycubeService.
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "common/thread_pool.h"
+
+namespace skycube {
+namespace {
+
+TEST(ThreadPoolTest, ExecutesEveryTask) {
+  ThreadPool pool(ThreadPoolOptions{4, 64});
+  std::atomic<int> executed{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.Submit([&executed] { ++executed; });
+  }
+  // The destructor drains the queue before joining, so after scope exit
+  // every task must have run; poll to also cover the pre-shutdown path.
+  while (executed.load() < 1000) std::this_thread::yield();
+  EXPECT_EQ(executed.load(), 1000);
+  EXPECT_EQ(pool.stats().tasks_submitted, 1000u);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> executed{0};
+  {
+    ThreadPool pool(ThreadPoolOptions{2, 512});
+    for (int i = 0; i < 200; ++i) {
+      pool.Submit([&executed] { ++executed; });
+    }
+  }  // ~ThreadPool must not drop queued work
+  EXPECT_EQ(executed.load(), 200);
+}
+
+TEST(ThreadPoolTest, BoundedQueueBlocksSubmitUntilDrained) {
+  ThreadPool pool(ThreadPoolOptions{1, 2});
+  std::atomic<bool> release{false};
+  std::atomic<int> executed{0};
+  // Occupy the single worker, then fill the queue past capacity: the extra
+  // Submits must block (and eventually complete) rather than grow a backlog.
+  pool.Submit([&] {
+    while (!release.load()) std::this_thread::yield();
+    ++executed;
+  });
+  std::thread producer([&] {
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&executed] { ++executed; });
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_LE(pool.QueueDepth(), 2u);
+  release.store(true);
+  producer.join();
+  while (executed.load() < 11) std::this_thread::yield();
+  EXPECT_EQ(executed.load(), 11);
+  const ThreadPoolStats stats = pool.stats();
+  EXPECT_GE(stats.submit_waits, 1u);
+  EXPECT_LE(stats.queue_depth_high_water, 2u);
+}
+
+TEST(ThreadPoolTest, TrySubmitRefusesWhenFull) {
+  ThreadPool pool(ThreadPoolOptions{1, 1});
+  std::atomic<bool> release{false};
+  pool.Submit([&] {
+    while (!release.load()) std::this_thread::yield();
+  });
+  // Fill the one queue slot, then TrySubmit must refuse without blocking.
+  std::function<void()> filler = [] {};
+  while (!pool.TrySubmit(filler)) std::this_thread::yield();
+  std::function<void()> refused = [] {};
+  bool accepted = true;
+  for (int i = 0; i < 100 && accepted; ++i) {
+    accepted = pool.TrySubmit(refused);
+  }
+  EXPECT_FALSE(accepted);
+  release.store(true);
+}
+
+TEST(ThreadPoolTest, OnWorkerThreadFlag) {
+  EXPECT_FALSE(ThreadPool::OnWorkerThread());
+  ThreadPool pool(ThreadPoolOptions{2, 8});
+  std::atomic<int> on_worker{0};
+  std::atomic<int> done{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&] {
+      if (ThreadPool::OnWorkerThread()) ++on_worker;
+      ++done;
+    });
+  }
+  while (done.load() < 8) std::this_thread::yield();
+  EXPECT_EQ(on_worker.load(), 8);
+}
+
+TEST(ThreadPoolTest, NestedParallelChunksFromWorkerRunsInline) {
+  // A ParallelChunks call from inside a pool task must complete even when
+  // every worker is busy issuing nested calls — the deadlock scenario the
+  // inline-nesting rule exists for.
+  ThreadPool& pool = ThreadPool::Shared();
+  const int tasks = pool.num_threads() + 2;
+  std::atomic<int> done{0};
+  std::atomic<uint64_t> total{0};
+  for (int i = 0; i < tasks; ++i) {
+    pool.Submit([&] {
+      ParallelChunks(100, 4, [&](int, size_t begin, size_t end) {
+        for (size_t j = begin; j < end; ++j) total += j;
+      });
+      ++done;
+    });
+  }
+  while (done.load() < tasks) std::this_thread::yield();
+  EXPECT_EQ(total.load(), static_cast<uint64_t>(tasks) * (99 * 100 / 2));
+}
+
+TEST(ThreadPoolTest, ParallelChunksSharedPoolStress) {
+  // Many back-to-back ParallelChunks calls reuse pooled workers; per-call
+  // correctness must hold throughout.
+  for (int round = 0; round < 50; ++round) {
+    std::vector<uint64_t> partial(4, 0);
+    ParallelChunks(1000, 4, [&](int chunk, size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) partial[chunk] += i;
+    });
+    uint64_t total = 0;
+    for (uint64_t p : partial) total += p;
+    EXPECT_EQ(total, 1000u * 999 / 2);
+  }
+}
+
+}  // namespace
+}  // namespace skycube

@@ -1,0 +1,142 @@
+// CompressedSkylineCube is immutable after construction, so any number of
+// threads may issue Q1/Q2/Q3 queries against one instance concurrently.
+// This test hammers all three query classes from several threads and checks
+// every answer against a single-threaded baseline; run it under
+// -DSKYCUBE_SANITIZE=thread to prove the const query path is data-race
+// free.
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/subspace.h"
+#include "core/cube.h"
+#include "core/stellar.h"
+#include "datagen/synthetic.h"
+#include "dataset/dataset.h"
+
+namespace skycube {
+namespace {
+
+Dataset MakeData(Distribution distribution, int dims, uint64_t seed) {
+  SyntheticSpec spec;
+  spec.distribution = distribution;
+  spec.num_dims = dims;
+  spec.num_objects = 250;
+  spec.seed = seed;
+  spec.truncate_decimals = 2;
+  return GenerateSynthetic(spec);
+}
+
+TEST(CubeConcurrencyTest, ReaderStormMatchesSingleThreadedBaseline) {
+  const Dataset data = MakeData(Distribution::kIndependent, 5, 7);
+  const CompressedSkylineCube cube(data.num_dims(), data.num_objects(),
+                                   ComputeStellar(data));
+
+  // Single-threaded baseline for every subspace / object the storm uses.
+  const DimMask full = data.full_mask();
+  std::vector<std::vector<ObjectId>> baseline_skyline(full + 1);
+  for (DimMask subspace = 1; subspace <= full; ++subspace) {
+    baseline_skyline[subspace] = cube.SubspaceSkyline(subspace);
+  }
+  std::vector<uint64_t> baseline_count(data.num_objects());
+  for (ObjectId id = 0; id < data.num_objects(); ++id) {
+    baseline_count[id] = cube.CountSubspacesWhereSkyline(id);
+  }
+  const uint64_t baseline_total = cube.TotalSubspaceSkylineObjects();
+
+  constexpr int kThreads = 8;
+  constexpr int kQueriesPerThread = 2000;
+  std::atomic<uint64_t> mismatches{0};
+  std::vector<std::thread> readers;
+  readers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    readers.emplace_back([&, t] {
+      Rng rng(1000 + static_cast<uint64_t>(t));
+      for (int i = 0; i < kQueriesPerThread; ++i) {
+        const DimMask subspace =
+            static_cast<DimMask>(1 + rng.NextBounded(full));
+        const ObjectId object =
+            static_cast<ObjectId>(rng.NextBounded(data.num_objects()));
+        switch (rng.NextBounded(5)) {
+          case 0:  // Q1: full skyline
+            if (cube.SubspaceSkyline(subspace) !=
+                baseline_skyline[subspace]) {
+              ++mismatches;
+            }
+            break;
+          case 1:  // Q1: cardinality
+            if (cube.SkylineCardinality(subspace) !=
+                baseline_skyline[subspace].size()) {
+              ++mismatches;
+            }
+            break;
+          case 2: {  // Q2: membership
+            const std::vector<ObjectId>& expected =
+                baseline_skyline[subspace];
+            const bool in_baseline =
+                std::binary_search(expected.begin(), expected.end(), object);
+            if (cube.IsInSubspaceSkyline(object, subspace) != in_baseline) {
+              ++mismatches;
+            }
+            break;
+          }
+          case 3:  // Q3: per-object count
+            if (cube.CountSubspacesWhereSkyline(object) !=
+                baseline_count[object]) {
+              ++mismatches;
+            }
+            break;
+          default:  // Q3: skycube size
+            if (cube.TotalSubspaceSkylineObjects() != baseline_total) {
+              ++mismatches;
+            }
+            break;
+        }
+      }
+    });
+  }
+  for (std::thread& reader : readers) reader.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+}
+
+TEST(CubeConcurrencyTest, ConcurrentMembershipIntervalQueries) {
+  // MembershipIntervals and SubspacesWhereSkyline share groups_of_object_;
+  // exercise them concurrently too (smaller data — enumeration is pricier).
+  const Dataset data = MakeData(Distribution::kAntiCorrelated, 4, 11);
+  const CompressedSkylineCube cube(data.num_dims(), data.num_objects(),
+                                   ComputeStellar(data));
+  std::vector<std::vector<DimMask>> baseline(data.num_objects());
+  for (ObjectId id = 0; id < data.num_objects(); ++id) {
+    baseline[id] = cube.SubspacesWhereSkyline(id);
+  }
+
+  constexpr int kThreads = 6;
+  std::atomic<uint64_t> mismatches{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kThreads; ++t) {
+    readers.emplace_back([&, t] {
+      Rng rng(77 + static_cast<uint64_t>(t));
+      for (int i = 0; i < 300; ++i) {
+        const ObjectId object =
+            static_cast<ObjectId>(rng.NextBounded(data.num_objects()));
+        if (cube.SubspacesWhereSkyline(object) != baseline[object]) {
+          ++mismatches;
+        }
+        if (cube.CountSubspacesWhereSkyline(object) !=
+            baseline[object].size()) {
+          ++mismatches;
+        }
+      }
+    });
+  }
+  for (std::thread& reader : readers) reader.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+}
+
+}  // namespace
+}  // namespace skycube

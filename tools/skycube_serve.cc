@@ -1,0 +1,343 @@
+// skycube_serve — long-lived line-protocol front end to SkycubeService.
+//
+// Reads one query per line on stdin, writes exactly one answer line on
+// stdout (prefix "ok" or "err"), so it is scriptable from tests and shell
+// pipelines. Backed by either a saved cube file (read-only) or a CSV /
+// synthetic dataset (insert-capable: each insert runs the incremental
+// maintainer and hot-swaps the service snapshot).
+//
+// Data source (exactly one):
+//   --cube=FILE        saved cube (skycube_cli compute --out=...)
+//   --data=FILE.csv    dataset; cube built with Stellar  [--negate]
+//   --synthetic        generated dataset: --dist=independent|correlated|anti
+//                      --tuples=N --dims=D [--seed=S] [--truncate=K]
+// Service knobs:
+//   --cache-capacity=N   result-cache entries, 0 disables   (default 65536)
+//   --cache-shards=N     LRU shards                         (default 8)
+//   --threads=N          batch-pool workers, 0 = hardware   (default 0)
+//
+// Protocol (case-insensitive command word; subspaces as letters, "ACD"):
+//   skyline SUBSPACE      Q1  -> ok n=3 v=1 hit=0 ids=0 4 17
+//   card SUBSPACE         Q1  -> ok count=3 v=1 hit=1
+//   member ID SUBSPACE    Q2  -> ok member=yes v=1 hit=0
+//   count ID              Q3  -> ok count=17 v=1 hit=0
+//   total                 Q3  -> ok count=40310 v=1 hit=0
+//   batch Q; Q; ...       fan-out over the pool; answers joined with " ; "
+//   insert V1,V2,...      add a row (not with --cube) and swap the snapshot
+//   stats                 one-line service counters
+//   help | quit
+#include <cctype>
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/subspace.h"
+#include "core/maintenance.h"
+#include "core/serialization.h"
+#include "core/stellar.h"
+#include "datagen/synthetic.h"
+#include "dataset/dataset.h"
+#include "service/service.h"
+
+namespace skycube {
+namespace {
+
+struct ServeSession {
+  std::unique_ptr<SkycubeService> service;
+  /// Present when insert-capable (--data / --synthetic).
+  std::unique_ptr<IncrementalCubeMaintainer> maintainer;
+  int num_dims = 0;
+};
+
+std::string Lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(c));
+  return s;
+}
+
+/// Parses "ACD" into a mask, validating against num_dims; nullopt + message
+/// on bad input (the server must not die on a typo).
+std::optional<DimMask> ParseSubspace(const std::string& letters,
+                                     int num_dims, std::string* error) {
+  if (letters.empty()) {
+    *error = "empty subspace";
+    return std::nullopt;
+  }
+  DimMask mask = 0;
+  for (char c : letters) {
+    if (c < 'A' || c > 'Z') {
+      *error = "subspace must be uppercase letters, e.g. ACD";
+      return std::nullopt;
+    }
+    const int dim = c - 'A';
+    if (dim >= num_dims) {
+      *error = "dimension '" + std::string(1, c) + "' beyond the cube's " +
+               std::to_string(num_dims) + " dimensions";
+      return std::nullopt;
+    }
+    mask |= DimBit(dim);
+  }
+  return mask;
+}
+
+/// Parses one protocol line into a request; nullopt + message on failure.
+std::optional<QueryRequest> ParseQuery(const std::string& line, int num_dims,
+                                       std::string* error) {
+  std::istringstream in(line);
+  std::string command;
+  in >> command;
+  command = Lower(command);
+  if (command == "skyline" || command == "card") {
+    std::string letters;
+    in >> letters;
+    const auto mask = ParseSubspace(letters, num_dims, error);
+    if (!mask) return std::nullopt;
+    return command == "skyline" ? QueryRequest::SubspaceSkyline(*mask)
+                                : QueryRequest::SkylineCardinality(*mask);
+  }
+  if (command == "member") {
+    long long id = -1;
+    std::string letters;
+    in >> id >> letters;
+    if (id < 0) {
+      *error = "usage: member ID SUBSPACE";
+      return std::nullopt;
+    }
+    const auto mask = ParseSubspace(letters, num_dims, error);
+    if (!mask) return std::nullopt;
+    return QueryRequest::Membership(static_cast<ObjectId>(id), *mask);
+  }
+  if (command == "count") {
+    long long id = -1;
+    in >> id;
+    if (id < 0) {
+      *error = "usage: count ID";
+      return std::nullopt;
+    }
+    return QueryRequest::MembershipCount(static_cast<ObjectId>(id));
+  }
+  if (command == "total") return QueryRequest::SkycubeSize();
+  *error = "unknown query '" + command + "' (try: help)";
+  return std::nullopt;
+}
+
+std::string FormatResponse(const QueryResponse& response) {
+  if (!response.ok) return "err " + response.error;
+  std::ostringstream out;
+  out << "ok ";
+  switch (response.kind) {
+    case QueryKind::kSubspaceSkyline:
+      out << "n=" << response.count;
+      break;
+    case QueryKind::kSkylineCardinality:
+    case QueryKind::kMembershipCount:
+    case QueryKind::kSkycubeSize:
+      out << "count=" << response.count;
+      break;
+    case QueryKind::kMembership:
+      out << "member=" << (response.member ? "yes" : "no");
+      break;
+  }
+  out << " v=" << response.snapshot_version
+      << " hit=" << (response.cache_hit ? 1 : 0);
+  if (response.ids) {
+    out << " ids=";
+    for (size_t i = 0; i < response.ids->size(); ++i) {
+      out << (i == 0 ? "" : " ") << (*response.ids)[i];
+    }
+  }
+  return out.str();
+}
+
+std::string FormatStats(const SkycubeService& service) {
+  const ServiceStats stats = service.stats();
+  std::ostringstream out;
+  out << "ok queries=" << stats.queries_total;
+  for (int kind = 0; kind < kNumQueryKinds; ++kind) {
+    out << " " << QueryKindName(static_cast<QueryKind>(kind)) << "="
+        << stats.queries_by_kind[kind];
+  }
+  out << " invalid=" << stats.invalid_requests
+      << " batches=" << stats.batches << " cache_hits=" << stats.cache_hits
+      << " cache_misses=" << stats.cache_misses
+      << " cache_evictions=" << stats.cache_evictions
+      << " cache_entries=" << stats.cache_entries << " version="
+      << stats.snapshot_version << " swaps=" << stats.snapshot_swaps
+      << " queue_hwm=" << stats.queue_depth_high_water << " p50_us="
+      << static_cast<double>(stats.latency_p50_nanos) / 1e3 << " p99_us="
+      << static_cast<double>(stats.latency_p99_nanos) / 1e3;
+  return out.str();
+}
+
+std::string HandleInsert(ServeSession& session, const std::string& args) {
+  if (!session.maintainer) {
+    return "err insert needs a dataset-backed server (--data/--synthetic)";
+  }
+  std::vector<double> values;
+  std::istringstream in(args);
+  std::string cell;
+  while (std::getline(in, cell, ',')) {
+    try {
+      values.push_back(std::stod(cell));
+    } catch (...) {
+      return "err bad value '" + cell + "'";
+    }
+  }
+  if (static_cast<int>(values.size()) != session.num_dims) {
+    return "err insert needs " + std::to_string(session.num_dims) +
+           " comma-separated values";
+  }
+  const InsertPath path = session.maintainer->Insert(values);
+  session.service->Reload(std::make_shared<const CompressedSkylineCube>(
+      session.maintainer->MakeCube()));
+  const char* path_name =
+      path == InsertPath::kDuplicate        ? "duplicate"
+      : path == InsertPath::kNoOp           ? "noop"
+      : path == InsertPath::kExtensionOnly  ? "extension"
+                                            : "recompute";
+  std::ostringstream out;
+  out << "ok path=" << path_name << " version="
+      << session.service->snapshot_version()
+      << " objects=" << session.maintainer->data().num_objects();
+  return out.str();
+}
+
+std::string HandleBatch(ServeSession& session, const std::string& args) {
+  std::vector<QueryRequest> requests;
+  std::istringstream in(args);
+  std::string part;
+  while (std::getline(in, part, ';')) {
+    // Trim surrounding spaces.
+    const size_t first = part.find_first_not_of(" \t");
+    if (first == std::string::npos) continue;
+    part = part.substr(first, part.find_last_not_of(" \t") - first + 1);
+    std::string error;
+    const auto request = ParseQuery(part, session.num_dims, &error);
+    if (!request) return "err " + error;
+    requests.push_back(*request);
+  }
+  if (requests.empty()) return "err batch needs ';'-separated queries";
+  const std::vector<QueryResponse> responses =
+      session.service->ExecuteBatch(requests);
+  std::ostringstream out;
+  for (size_t i = 0; i < responses.size(); ++i) {
+    out << (i == 0 ? "" : " ; ") << FormatResponse(responses[i]);
+  }
+  return out.str();
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: skycube_serve (--cube=FILE | --data=FILE.csv | "
+               "--synthetic) [flags]\n(see the header of "
+               "tools/skycube_serve.cc)\n");
+  return 2;
+}
+
+int Serve(const FlagParser& flags) {
+  ServeSession session;
+  SkycubeServiceOptions options;
+  options.cache.capacity =
+      static_cast<size_t>(flags.GetInt("cache-capacity", 1 << 16));
+  options.cache.num_shards =
+      static_cast<size_t>(flags.GetInt("cache-shards", 8));
+  options.batch_threads = static_cast<int>(flags.GetInt("threads", 0));
+
+  if (flags.Has("cube")) {
+    Result<SerializedCube> loaded =
+        LoadCubeFromFile(flags.GetString("cube", ""));
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    session.num_dims = loaded.value().num_dims;
+    session.service = std::make_unique<SkycubeService>(
+        std::make_shared<const CompressedSkylineCube>(
+            loaded.value().num_dims, loaded.value().num_objects,
+            std::move(loaded.value().groups)),
+        options);
+  } else if (flags.Has("data") || flags.GetBool("synthetic", false)) {
+    Dataset data(1);
+    if (flags.Has("data")) {
+      Result<Dataset> loaded =
+          Dataset::FromCsvFile(flags.GetString("data", ""));
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+        return 1;
+      }
+      data = std::move(loaded).value();
+      if (flags.GetBool("negate", false)) data = data.Negated();
+    } else {
+      SyntheticSpec spec;
+      spec.distribution =
+          DistributionFromName(flags.GetString("dist", "independent"));
+      spec.num_objects = static_cast<size_t>(flags.GetInt("tuples", 2000));
+      spec.num_dims = static_cast<int>(flags.GetInt("dims", 6));
+      spec.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+      spec.truncate_decimals = static_cast<int>(flags.GetInt("truncate", 4));
+      data = GenerateSynthetic(spec);
+    }
+    session.num_dims = data.num_dims();
+    session.maintainer =
+        std::make_unique<IncrementalCubeMaintainer>(std::move(data));
+    session.service = std::make_unique<SkycubeService>(
+        std::make_shared<const CompressedSkylineCube>(
+            session.maintainer->MakeCube()),
+        options);
+  } else {
+    return Usage();
+  }
+
+  std::fprintf(stderr,
+               "serving %d-dim cube, version %llu (one query per line; "
+               "'help' lists commands)\n",
+               session.num_dims,
+               static_cast<unsigned long long>(
+                   session.service->snapshot_version()));
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string command;
+    in >> command;
+    command = Lower(command);
+    std::string rest;
+    std::getline(in, rest);
+    if (command.empty()) continue;
+    if (command == "quit" || command == "exit") break;
+    if (command == "help") {
+      std::printf(
+          "ok commands: skyline S | card S | member ID S | count ID | "
+          "total | batch Q; Q; ... | insert V1,V2,... | stats | quit\n");
+    } else if (command == "stats") {
+      std::printf("%s\n", FormatStats(*session.service).c_str());
+    } else if (command == "insert") {
+      std::printf("%s\n", HandleInsert(session, rest).c_str());
+    } else if (command == "batch") {
+      std::printf("%s\n", HandleBatch(session, rest).c_str());
+    } else {
+      std::string error;
+      const auto request = ParseQuery(line, session.num_dims, &error);
+      if (!request) {
+        std::printf("err %s\n", error.c_str());
+      } else {
+        std::printf("%s\n",
+                    FormatResponse(session.service->Execute(*request))
+                        .c_str());
+      }
+    }
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace skycube
+
+int main(int argc, char** argv) {
+  const skycube::FlagParser flags(argc, argv);
+  return skycube::Serve(flags);
+}
