@@ -3,6 +3,7 @@
 // raw data — the materialization-pays-off claim behind the whole approach.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_gbench_main.h"
 #include "common/rng.h"
 #include "core/cube.h"
 #include "core/stellar.h"
@@ -96,4 +97,6 @@ BENCHMARK(BM_CubeConstruction_Stellar)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace skycube
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return skycube::bench::RunGoogleBenchMain(argc, argv, "cube_queries");
+}

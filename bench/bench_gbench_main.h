@@ -1,0 +1,56 @@
+// Custom main() for the google-benchmark binaries that understands the
+// repo-wide `--json[=PATH]` convention (see BenchJson in bench_common.h):
+// it is rewritten into google-benchmark's native
+// `--benchmark_out=PATH --benchmark_out_format=json` pair before
+// Initialize, so perf-trajectory tooling can collect every bench binary's
+// JSON the same way. `--json` alone defaults to BENCH_<name>.json in the
+// working directory. All other flags pass through untouched.
+#ifndef SKYCUBE_BENCH_BENCH_GBENCH_MAIN_H_
+#define SKYCUBE_BENCH_BENCH_GBENCH_MAIN_H_
+
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+namespace skycube::bench {
+
+inline int RunGoogleBenchMain(int argc, char** argv,
+                              const std::string& bench_name) {
+  std::vector<std::string> rewritten;
+  rewritten.reserve(static_cast<size_t>(argc) + 2);
+  rewritten.emplace_back(argv[0]);
+  std::string json_path;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json = true;
+      json_path = arg.substr(7);
+    } else {
+      rewritten.push_back(arg);
+    }
+  }
+  if (json) {
+    if (json_path.empty()) json_path = "BENCH_" + bench_name + ".json";
+    rewritten.push_back("--benchmark_out=" + json_path);
+    rewritten.push_back("--benchmark_out_format=json");
+  }
+  std::vector<char*> args;
+  args.reserve(rewritten.size());
+  for (std::string& arg : rewritten) args.push_back(arg.data());
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace skycube::bench
+
+#endif  // SKYCUBE_BENCH_BENCH_GBENCH_MAIN_H_

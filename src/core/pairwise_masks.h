@@ -15,6 +15,7 @@
 
 #include "common/subspace.h"
 #include "dataset/dataset.h"
+#include "dataset/ranked_view.h"
 
 namespace skycube {
 
@@ -25,9 +26,13 @@ class PairwiseMasks {
   /// `objects` are the seed object ids; `universe` is the full space mask.
   /// When `materialize` is true, all |objects|² dominance cells are
   /// precomputed in one pass, parallelized over `num_threads` (0 = all
-  /// hardware threads).
+  /// hardware threads). When `ranked` is non-null (it must view `data` and
+  /// outlive this object), the materialized build runs on the tiled
+  /// rank-compressed kernel and on-the-fly cells use the branch-free rank
+  /// masks; results are identical either way.
   PairwiseMasks(const Dataset& data, std::vector<ObjectId> objects,
-                DimMask universe, bool materialize, int num_threads = 1);
+                DimMask universe, bool materialize, int num_threads = 1,
+                const RankedView* ranked = nullptr);
 
   size_t size() const { return objects_.size(); }
   ObjectId object(size_t index) const { return objects_[index]; }
@@ -37,6 +42,9 @@ class PairwiseMasks {
   /// Dimensions where object(i) < object(j). dom(i,i) = ∅.
   DimMask Dominance(size_t i, size_t j) const {
     if (materialized_) return dom_[i * objects_.size() + j];
+    if (ranked_ != nullptr) {
+      return ranked_->DominanceMask(objects_[i], objects_[j], universe_);
+    }
     return data_->DominanceMask(objects_[i], objects_[j], universe_);
   }
 
@@ -45,6 +53,9 @@ class PairwiseMasks {
     if (materialized_) {
       return universe_ & ~dom_[i * objects_.size() + j] &
              ~dom_[j * objects_.size() + i];
+    }
+    if (ranked_ != nullptr) {
+      return ranked_->CoincidenceMask(objects_[i], objects_[j], universe_);
     }
     return data_->CoincidenceMask(objects_[i], objects_[j], universe_);
   }
@@ -56,6 +67,7 @@ class PairwiseMasks {
   std::vector<ObjectId> objects_;
   DimMask universe_;
   bool materialized_;
+  const RankedView* ranked_;
   std::vector<DimMask> dom_;  // row-major |objects|² when materialized
 };
 

@@ -17,6 +17,7 @@
 
 #include "common/subspace.h"
 #include "dataset/dataset.h"
+#include "dataset/ranked_view.h"
 
 namespace skycube {
 
@@ -96,6 +97,39 @@ std::vector<ObjectId> SkylineBitmap(const Dataset& data, DimMask subspace,
                                     const std::vector<ObjectId>& candidates);
 std::vector<ObjectId> SkylineBbs(const Dataset& data, DimMask subspace,
                                  const std::vector<ObjectId>& candidates);
+
+/// Rank-compressed fast paths (skyline/dominance_kernels.h): identical
+/// output to the double-precision entry points above — rank order equals
+/// value order, ties share a rank — but the inner loops run branch-poor
+/// integer batch kernels over the view's columns. Build the RankedView
+/// once per dataset and reuse it across subspaces/calls. BBS has no ranked
+/// variant; the dispatchers fall back to the double path via view.data().
+std::vector<ObjectId> ComputeSkylineRanked(
+    const RankedView& view, DimMask subspace,
+    SkylineAlgorithm algorithm = SkylineAlgorithm::kSortFilterSkyline);
+std::vector<ObjectId> ComputeSkylineAmongRanked(
+    const RankedView& view, DimMask subspace,
+    const std::vector<ObjectId>& candidates,
+    SkylineAlgorithm algorithm = SkylineAlgorithm::kSortFilterSkyline);
+
+std::vector<ObjectId> SkylineBnlRanked(const RankedView& view,
+                                       DimMask subspace,
+                                       const std::vector<ObjectId>& candidates);
+std::vector<ObjectId> SkylineSfsRanked(const RankedView& view,
+                                       DimMask subspace,
+                                       const std::vector<ObjectId>& candidates);
+std::vector<ObjectId> SkylineDivideAndConquerRanked(
+    const RankedView& view, DimMask subspace,
+    const std::vector<ObjectId>& candidates);
+std::vector<ObjectId> SkylineLessRanked(
+    const RankedView& view, DimMask subspace,
+    const std::vector<ObjectId>& candidates);
+std::vector<ObjectId> SkylineIndexRanked(
+    const RankedView& view, DimMask subspace,
+    const std::vector<ObjectId>& candidates);
+std::vector<ObjectId> SkylineBitmapRanked(
+    const RankedView& view, DimMask subspace,
+    const std::vector<ObjectId>& candidates);
 
 }  // namespace skycube
 

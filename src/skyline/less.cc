@@ -9,6 +9,7 @@
 
 #include "skyline/algorithms.h"
 #include "skyline/dominance.h"
+#include "skyline/dominance_kernels.h"
 
 namespace skycube {
 
@@ -72,6 +73,54 @@ std::vector<ObjectId> SkylineLess(const Dataset& data, DimMask subspace,
     }
     if (!dominated) skyline.push_back(entry.id);
   }
+  std::sort(skyline.begin(), skyline.end());
+  return skyline;
+}
+
+// Ranked fast path: integer rank-sum scores for both passes; the EF window
+// stays pairwise (it holds ≤ kEfWindowSize entries), the final SFS filter
+// runs over a batch columnar window.
+std::vector<ObjectId> SkylineLessRanked(
+    const RankedView& view, DimMask subspace,
+    const std::vector<ObjectId>& candidates) {
+  struct RankScored {
+    uint64_t key;
+    ObjectId id;
+  };
+  std::vector<RankScored> ef;
+  std::vector<RankScored> survivors;
+  survivors.reserve(candidates.size());
+  for (ObjectId id : candidates) {
+    const uint64_t key = view.RankSortKey(id, subspace);
+    bool dominated = false;
+    for (const RankScored& entry : ef) {
+      if (entry.key >= key) break;  // can't dominate: key not smaller
+      if (RankedDominates(view, entry.id, id, subspace)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (dominated) continue;
+    survivors.push_back({key, id});
+    if (ef.size() < kEfWindowSize || key < ef.back().key) {
+      auto pos = std::lower_bound(
+          ef.begin(), ef.end(), key,
+          [](const RankScored& entry, uint64_t k) { return entry.key < k; });
+      ef.insert(pos, {key, id});
+      if (ef.size() > kEfWindowSize) ef.pop_back();
+    }
+  }
+
+  std::sort(survivors.begin(), survivors.end(),
+            [](const RankScored& a, const RankScored& b) {
+              if (a.key != b.key) return a.key < b.key;
+              return a.id < b.id;
+            });
+  RankedWindow window(view, subspace, std::min<size_t>(survivors.size(), 256));
+  for (const RankScored& entry : survivors) {
+    if (!window.AnyDominates(entry.id)) window.Append(entry.id);
+  }
+  std::vector<ObjectId> skyline = window.ids();
   std::sort(skyline.begin(), skyline.end());
   return skyline;
 }

@@ -7,6 +7,7 @@
 
 #include "skyline/algorithms.h"
 #include "skyline/dominance.h"
+#include "skyline/dominance_kernels.h"
 
 namespace skycube {
 
@@ -38,6 +39,36 @@ std::vector<ObjectId> SkylineSfs(const Dataset& data, DimMask subspace,
     }
     if (!dominated) skyline.push_back(entry.id);
   }
+  std::sort(skyline.begin(), skyline.end());
+  return skyline;
+}
+
+// Ranked fast path: the monotone presort key becomes the integer rank sum
+// (dominance implies a strictly smaller rank sum, same as the coordinate
+// sum over doubles), and the window scan becomes one batch probe over a
+// grow-only columnar block.
+std::vector<ObjectId> SkylineSfsRanked(
+    const RankedView& view, DimMask subspace,
+    const std::vector<ObjectId>& candidates) {
+  struct Scored {
+    uint64_t key;
+    ObjectId id;
+  };
+  std::vector<Scored> order;
+  order.reserve(candidates.size());
+  for (ObjectId id : candidates) {
+    order.push_back({view.RankSortKey(id, subspace), id});
+  }
+  std::sort(order.begin(), order.end(), [](const Scored& a, const Scored& b) {
+    if (a.key != b.key) return a.key < b.key;
+    return a.id < b.id;
+  });
+
+  RankedWindow window(view, subspace, std::min<size_t>(candidates.size(), 256));
+  for (const Scored& entry : order) {
+    if (!window.AnyDominates(entry.id)) window.Append(entry.id);
+  }
+  std::vector<ObjectId> skyline = window.ids();
   std::sort(skyline.begin(), skyline.end());
   return skyline;
 }
