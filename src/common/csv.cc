@@ -1,6 +1,7 @@
 #include "common/csv.h"
 
 #include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -26,18 +27,53 @@ std::vector<std::string> SplitLine(const std::string& line, char delimiter) {
   return cells;
 }
 
-bool ParseDouble(const std::string& text, double* out) {
-  if (text.empty()) return false;
+/// Why a cell failed to parse — drives the error message.
+enum class CellError {
+  kOk,
+  kEmpty,
+  kEmbeddedNul,
+  kNotNumeric,
+  kNotFinite,
+};
+
+CellError ParseCell(const std::string& text, double* out) {
+  if (text.empty()) return CellError::kEmpty;
+  // strtod stops at the first NUL, which would silently accept garbage
+  // after it ("1\0junk") — reject the byte outright.
+  if (text.find('\0') != std::string::npos) return CellError::kEmbeddedNul;
   errno = 0;
   char* end = nullptr;
   const double value = std::strtod(text.c_str(), &end);
-  if (errno != 0 || end == text.c_str()) return false;
+  if (errno != 0 || end == text.c_str()) return CellError::kNotNumeric;
   // Allow trailing spaces only.
   for (const char* p = end; *p != '\0'; ++p) {
-    if (*p != ' ' && *p != '\t') return false;
+    if (*p != ' ' && *p != '\t') return CellError::kNotNumeric;
   }
+  // NaN poisons dominance comparisons and infinities break rank
+  // compression; dataset values must be finite.
+  if (!std::isfinite(value)) return CellError::kNotFinite;
   *out = value;
-  return true;
+  return CellError::kOk;
+}
+
+/// Printable copy of a cell for error messages (NUL bytes would truncate
+/// the message; other control bytes would garble the terminal).
+std::string PrintableCell(const std::string& cell) {
+  std::string out;
+  out.reserve(cell.size());
+  for (char c : cell) {
+    out += (c >= 0x20 && c != 0x7F) ? c : '?';
+  }
+  if (out.size() > 32) {
+    out.resize(29);
+    out += "...";
+  }
+  return out;
+}
+
+std::string CellContext(size_t line_number, size_t column) {
+  return "at line " + std::to_string(line_number) + ", column " +
+         std::to_string(column + 1);
 }
 
 }  // namespace
@@ -62,17 +98,34 @@ Result<CsvTable> ParseNumericCsv(const std::string& text,
     }
     if (width == 0) width = cells.size();
     if (cells.size() != width) {
-      return Status::InvalidArgument("ragged CSV row at line " +
-                                     std::to_string(line_number));
+      return Status::InvalidArgument(
+          "ragged CSV row at line " + std::to_string(line_number) + ": got " +
+          std::to_string(cells.size()) + " cell(s), expected " +
+          std::to_string(width));
     }
     std::vector<double> row;
     row.reserve(cells.size());
-    for (const std::string& cell : cells) {
+    for (size_t column = 0; column < cells.size(); ++column) {
+      const std::string& cell = cells[column];
       double value = 0;
-      if (!ParseDouble(cell, &value)) {
-        return Status::InvalidArgument("non-numeric cell '" + cell +
-                                       "' at line " +
-                                       std::to_string(line_number));
+      switch (ParseCell(cell, &value)) {
+        case CellError::kOk:
+          break;
+        case CellError::kEmpty:
+          return Status::InvalidArgument("empty cell " +
+                                         CellContext(line_number, column));
+        case CellError::kEmbeddedNul:
+          return Status::InvalidArgument("embedded NUL byte " +
+                                         CellContext(line_number, column));
+        case CellError::kNotNumeric:
+          return Status::InvalidArgument(
+              "non-numeric cell '" + PrintableCell(cell) + "' " +
+              CellContext(line_number, column));
+        case CellError::kNotFinite:
+          return Status::InvalidArgument(
+              "non-finite value '" + PrintableCell(cell) + "' " +
+              CellContext(line_number, column) +
+              " (dataset values must be finite)");
       }
       row.push_back(value);
     }

@@ -26,8 +26,9 @@ struct CsvReadOptions {
   char delimiter = ',';
 };
 
-/// Reads a numeric CSV file. Fails with InvalidArgument on ragged rows or
-/// unparsable numeric cells, NotFound if the file cannot be opened.
+/// Reads a numeric CSV file. Fails with InvalidArgument (carrying row and
+/// column context) on ragged rows, unparsable/empty cells, NaN/Inf values,
+/// or embedded NUL bytes; NotFound if the file cannot be opened.
 Result<CsvTable> ReadNumericCsv(const std::string& path,
                                 const CsvReadOptions& options = {});
 

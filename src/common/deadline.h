@@ -1,0 +1,126 @@
+// Deadlines and cooperative cancellation for bounded-time queries.
+//
+// A Deadline is an absolute steady-clock instant (default: infinite); a
+// CancelToken bundles a deadline with an optional shared cancel flag so a
+// request can be abandoned either because its time budget ran out or
+// because the caller explicitly gave up. Long traversals poll the token at
+// a stride (CancelPoll) because a clock read costs ~25 ns — far more than
+// one lattice-node visit.
+//
+// Contract for cancellation-aware functions: once the token fires they may
+// return early with a *partial* value; the caller must re-check the token
+// and discard the result (SkycubeService turns this into kDeadlineExceeded).
+#ifndef SKYCUBE_COMMON_DEADLINE_H_
+#define SKYCUBE_COMMON_DEADLINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+
+namespace skycube {
+
+/// An absolute point in steady-clock time after which work should stop.
+/// Default-constructed deadlines are infinite (never expire); copying is
+/// trivial, so requests carry deadlines by value.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Infinite: never expires.
+  Deadline() = default;
+
+  static Deadline Infinite() { return Deadline(); }
+  static Deadline At(Clock::time_point when) { return Deadline(when); }
+  static Deadline After(std::chrono::nanoseconds budget) {
+    return Deadline(Clock::now() + budget);
+  }
+  static Deadline AfterMillis(int64_t millis) {
+    return After(std::chrono::milliseconds(millis));
+  }
+  /// Already expired — work carrying it fails deterministically, which is
+  /// what tests use to exercise deadline paths without sleeping. Sits at
+  /// the clock epoch, not time_point::min(): remaining() subtracts the
+  /// current time, and the extreme sentinel would overflow the difference.
+  static Deadline ExpiredNow() { return Deadline(Clock::time_point()); }
+
+  bool infinite() const { return when_ == Clock::time_point::max(); }
+  bool expired() const { return !infinite() && Clock::now() >= when_; }
+
+  /// Time left before expiry; negative once expired, nanoseconds::max()
+  /// when infinite.
+  std::chrono::nanoseconds remaining() const {
+    if (infinite()) return std::chrono::nanoseconds::max();
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+        when_ - Clock::now());
+  }
+
+  Clock::time_point when() const { return when_; }
+
+ private:
+  explicit Deadline(Clock::time_point when) : when_(when) {}
+
+  Clock::time_point when_ = Clock::time_point::max();
+};
+
+/// A deadline plus an optional shared cancel flag. Copies share the flag:
+/// cancelling any copy stops them all. The default token never stops, so
+/// passing it is equivalent to "no deadline".
+class CancelToken {
+ public:
+  CancelToken() = default;
+  explicit CancelToken(Deadline deadline) : deadline_(deadline) {}
+
+  /// A token that can also be stopped explicitly via RequestCancel().
+  static CancelToken Cancellable(Deadline deadline = Deadline::Infinite()) {
+    CancelToken token(deadline);
+    token.cancelled_ = std::make_shared<std::atomic<bool>>(false);
+    return token;
+  }
+
+  /// Stops every copy of a Cancellable token; no-op on plain tokens.
+  void RequestCancel() const {
+    if (cancelled_) cancelled_->store(true, std::memory_order_release);
+  }
+
+  bool cancel_requested() const {
+    return cancelled_ != nullptr && cancelled_->load(std::memory_order_acquire);
+  }
+
+  /// True once the work should be abandoned (cancelled or past deadline).
+  bool ShouldStop() const {
+    return cancel_requested() || deadline_.expired();
+  }
+
+  const Deadline& deadline() const { return deadline_; }
+
+ private:
+  Deadline deadline_;
+  std::shared_ptr<std::atomic<bool>> cancelled_;
+};
+
+/// Strided poll over an optional token: ShouldStop() consults the clock only
+/// every `stride` calls (power of two), and latches once fired so a loop's
+/// exit condition stays cheap. A null token never stops — callers pass
+/// their optional token straight through.
+class CancelPoll {
+ public:
+  explicit CancelPoll(const CancelToken* token, uint32_t stride = 64)
+      : token_(token), mask_(stride - 1) {}
+
+  bool ShouldStop() {
+    if (stopped_) return true;
+    if (token_ == nullptr) return false;
+    if ((calls_++ & mask_) == 0 && token_->ShouldStop()) stopped_ = true;
+    return stopped_;
+  }
+
+ private:
+  const CancelToken* token_;
+  uint32_t mask_;
+  uint32_t calls_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace skycube
+
+#endif  // SKYCUBE_COMMON_DEADLINE_H_

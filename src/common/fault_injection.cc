@@ -1,0 +1,75 @@
+#include "common/fault_injection.h"
+
+#include <chrono>
+#include <thread>
+
+namespace skycube {
+
+FaultInjection& FaultInjection::Instance() {
+  // Never destroyed: worker threads may traverse points during static
+  // destruction of other objects.
+  static FaultInjection* instance = new FaultInjection();
+  return *instance;
+}
+
+void FaultInjection::ArmFailure(const std::string& point, int count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_[point].fail_remaining = count;
+  registered_points_.store(points_.size(), std::memory_order_relaxed);
+}
+
+void FaultInjection::ArmDelay(const std::string& point, int delay_millis,
+                              int count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = points_[point];
+  entry.delay_millis = delay_millis;
+  entry.delay_remaining = count;
+  registered_points_.store(points_.size(), std::memory_order_relaxed);
+}
+
+void FaultInjection::Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  if (it == points_.end()) return;
+  it->second.fail_remaining = 0;
+  it->second.delay_remaining = 0;
+}
+
+void FaultInjection::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.clear();
+  registered_points_.store(0, std::memory_order_relaxed);
+}
+
+uint64_t FaultInjection::HitCount(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.hits;
+}
+
+bool FaultInjection::Hit(const char* point) {
+  if (registered_points_.load(std::memory_order_relaxed) == 0) return false;
+  int delay_millis = 0;
+  bool fail = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = points_.find(point);
+    if (it == points_.end()) return false;
+    Entry& entry = it->second;
+    ++entry.hits;
+    if (entry.delay_remaining != 0 && entry.delay_millis > 0) {
+      delay_millis = entry.delay_millis;
+      if (entry.delay_remaining > 0) --entry.delay_remaining;
+    }
+    if (entry.fail_remaining != 0) {
+      fail = true;
+      if (entry.fail_remaining > 0) --entry.fail_remaining;
+    }
+  }
+  if (delay_millis > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_millis));
+  }
+  return fail;
+}
+
+}  // namespace skycube

@@ -1,0 +1,91 @@
+// Deterministic fault injection for robustness tests.
+//
+// Production and library code marks interesting failure sites with
+//
+//     if (SKYCUBE_FAULT_POINT("result_cache.lookup")) { ...fail path... }
+//
+// which compiles to the constant `false` (zero overhead, no registry
+// reference) unless the build enables SKYCUBE_FAULT_INJECTION (CMake option
+// of the same name; default follows SKYCUBE_BUILD_TESTS). With injection
+// compiled in, a test arms a point by name:
+//
+//     FaultInjection::Instance().ArmFailure("rebuilder.build", /*count=*/3);
+//     FaultInjection::Instance().ArmDelay("service.compute_delay", 50);
+//
+// and the next `count` traversals of that point take the failure (or sleep)
+// path. Unarmed points cost one relaxed atomic load. The registry is
+// process-global and thread-safe; tests must Reset() what they arm.
+//
+// The wired points are catalogued in docs/ROBUSTNESS.md.
+#ifndef SKYCUBE_COMMON_FAULT_INJECTION_H_
+#define SKYCUBE_COMMON_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#ifndef SKYCUBE_FAULT_INJECTION
+#define SKYCUBE_FAULT_INJECTION 0
+#endif
+
+namespace skycube {
+
+/// Process-global registry of named failure points. Always compiled (it is
+/// tiny); whether call sites consult it is the compile-time decision.
+class FaultInjection {
+ public:
+  static FaultInjection& Instance();
+
+  /// True iff SKYCUBE_FAULT_POINT sites consult the registry in this build.
+  static constexpr bool Enabled() { return SKYCUBE_FAULT_INJECTION != 0; }
+
+  /// The next `count` hits of `point` report failure (count < 0: forever).
+  void ArmFailure(const std::string& point, int count = 1);
+
+  /// The next `count` hits of `point` sleep `delay_millis` before
+  /// continuing normally (count < 0: forever). A point may be armed with
+  /// both a delay and a failure; the delay applies first.
+  void ArmDelay(const std::string& point, int delay_millis, int count = -1);
+
+  /// Clears the armed state of one point (hit counts persist).
+  void Disarm(const std::string& point);
+
+  /// Clears every armed point and every hit count.
+  void Reset();
+
+  /// How many times `point` was traversed while present in the registry
+  /// (i.e. since it was first armed; survives Disarm, cleared by Reset).
+  uint64_t HitCount(const std::string& point) const;
+
+  /// Called by SKYCUBE_FAULT_POINT: applies an armed delay, then returns
+  /// whether the armed failure fires. Fast path (nothing ever armed) is one
+  /// relaxed atomic load.
+  bool Hit(const char* point);
+
+ private:
+  struct Entry {
+    int fail_remaining = 0;    // <0 = forever
+    int delay_remaining = 0;   // <0 = forever
+    int delay_millis = 0;
+    uint64_t hits = 0;
+  };
+
+  FaultInjection() = default;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> points_;
+  std::atomic<size_t> registered_points_{0};
+};
+
+}  // namespace skycube
+
+#if SKYCUBE_FAULT_INJECTION
+#define SKYCUBE_FAULT_POINT(point) \
+  (::skycube::FaultInjection::Instance().Hit(point))
+#else
+#define SKYCUBE_FAULT_POINT(point) (false)
+#endif
+
+#endif  // SKYCUBE_COMMON_FAULT_INJECTION_H_

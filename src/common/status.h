@@ -19,7 +19,17 @@ enum class StatusCode {
   kNotFound,
   kOutOfRange,
   kInternal,
+  /// The request's time budget ran out before an answer was produced.
+  kDeadlineExceeded,
+  /// The service shed the request under overload (admission control).
+  kResourceExhausted,
+  /// The backing resource is temporarily unusable (e.g. a rebuild that has
+  /// not yet produced a good snapshot).
+  kUnavailable,
 };
+
+/// CamelCase name of a code, e.g. "DeadlineExceeded".
+const char* StatusCodeName(StatusCode code);
 
 /// A success-or-error value. Cheap to copy on success (empty message).
 class Status {
@@ -41,6 +51,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

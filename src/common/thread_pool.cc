@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/fault_injection.h"
 #include "common/macros.h"
 
 namespace skycube {
@@ -59,6 +60,9 @@ void ThreadPool::Submit(std::function<void()> task) {
 
 bool ThreadPool::TrySubmit(std::function<void()>& task) {
   SKYCUBE_CHECK_MSG(static_cast<bool>(task), "TrySubmit of an empty task");
+  // Simulates a saturated queue: callers must degrade to running the work
+  // themselves (the batch fan-out contract).
+  if (SKYCUBE_FAULT_POINT("thread_pool.try_submit")) return false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     SKYCUBE_CHECK_MSG(!shutting_down_, "TrySubmit after shutdown began");

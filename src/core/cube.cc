@@ -35,9 +35,11 @@ bool CompressedSkylineCube::Covers(const SkylineGroup& group,
 }
 
 std::vector<ObjectId> CompressedSkylineCube::SubspaceSkyline(
-    DimMask subspace) const {
+    DimMask subspace, const CancelToken* cancel) const {
   std::vector<ObjectId> result;
+  CancelPoll poll(cancel);
   for (const SkylineGroup& group : groups_) {
+    if (poll.ShouldStop()) return result;  // partial; caller checks token
     if (Covers(group, subspace)) {
       result.insert(result.end(), group.members.begin(), group.members.end());
     }
@@ -49,9 +51,12 @@ std::vector<ObjectId> CompressedSkylineCube::SubspaceSkyline(
   return result;
 }
 
-size_t CompressedSkylineCube::SkylineCardinality(DimMask subspace) const {
+size_t CompressedSkylineCube::SkylineCardinality(
+    DimMask subspace, const CancelToken* cancel) const {
   size_t count = 0;
+  CancelPoll poll(cancel);
   for (const SkylineGroup& group : groups_) {
+    if (poll.ShouldStop()) return count;  // partial; caller checks token
     if (Covers(group, subspace)) count += group.members.size();
   }
   return count;
@@ -126,10 +131,14 @@ std::vector<DimMask> CompressedSkylineCube::SubspacesWhereAllSkyline(
 }
 
 uint64_t CompressedSkylineCube::CountSubspacesWhereSkyline(
-    ObjectId object) const {
+    ObjectId object, const CancelToken* cancel) const {
   SKYCUBE_CHECK(object < num_objects_);
   uint64_t total = 0;
+  // Inclusion–exclusion per group can be exponential in the decisive count,
+  // so poll per group with stride 1.
+  CancelPoll poll(cancel, 1);
   for (uint32_t g : groups_of_object_[object]) {
+    if (poll.ShouldStop()) return total;  // partial; caller checks token
     // Distinct groups of one object cover disjoint subspace sets (two
     // covering groups at the same subspace would both equal its tie class).
     total += CountCoveredSubspaces(groups_[g].max_subspace,
@@ -138,9 +147,12 @@ uint64_t CompressedSkylineCube::CountSubspacesWhereSkyline(
   return total;
 }
 
-uint64_t CompressedSkylineCube::TotalSubspaceSkylineObjects() const {
+uint64_t CompressedSkylineCube::TotalSubspaceSkylineObjects(
+    const CancelToken* cancel) const {
   uint64_t total = 0;
+  CancelPoll poll(cancel, 16);
   for (const SkylineGroup& group : groups_) {
+    if (poll.ShouldStop()) return total;  // partial; caller checks token
     total += group.members.size() *
              CountCoveredSubspaces(group.max_subspace,
                                    group.decisive_subspaces);

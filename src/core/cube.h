@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/deadline.h"
 #include "core/skyline_group.h"
 #include "dataset/dataset.h"
 
@@ -44,12 +45,20 @@ class CompressedSkylineCube {
   };
 
   // ----- Q1 -----
+  //
+  // The group-scan traversals (Q1 and the Q3 aggregates below) accept an
+  // optional CancelToken, polled at lattice-node (group) granularity: once
+  // it fires they return early with a *partial* value. The caller must
+  // re-check the token and discard the result — SkycubeService does, and
+  // maps it to kDeadlineExceeded.
 
   /// The skyline of `subspace` (ascending ids), derived from the groups.
-  std::vector<ObjectId> SubspaceSkyline(DimMask subspace) const;
+  std::vector<ObjectId> SubspaceSkyline(
+      DimMask subspace, const CancelToken* cancel = nullptr) const;
 
   /// Number of skyline objects in `subspace` (no id materialization).
-  size_t SkylineCardinality(DimMask subspace) const;
+  size_t SkylineCardinality(DimMask subspace,
+                            const CancelToken* cancel = nullptr) const;
 
   /// Indices of the groups covering `subspace` (pairwise disjoint member
   /// sets whose union is the subspace skyline).
@@ -79,11 +88,13 @@ class CompressedSkylineCube {
 
   /// Number of subspaces whose skyline contains `object` (inclusion-
   /// exclusion over the object's intervals; no enumeration).
-  uint64_t CountSubspacesWhereSkyline(ObjectId object) const;
+  uint64_t CountSubspacesWhereSkyline(
+      ObjectId object, const CancelToken* cancel = nullptr) const;
 
   /// Σ over all non-empty subspaces of |Sky(B)| — the SkyCube size of the
   /// paper's Figures 9/10 — computed from the compression alone.
-  uint64_t TotalSubspaceSkylineObjects() const;
+  uint64_t TotalSubspaceSkylineObjects(
+      const CancelToken* cancel = nullptr) const;
 
  private:
   /// Does group `g` cover subspace `B` (∃ decisive C ⊆ B ⊆ max_subspace)?

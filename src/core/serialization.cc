@@ -1,52 +1,43 @@
 #include "core/serialization.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <limits>
 #include <sstream>
 #include <string>
+#include <string_view>
+
+#include "common/fault_injection.h"
 
 namespace skycube {
 
-std::string SerializeCube(int num_dims, size_t num_objects,
-                          const SkylineGroupSet& groups,
-                          const std::vector<std::string>& dim_names) {
-  std::ostringstream os;
-  os.precision(std::numeric_limits<double>::max_digits10);
-  os << "skycube-cube v1\n";
-  os << "dims " << num_dims << " objects " << num_objects << " groups "
-     << groups.size() << "\n";
-  if (!dim_names.empty()) {
-    SKYCUBE_CHECK_MSG(static_cast<int>(dim_names.size()) == num_dims,
-                      "dim_names must match num_dims");
-    os << "names";
-    for (std::string name : dim_names) {
-      for (char& c : name) {
-        if (c == ' ' || c == '\t' || c == '\n' || c == '\r') c = '_';
-      }
-      os << ' ' << name;
-    }
-    os << "\n";
+namespace {
+
+/// FNV-1a 64-bit over the payload bytes. Not cryptographic, but every
+/// operation (xor byte, multiply by an odd prime) is a bijection of the
+/// state, so any single corrupted byte — truncation aside — is guaranteed
+/// to change the digest; truncation changes the byte count and is caught
+/// just as reliably.
+uint64_t Fnv1a64(std::string_view bytes) {
+  uint64_t hash = 1469598103934665603ull;
+  for (unsigned char c : bytes) {
+    hash ^= c;
+    hash *= 1099511628211ull;
   }
-  for (const SkylineGroup& group : groups) {
-    os << group.members.size();
-    for (ObjectId member : group.members) os << ' ' << member;
-    os << ' ' << group.max_subspace << ' ' << group.decisive_subspaces.size();
-    for (DimMask decisive : group.decisive_subspaces) os << ' ' << decisive;
-    for (double value : group.projection) os << ' ' << value;
-    os << '\n';
-  }
-  return os.str();
+  return hash;
 }
 
-Result<SerializedCube> DeserializeCube(const std::string& text) {
-  std::istringstream is(text);
-  std::string word;
-  is >> word;
-  std::string version;
-  is >> version;
-  if (word != "skycube-cube" || version != "v1") {
-    return Status::InvalidArgument("bad header: expected 'skycube-cube v1'");
-  }
+std::string ChecksumHex(uint64_t hash) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(hash));
+  return buffer;
+}
+
+/// Parses everything after the header/checksum preamble: the metadata line,
+/// the optional names line, and the group lines. Shared by v1 and v2.
+Result<SerializedCube> ParseCubeBody(std::istream& is) {
   SerializedCube cube;
   size_t num_groups = 0;
   std::string k_dims;
@@ -78,20 +69,27 @@ Result<SerializedCube> DeserializeCube(const std::string& text) {
       is.seekg(before);
     }
   }
-  cube.groups.reserve(num_groups);
+  // Bounded like the per-group reserves below: a corrupt group count must
+  // fail on its missing lines, not allocate terabytes up front.
+  cube.groups.reserve(std::min(num_groups, size_t{1} << 16));
   for (size_t g = 0; g < num_groups; ++g) {
     SkylineGroup group;
     size_t member_count = 0;
-    if (!(is >> member_count) || member_count == 0) {
+    if (!(is >> member_count) || member_count == 0 ||
+        member_count > cube.num_objects) {
       return Status::InvalidArgument("bad member count in group " +
                                      std::to_string(g));
     }
-    group.members.resize(member_count);
-    for (ObjectId& member : group.members) {
+    // Read element-by-element rather than resizing up front: a corrupt
+    // count must fail on the first bad/missing token, not allocate first.
+    group.members.reserve(std::min(member_count, size_t{1} << 16));
+    for (size_t i = 0; i < member_count; ++i) {
+      ObjectId member = 0;
       if (!(is >> member) || member >= cube.num_objects) {
         return Status::InvalidArgument("bad member id in group " +
                                        std::to_string(g));
       }
+      group.members.push_back(member);
     }
     size_t decisive_count = 0;
     if (!(is >> group.max_subspace >> decisive_count) ||
@@ -100,13 +98,15 @@ Result<SerializedCube> DeserializeCube(const std::string& text) {
       return Status::InvalidArgument("bad subspace data in group " +
                                      std::to_string(g));
     }
-    group.decisive_subspaces.resize(decisive_count);
-    for (DimMask& decisive : group.decisive_subspaces) {
+    group.decisive_subspaces.reserve(std::min(decisive_count, size_t{1} << 16));
+    for (size_t i = 0; i < decisive_count; ++i) {
+      DimMask decisive = 0;
       if (!(is >> decisive) || decisive == 0 ||
           !IsSubsetOf(decisive, group.max_subspace)) {
         return Status::InvalidArgument("bad decisive subspace in group " +
                                        std::to_string(g));
       }
+      group.decisive_subspaces.push_back(decisive);
     }
     group.projection.resize(MaskSize(group.max_subspace));
     for (double& value : group.projection) {
@@ -117,6 +117,84 @@ Result<SerializedCube> DeserializeCube(const std::string& text) {
     }
     cube.groups.push_back(std::move(group));
   }
+  return cube;
+}
+
+}  // namespace
+
+std::string SerializeCube(int num_dims, size_t num_objects,
+                          const SkylineGroupSet& groups,
+                          const std::vector<std::string>& dim_names) {
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << "dims " << num_dims << " objects " << num_objects << " groups "
+     << groups.size() << "\n";
+  if (!dim_names.empty()) {
+    SKYCUBE_CHECK_MSG(static_cast<int>(dim_names.size()) == num_dims,
+                      "dim_names must match num_dims");
+    os << "names";
+    for (std::string name : dim_names) {
+      for (char& c : name) {
+        if (c == ' ' || c == '\t' || c == '\n' || c == '\r') c = '_';
+      }
+      os << ' ' << name;
+    }
+    os << "\n";
+  }
+  for (const SkylineGroup& group : groups) {
+    os << group.members.size();
+    for (ObjectId member : group.members) os << ' ' << member;
+    os << ' ' << group.max_subspace << ' ' << group.decisive_subspaces.size();
+    for (DimMask decisive : group.decisive_subspaces) os << ' ' << decisive;
+    for (double value : group.projection) os << ' ' << value;
+    os << '\n';
+  }
+  const std::string payload = os.str();
+  return "skycube-cube v2\nchecksum " + ChecksumHex(Fnv1a64(payload)) + "\n" +
+         payload;
+}
+
+Result<SerializedCube> DeserializeCube(const std::string& text) {
+  if (SKYCUBE_FAULT_POINT("serialization.load")) {
+    return Status::Internal("fault injection: serialization.load");
+  }
+  std::istringstream is(text);
+  std::string word;
+  is >> word;
+  std::string version;
+  is >> version;
+  if (word != "skycube-cube" || (version != "v1" && version != "v2")) {
+    return Status::InvalidArgument(
+        "bad header: expected 'skycube-cube v1' or 'skycube-cube v2'");
+  }
+  if (version == "v2") {
+    // v2 prepends "checksum <fnv1a64-hex>" over the remaining payload.
+    std::string k_checksum;
+    std::string digest;
+    if (!(is >> k_checksum >> digest) || k_checksum != "checksum" ||
+        digest.size() != 16) {
+      return Status::Internal("corrupt cube file: missing checksum line");
+    }
+    // The payload starts after the checksum line's newline; everything from
+    // there was hashed at serialization time.
+    const std::string marker = "checksum " + digest;
+    const size_t marker_pos = text.find(marker);
+    if (marker_pos == std::string::npos) {
+      return Status::Internal("corrupt cube file: malformed checksum line");
+    }
+    const size_t payload_pos = text.find('\n', marker_pos);
+    if (payload_pos == std::string::npos) {
+      return Status::Internal("corrupt cube file: truncated after checksum");
+    }
+    const std::string_view payload =
+        std::string_view(text).substr(payload_pos + 1);
+    if (ChecksumHex(Fnv1a64(payload)) != digest) {
+      return Status::Internal(
+          "corrupt cube file: checksum mismatch (truncated or bit-flipped)");
+    }
+  }
+  Result<SerializedCube> cube = ParseCubeBody(is);
+  if (!cube.ok()) return cube.status();
   return cube;
 }
 

@@ -3,12 +3,16 @@
 // (the cube is the *materialized* summary the paper proposes to keep).
 //
 // Format (line-oriented, whitespace-separated, version-tagged):
-//   skycube-cube v1
+//   skycube-cube v2
+//   checksum <fnv1a64-hex>                    (over everything below)
 //   dims <d> objects <n> groups <g>
 //   names <name0> <name1> ...                 (optional; no whitespace)
 //   <member_count> <members...> <max_subspace> <decisive_count>
 //       <decisives...> <projection...>        (one line per group)
 // Masks are decimal DimMask values; projections use max-precision doubles.
+// Legacy v1 files (no checksum line) are still readable; new files are
+// always written as v2. A failed checksum (truncation, bit flips) loads as
+// StatusCode::kInternal; structural violations as kInvalidArgument.
 #ifndef SKYCUBE_CORE_SERIALIZATION_H_
 #define SKYCUBE_CORE_SERIALIZATION_H_
 

@@ -1,0 +1,138 @@
+#include "service/cube_rebuilder.h"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+#include "common/fault_injection.h"
+#include "common/macros.h"
+#include "common/rng.h"
+
+namespace skycube {
+
+CubeRebuilder::CubeRebuilder(SkycubeService* service, Builder builder,
+                             CubeRebuilderOptions options)
+    : service_(service),
+      builder_(std::move(builder)),
+      options_(options),
+      jitter_state_(options.jitter_seed) {
+  SKYCUBE_CHECK_MSG(service_ != nullptr, "CubeRebuilder needs a service");
+  SKYCUBE_CHECK_MSG(builder_ != nullptr, "CubeRebuilder needs a builder");
+  worker_ = std::thread([this] { WorkerLoop(); });
+}
+
+CubeRebuilder::~CubeRebuilder() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  cv_.notify_all();
+  worker_.join();
+}
+
+void CubeRebuilder::TriggerRebuild() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    trigger_pending_ = true;
+    stats_.idle = false;
+  }
+  cv_.notify_all();
+}
+
+bool CubeRebuilder::WaitUntilIdle(std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  return idle_cv_.wait_for(lock, timeout, [&] {
+    return !trigger_pending_ && !building_;
+  });
+}
+
+CubeRebuilderStats CubeRebuilder::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+Result<std::shared_ptr<const CompressedSkylineCube>>
+CubeRebuilder::RunBuilder() {
+  if (SKYCUBE_FAULT_POINT("rebuilder.build")) {
+    return Status::Unavailable("fault injection: rebuilder.build");
+  }
+  // Builders load files and allocate large structures — contain anything
+  // they throw so a bad refresh can never unwind through the worker thread.
+  try {
+    auto result = builder_();
+    if (result.ok() && result.value() == nullptr) {
+      return Status::Internal("builder returned a null cube");
+    }
+    return result;
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("builder threw: ") + e.what());
+  } catch (...) {
+    return Status::Internal("builder threw an unknown exception");
+  }
+}
+
+std::chrono::milliseconds CubeRebuilder::NextBackoff(
+    int consecutive_failures) {
+  double backoff = static_cast<double>(options_.initial_backoff.count());
+  for (int i = 1; i < consecutive_failures; ++i) {
+    backoff *= options_.backoff_multiplier;
+    if (backoff >= static_cast<double>(options_.max_backoff.count())) break;
+  }
+  backoff = std::min(backoff, static_cast<double>(options_.max_backoff.count()));
+  double factor = 1.0;
+  if (options_.jitter > 0.0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    Rng rng(jitter_state_++);
+    factor = 1.0 + options_.jitter * (2.0 * rng.NextDouble() - 1.0);
+  }
+  const auto millis = static_cast<int64_t>(backoff * factor);
+  return std::chrono::milliseconds(std::max<int64_t>(millis, 1));
+}
+
+void CubeRebuilder::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!shutting_down_) {
+    cv_.wait(lock, [&] { return trigger_pending_ || shutting_down_; });
+    if (shutting_down_) break;
+    trigger_pending_ = false;
+    building_ = true;
+    int consecutive_failures = 0;
+    for (;;) {
+      ++stats_.builds_attempted;
+      lock.unlock();
+      // The build (and a successful swap) runs unlocked: TriggerRebuild and
+      // stats() must never block behind a slow builder.
+      auto result = RunBuilder();
+      if (result.ok()) {
+        service_->Reload(std::move(result).value());
+        lock.lock();
+        ++stats_.builds_succeeded;
+        stats_.last_backoff_millis = 0;
+        break;
+      }
+      lock.lock();
+      ++stats_.builds_failed;
+      ++consecutive_failures;
+      if (options_.max_attempts > 0 &&
+          consecutive_failures >= options_.max_attempts) {
+        ++stats_.gave_up;
+        stats_.last_backoff_millis = 0;
+        break;
+      }
+      lock.unlock();
+      const auto backoff = NextBackoff(consecutive_failures);
+      lock.lock();
+      stats_.last_backoff_millis = backoff.count();
+      // Backoff sleep, interruptible by shutdown. A new trigger does NOT
+      // shorten the sleep: the pending retry already covers it (coalescing).
+      if (cv_.wait_for(lock, backoff, [&] { return shutting_down_; })) {
+        break;
+      }
+    }
+    building_ = false;
+    if (!trigger_pending_) stats_.idle = true;
+    idle_cv_.notify_all();
+  }
+}
+
+}  // namespace skycube

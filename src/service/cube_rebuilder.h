@@ -1,0 +1,116 @@
+// CubeRebuilder: resilient background refresh of a SkycubeService snapshot.
+//
+// The service keeps answering from its last good snapshot while a rebuild
+// runs off-thread. A rebuild that fails (error Status, null cube, or a
+// throwing builder) is retried with exponential backoff plus jitter, and a
+// broken cube is never swapped in — the failure mode of a bad data refresh
+// is "stale answers", never "no answers" and never "corrupt answers".
+//
+// Threading: one worker thread owned by the rebuilder. TriggerRebuild() is
+// safe from any thread and coalesces — triggers arriving while a build is
+// in progress fold into a single follow-up build (the next build always
+// observes the freshest trigger, so nothing is lost by folding).
+#ifndef SKYCUBE_SERVICE_CUBE_REBUILDER_H_
+#define SKYCUBE_SERVICE_CUBE_REBUILDER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/status.h"
+#include "core/cube.h"
+#include "service/service.h"
+
+namespace skycube {
+
+/// Construction knobs for a CubeRebuilder.
+struct CubeRebuilderOptions {
+  /// Delay before the first retry after a failed build.
+  std::chrono::milliseconds initial_backoff{100};
+  /// Retry delays grow by `backoff_multiplier` up to this cap.
+  std::chrono::milliseconds max_backoff{30000};
+  double backoff_multiplier = 2.0;
+  /// Uniform jitter applied to each backoff delay: the actual sleep is
+  /// backoff * U[1 - jitter, 1 + jitter]. Decorrelates retry storms when
+  /// many replicas share a failing dependency.
+  double jitter = 0.2;
+  /// Consecutive failures before a triggered rebuild is abandoned
+  /// (counted in stats().gave_up). 0 = retry until it succeeds.
+  int max_attempts = 0;
+  /// Seed for the jitter RNG (deterministic tests).
+  uint64_t jitter_seed = 42;
+};
+
+/// Counters of a CubeRebuilder (plain data, copyable).
+struct CubeRebuilderStats {
+  uint64_t builds_attempted = 0;
+  uint64_t builds_failed = 0;
+  uint64_t builds_succeeded = 0;
+  /// Triggers abandoned after max_attempts consecutive failures.
+  uint64_t gave_up = 0;
+  /// The delay scheduled after the most recent failure (0 after success).
+  int64_t last_backoff_millis = 0;
+  /// True iff no build is running or pending.
+  bool idle = true;
+};
+
+class CubeRebuilder {
+ public:
+  /// Produces the next cube snapshot. An error Status (or a thrown
+  /// exception, converted internally) marks the build failed; returning a
+  /// null pointer inside an OK result is also treated as a failure.
+  using Builder =
+      std::function<Result<std::shared_ptr<const CompressedSkylineCube>>()>;
+
+  /// `service` must outlive the rebuilder. The worker thread starts
+  /// immediately but sleeps until the first TriggerRebuild().
+  CubeRebuilder(SkycubeService* service, Builder builder,
+                CubeRebuilderOptions options = {});
+
+  /// Stops retrying and joins the worker. A build already in progress runs
+  /// to completion (builders are not cancellable) but its retry loop ends.
+  ~CubeRebuilder();
+
+  CubeRebuilder(const CubeRebuilder&) = delete;
+  CubeRebuilder& operator=(const CubeRebuilder&) = delete;
+
+  /// Requests a rebuild. Returns immediately; coalesces with a rebuild
+  /// already pending or running.
+  void TriggerRebuild();
+
+  /// Blocks until no build is running or pending, or until `timeout`.
+  /// Returns true iff the rebuilder went idle in time.
+  bool WaitUntilIdle(std::chrono::milliseconds timeout);
+
+  CubeRebuilderStats stats() const;
+
+ private:
+  void WorkerLoop();
+  /// One builder invocation with exception containment.
+  Result<std::shared_ptr<const CompressedSkylineCube>> RunBuilder();
+  /// The post-failure sleep for `consecutive_failures` failures so far.
+  std::chrono::milliseconds NextBackoff(int consecutive_failures);
+
+  SkycubeService* service_;
+  Builder builder_;
+  CubeRebuilderOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;     // wakes the worker (trigger / shutdown)
+  std::condition_variable idle_cv_;  // wakes WaitUntilIdle waiters
+  bool trigger_pending_ = false;
+  bool building_ = false;
+  bool shutting_down_ = false;
+  CubeRebuilderStats stats_;
+  uint64_t jitter_state_;  // advanced under mu_; fed to Rng per backoff
+
+  std::thread worker_;
+};
+
+}  // namespace skycube
+
+#endif  // SKYCUBE_SERVICE_CUBE_REBUILDER_H_

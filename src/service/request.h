@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
+#include "common/status.h"
 #include "common/subspace.h"
 #include "dataset/dataset.h"
 
@@ -39,30 +41,45 @@ struct QueryRequest {
   QueryKind kind = QueryKind::kSubspaceSkyline;
   DimMask subspace = 0;
   ObjectId object = 0;
+  /// Time budget for this request (default: none). Checked at admission,
+  /// before the cache probe, and at lattice-node granularity inside the
+  /// cube traversals; an expired request answers kDeadlineExceeded instead
+  /// of stalling.
+  Deadline deadline;
+
+  /// Copy of this request with a deadline attached.
+  QueryRequest WithDeadline(Deadline d) const {
+    QueryRequest copy = *this;
+    copy.deadline = d;
+    return copy;
+  }
 
   static QueryRequest SubspaceSkyline(DimMask subspace) {
-    return {QueryKind::kSubspaceSkyline, subspace, 0};
+    return {QueryKind::kSubspaceSkyline, subspace, 0, {}};
   }
   static QueryRequest SkylineCardinality(DimMask subspace) {
-    return {QueryKind::kSkylineCardinality, subspace, 0};
+    return {QueryKind::kSkylineCardinality, subspace, 0, {}};
   }
   static QueryRequest Membership(ObjectId object, DimMask subspace) {
-    return {QueryKind::kMembership, subspace, object};
+    return {QueryKind::kMembership, subspace, object, {}};
   }
   static QueryRequest MembershipCount(ObjectId object) {
-    return {QueryKind::kMembershipCount, 0, object};
+    return {QueryKind::kMembershipCount, 0, object, {}};
   }
   static QueryRequest SkycubeSize() {
-    return {QueryKind::kSkycubeSize, 0, 0};
+    return {QueryKind::kSkycubeSize, 0, 0, {}};
   }
 };
 
-/// One answer. `ok` is false only for malformed requests (empty subspace,
-/// object id out of range); the payload field used depends on `kind`.
+/// One answer; the payload field used depends on `kind`. `ok` is false for
+/// malformed requests (kInvalidArgument), requests past their deadline
+/// (kDeadlineExceeded), requests shed under overload (kResourceExhausted),
+/// and queries whose computation failed (kInternal); `code` says which.
 struct QueryResponse {
   QueryKind kind = QueryKind::kSubspaceSkyline;
   bool ok = true;
-  std::string error;  // set iff !ok
+  StatusCode code = StatusCode::kOk;  // kOk iff ok
+  std::string error;                  // set iff !ok
 
   /// Q1 kSubspaceSkyline payload (ascending ids); null for other kinds.
   std::shared_ptr<const std::vector<ObjectId>> ids;

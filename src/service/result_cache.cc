@@ -4,6 +4,7 @@
 #include <bit>
 #include <utility>
 
+#include "common/fault_injection.h"
 #include "common/hash.h"
 #include "common/macros.h"
 
@@ -37,6 +38,13 @@ ResultCache::Shard& ResultCache::ShardFor(const Key& key) {
 }
 
 bool ResultCache::Lookup(const Key& key, QueryResponse* response) {
+  // Test-only forced miss; still counted so hit-rate accounting stays honest.
+  if (SKYCUBE_FAULT_POINT("result_cache.lookup")) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    ++shard.misses;
+    return false;
+  }
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.map.find(key);
@@ -52,6 +60,8 @@ bool ResultCache::Lookup(const Key& key, QueryResponse* response) {
 
 void ResultCache::Insert(const Key& key, const QueryResponse& response) {
   if (!enabled()) return;
+  // Test-only dropped insert: callers must tolerate the cache losing writes.
+  if (SKYCUBE_FAULT_POINT("result_cache.insert")) return;
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.map.find(key);

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <chrono>
 #include <condition_variable>
+#include <exception>
 #include <functional>
+#include <new>
 #include <utility>
 
+#include "common/fault_injection.h"
 #include "common/macros.h"
-#include "common/parallel.h"
 
 namespace skycube {
 
@@ -29,12 +31,13 @@ const char* QueryKindName(QueryKind kind) {
 
 namespace {
 
-QueryResponse InvalidRequest(const QueryRequest& request, uint64_t version,
-                             const char* why) {
+QueryResponse ErrorResponse(const QueryRequest& request, uint64_t version,
+                            StatusCode code, std::string why) {
   QueryResponse response;
   response.kind = request.kind;
   response.ok = false;
-  response.error = why;
+  response.code = code;
+  response.error = std::move(why);
   response.snapshot_version = version;
   return response;
 }
@@ -54,8 +57,54 @@ SkycubeService::SkycubeService(
 
 SkycubeService::~SkycubeService() = default;
 
+bool SkycubeService::AdmitSlot() {
+  if (options_.max_in_flight == 0) return true;
+  std::unique_lock<std::mutex> lock(admission_mu_);
+  if (in_flight_ >= options_.max_in_flight) {
+    admission_waits_.fetch_add(1, std::memory_order_relaxed);
+    const bool got_slot =
+        options_.queue_wait_timeout.count() > 0 &&
+        admission_cv_.wait_for(lock, options_.queue_wait_timeout, [&] {
+          return in_flight_ < options_.max_in_flight;
+        });
+    if (!got_slot) return false;
+  }
+  ++in_flight_;
+  in_flight_high_water_ = std::max(in_flight_high_water_, in_flight_);
+  return true;
+}
+
+void SkycubeService::ReleaseSlot() {
+  if (options_.max_in_flight == 0) return;
+  {
+    std::lock_guard<std::mutex> lock(admission_mu_);
+    --in_flight_;
+  }
+  admission_cv_.notify_one();
+}
+
+QueryResponse SkycubeService::ShedResponse(const QueryRequest& request,
+                                           uint64_t version) {
+  shed_total_.fetch_add(1, std::memory_order_relaxed);
+  shed_by_kind_[static_cast<int>(request.kind)].fetch_add(
+      1, std::memory_order_relaxed);
+  return ErrorResponse(request, version, StatusCode::kResourceExhausted,
+                       "overloaded: request shed by admission control");
+}
+
 QueryResponse SkycubeService::Execute(const QueryRequest& request) {
   const auto start = std::chrono::steady_clock::now();
+  if (!AdmitSlot()) {
+    return ShedResponse(request, LoadSnapshot()->version);
+  }
+  // Local class: inherits this member function's access to ReleaseSlot().
+  struct SlotGuard {
+    SkycubeService* service;
+    bool held;
+    ~SlotGuard() {
+      if (held) service->ReleaseSlot();
+    }
+  } slot{this, options_.max_in_flight > 0};
   const std::shared_ptr<const Snapshot> snap = LoadSnapshot();
   QueryResponse response = ExecuteOn(request, *snap);
   latency_.Record(static_cast<uint64_t>(
@@ -73,7 +122,14 @@ QueryResponse SkycubeService::ExecuteOn(const QueryRequest& request,
   // cached, so probing for them would only pollute the miss counter.
   if (const char* error = ValidationError(request, *snap.cube)) {
     invalid_requests_.fetch_add(1, std::memory_order_relaxed);
-    return InvalidRequest(request, snap.version, error);
+    return ErrorResponse(request, snap.version, StatusCode::kInvalidArgument,
+                         error);
+  }
+  // A request that arrives past its deadline never touches cache or cube.
+  if (request.deadline.expired()) {
+    deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+    return ErrorResponse(request, snap.version, StatusCode::kDeadlineExceeded,
+                         "deadline expired before execution");
   }
   const ResultCache::Key key{request.kind, request.subspace, request.object,
                              snap.version};
@@ -82,7 +138,28 @@ QueryResponse SkycubeService::ExecuteOn(const QueryRequest& request,
     response.cache_hit = true;
     return response;
   }
-  response = Compute(request, snap);
+  // The compute path may throw (e.g. allocation failure); convert to a
+  // kInternal response so one poisoned query cannot take down the process
+  // or a whole batch.
+  try {
+    response = Compute(request, snap);
+  } catch (const std::exception& e) {
+    internal_errors_.fetch_add(1, std::memory_order_relaxed);
+    return ErrorResponse(request, snap.version, StatusCode::kInternal,
+                         std::string("query computation failed: ") + e.what());
+  } catch (...) {
+    internal_errors_.fetch_add(1, std::memory_order_relaxed);
+    return ErrorResponse(request, snap.version, StatusCode::kInternal,
+                         "query computation failed: unknown exception");
+  }
+  // The traversals return *partial* values once the deadline fires, so an
+  // expired deadline here means the answer cannot be trusted (and the
+  // client's budget is gone either way). Never cache it.
+  if (request.deadline.expired()) {
+    deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+    return ErrorResponse(request, snap.version, StatusCode::kDeadlineExceeded,
+                         "deadline expired during execution");
+  }
   cache_.Insert(key, response);
   return response;
 }
@@ -108,7 +185,13 @@ const char* SkycubeService::ValidationError(
 
 QueryResponse SkycubeService::Compute(const QueryRequest& request,
                                       const Snapshot& snap) const {
+  // Test-only failure points: a forced slowdown (overload and deadline
+  // tests) and a forced allocation failure (batch exception-safety test).
+  (void)SKYCUBE_FAULT_POINT("service.compute_delay");
+  if (SKYCUBE_FAULT_POINT("service.compute_throw")) throw std::bad_alloc();
+
   const CompressedSkylineCube& cube = *snap.cube;
+  const CancelToken cancel(request.deadline);
   QueryResponse response;
   response.kind = request.kind;
   response.snapshot_version = snap.version;
@@ -116,21 +199,22 @@ QueryResponse SkycubeService::Compute(const QueryRequest& request,
   switch (request.kind) {
     case QueryKind::kSubspaceSkyline:
       response.ids = std::make_shared<const std::vector<ObjectId>>(
-          cube.SubspaceSkyline(request.subspace));
+          cube.SubspaceSkyline(request.subspace, &cancel));
       response.count = response.ids->size();
       break;
     case QueryKind::kSkylineCardinality:
-      response.count = cube.SkylineCardinality(request.subspace);
+      response.count = cube.SkylineCardinality(request.subspace, &cancel);
       break;
     case QueryKind::kMembership:
       response.member =
           cube.IsInSubspaceSkyline(request.object, request.subspace);
       break;
     case QueryKind::kMembershipCount:
-      response.count = cube.CountSubspacesWhereSkyline(request.object);
+      response.count = cube.CountSubspacesWhereSkyline(request.object,
+                                                       &cancel);
       break;
     case QueryKind::kSkycubeSize:
-      response.count = cube.TotalSubspaceSkylineObjects();
+      response.count = cube.TotalSubspaceSkylineObjects(&cancel);
       break;
   }
   return response;
@@ -142,6 +226,20 @@ std::vector<QueryResponse> SkycubeService::ExecuteBatch(
   std::vector<QueryResponse> responses(requests.size());
   if (requests.empty()) return responses;
   const auto start = std::chrono::steady_clock::now();
+  if (!AdmitSlot()) {
+    const uint64_t version = LoadSnapshot()->version;
+    for (size_t i = 0; i < requests.size(); ++i) {
+      responses[i] = ShedResponse(requests[i], version);
+    }
+    return responses;
+  }
+  struct SlotGuard {
+    SkycubeService* service;
+    bool held;
+    ~SlotGuard() {
+      if (held) service->ReleaseSlot();
+    }
+  } slot{this, options_.max_in_flight > 0};
   // One snapshot load for the whole batch: every response is consistent
   // with the same cube version.
   const std::shared_ptr<const Snapshot> snap = LoadSnapshot();
@@ -154,6 +252,8 @@ std::vector<QueryResponse> SkycubeService::ExecuteBatch(
     for (;;) {
       const size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= requests.size()) break;
+      // ExecuteOn fails items independently (validation, deadline,
+      // exception → error response), so one bad item never voids the batch.
       responses[i] = ExecuteOn(requests[i], *snap);
     }
     // Notify under the lock: the caller's stack frame (and this condvar)
@@ -224,9 +324,21 @@ ServiceStats SkycubeService::stats() const {
     stats.queries_by_kind[kind] =
         queries_by_kind_[kind].load(std::memory_order_relaxed);
     stats.queries_total += stats.queries_by_kind[kind];
+    stats.shed_by_kind[kind] =
+        shed_by_kind_[kind].load(std::memory_order_relaxed);
+    stats.shed_total += stats.shed_by_kind[kind];
   }
   stats.invalid_requests = invalid_requests_.load(std::memory_order_relaxed);
   stats.batches = batches_.load(std::memory_order_relaxed);
+  stats.deadline_exceeded =
+      deadline_exceeded_.load(std::memory_order_relaxed);
+  stats.internal_errors = internal_errors_.load(std::memory_order_relaxed);
+  stats.admission_waits = admission_waits_.load(std::memory_order_relaxed);
+  if (options_.max_in_flight > 0) {
+    std::lock_guard<std::mutex> lock(
+        const_cast<std::mutex&>(admission_mu_));
+    stats.in_flight_high_water = in_flight_high_water_;
+  }
 
   const ResultCacheStats cache = cache_.stats();
   stats.cache_hits = cache.hits;

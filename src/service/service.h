@@ -12,17 +12,25 @@
 //    swap an implicit whole-cache invalidation (Clear() just reclaims the
 //    memory eagerly);
 //  - batches fan out over a ThreadPool; single queries run on the caller's
-//    thread (a cached Q1 answer is a hash probe — cheaper than a handoff).
+//    thread (a cached Q1 answer is a hash probe — cheaper than a handoff);
+//  - overload protection: an optional max-in-flight admission gate sheds
+//    excess arrivals with kResourceExhausted after at most
+//    queue_wait_timeout, and per-request deadlines are enforced at
+//    admission, before the cache probe, and inside the cube traversals
+//    (kDeadlineExceeded) — see docs/ROBUSTNESS.md.
 #ifndef SKYCUBE_SERVICE_SERVICE_H_
 #define SKYCUBE_SERVICE_SERVICE_H_
 
 #include <array>
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/thread_pool.h"
 #include "core/cube.h"
 #include "service/request.h"
@@ -40,6 +48,13 @@ struct SkycubeServiceOptions {
   int batch_threads = 0;
   /// Bounded work-queue capacity of the batch pool.
   size_t queue_capacity = 1024;
+  /// Admission control: maximum concurrently executing operations (an
+  /// Execute call or a whole ExecuteBatch call each hold one slot).
+  /// 0 = unlimited (no gate, no in-flight tracking).
+  size_t max_in_flight = 0;
+  /// How long an over-limit arrival may wait for a slot before being shed
+  /// with kResourceExhausted. 0 = shed immediately.
+  std::chrono::milliseconds queue_wait_timeout{0};
 };
 
 class SkycubeService {
@@ -52,13 +67,21 @@ class SkycubeService {
   SkycubeService(const SkycubeService&) = delete;
   SkycubeService& operator=(const SkycubeService&) = delete;
 
-  /// Answers one query on the calling thread (cache → snapshot). Safe from
-  /// any number of threads concurrently, including across Reload calls.
+  /// Answers one query on the calling thread (admission → cache →
+  /// snapshot). Safe from any number of threads concurrently, including
+  /// across Reload calls. Never blocks longer than queue_wait_timeout plus
+  /// the query's own compute time; requests carrying an expired deadline
+  /// (before or during compute) answer kDeadlineExceeded, shed requests
+  /// kResourceExhausted.
   QueryResponse Execute(const QueryRequest& request);
 
   /// Answers a batch, fanning the requests out across the service pool;
   /// responses[i] answers requests[i]. The calling thread participates, so
-  /// this never deadlocks even with a saturated pool.
+  /// this never deadlocks even with a saturated pool. Items fail
+  /// independently (invalid, deadlined, or thrown-from computations become
+  /// per-item error responses) — a batch is never all-or-nothing. The batch
+  /// holds one admission slot; if shed, every item answers
+  /// kResourceExhausted.
   std::vector<QueryResponse> ExecuteBatch(
       const std::vector<QueryRequest>& requests);
 
@@ -95,6 +118,14 @@ class SkycubeService {
   /// Cache-through execution against `snap`.
   QueryResponse ExecuteOn(const QueryRequest& request, const Snapshot& snap);
 
+  /// Admission gate. True = a slot was acquired (pair with ReleaseSlot);
+  /// false = shed. Always true when max_in_flight == 0.
+  bool AdmitSlot();
+  void ReleaseSlot();
+
+  /// Builds + counts a kResourceExhausted response for a shed request.
+  QueryResponse ShedResponse(const QueryRequest& request, uint64_t version);
+
   ThreadPool& BatchPool();
 
   SkycubeServiceOptions options_;
@@ -106,6 +137,19 @@ class SkycubeService {
   std::atomic<uint64_t> invalid_requests_{0};
   std::atomic<uint64_t> batches_{0};
   LatencyHistogram latency_;
+
+  // Overload / failure accounting.
+  std::array<std::atomic<uint64_t>, kNumQueryKinds> shed_by_kind_{};
+  std::atomic<uint64_t> shed_total_{0};
+  std::atomic<uint64_t> deadline_exceeded_{0};
+  std::atomic<uint64_t> internal_errors_{0};
+  std::atomic<uint64_t> admission_waits_{0};
+
+  // Admission gate (only used when options_.max_in_flight > 0).
+  std::mutex admission_mu_;
+  std::condition_variable admission_cv_;
+  size_t in_flight_ = 0;
+  size_t in_flight_high_water_ = 0;
 
   std::once_flag pool_once_;
   std::unique_ptr<ThreadPool> pool_;

@@ -79,6 +79,20 @@ struct ServiceStats {
   uint64_t invalid_requests = 0;
   uint64_t batches = 0;
 
+  // --- Overload and failure accounting -----------------------------------
+  /// Requests shed with kResourceExhausted by admission control, by kind.
+  std::array<uint64_t, kNumQueryKinds> shed_by_kind{};
+  uint64_t shed_total = 0;
+  /// Requests answered kDeadlineExceeded (expired on arrival or mid-query).
+  uint64_t deadline_exceeded = 0;
+  /// Queries whose computation threw; answered kInternal.
+  uint64_t internal_errors = 0;
+  /// Admissions that had to wait for an in-flight slot (admitted or not).
+  uint64_t admission_waits = 0;
+  /// Highest concurrent in-flight operation count observed (only tracked
+  /// when max_in_flight > 0).
+  size_t in_flight_high_water = 0;
+
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
   uint64_t cache_evictions = 0;

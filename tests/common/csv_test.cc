@@ -1,6 +1,7 @@
 // Unit tests for the CSV reader/writer.
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -78,6 +79,70 @@ TEST(CsvTest, ReadMissingFileIsNotFound) {
   const Result<CsvTable> result = ReadNumericCsv("/no/such/file.csv");
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+// --- Malformed-input matrix ------------------------------------------------
+// Every rejection must be kInvalidArgument and carry enough row/column
+// context to find the bad cell in a multi-gigabyte input.
+
+struct MalformedCase {
+  const char* label;
+  std::string text;
+  /// Substrings the error message must contain.
+  std::vector<std::string> expected;
+};
+
+class CsvMalformedTest : public ::testing::TestWithParam<MalformedCase> {};
+
+TEST_P(CsvMalformedTest, RejectsWithContext) {
+  const MalformedCase& c = GetParam();
+  const Result<CsvTable> result = ParseNumericCsv(c.text);
+  ASSERT_FALSE(result.ok()) << c.label;
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument) << c.label;
+  for (const std::string& fragment : c.expected) {
+    EXPECT_NE(result.status().message().find(fragment), std::string::npos)
+        << c.label << ": message '" << result.status().message()
+        << "' lacks '" << fragment << "'";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, CsvMalformedTest,
+    ::testing::Values(
+        MalformedCase{"too-few-cells", "a,b,c\n1,2,3\n4,5\n",
+                      {"ragged", "line 3", "got 2", "expected 3"}},
+        MalformedCase{"too-many-cells", "a,b\n1,2\n3,4,5\n",
+                      {"ragged", "line 3", "got 3", "expected 2"}},
+        MalformedCase{"non-numeric", "a,b\n1,potato\n",
+                      {"potato", "line 2", "column 2"}},
+        MalformedCase{"trailing-garbage", "a\n1.5x\n",
+                      {"1.5x", "line 2", "column 1"}},
+        MalformedCase{"nan", "a,b\n1,nan\n",
+                      {"non-finite", "line 2", "column 2"}},
+        MalformedCase{"positive-infinity", "a\ninf\n",
+                      {"non-finite", "line 2", "column 1"}},
+        MalformedCase{"negative-infinity", "a\n-inf\n",
+                      {"non-finite", "line 2", "column 1"}},
+        MalformedCase{"overflow-to-infinity", "a\n1e999\n",
+                      {"line 2", "column 1"}},
+        MalformedCase{"empty-cell", "a,b\n1,\n", {"empty", "line 2"}},
+        MalformedCase{"embedded-nul",
+                      std::string("a,b\n1,4") + '\0' + "2\n",
+                      {"NUL", "line 2", "column 2"}}),
+    [](const ::testing::TestParamInfo<MalformedCase>& param_info) {
+      std::string name = param_info.param.label;
+      for (char& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+TEST(CsvTest, EmbeddedNulErrorMessageStaysPrintable) {
+  const Result<CsvTable> result =
+      ParseNumericCsv(std::string("a\n9") + '\0' + "7\n");
+  ASSERT_FALSE(result.ok());
+  // The message must survive C-string handling: no raw NUL inside.
+  EXPECT_EQ(result.status().message().find('\0'), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,162 @@
+// Unit tests for Deadline / CancelToken / CancelPoll and the fault-injection
+// registry.
+#include <chrono>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "common/deadline.h"
+#include "common/fault_injection.h"
+
+namespace skycube {
+namespace {
+
+TEST(DeadlineTest, DefaultIsInfinite) {
+  const Deadline deadline;
+  EXPECT_TRUE(deadline.infinite());
+  EXPECT_FALSE(deadline.expired());
+  EXPECT_EQ(deadline.remaining(), std::chrono::nanoseconds::max());
+}
+
+TEST(DeadlineTest, ExpiredNowIsExpired) {
+  const Deadline deadline = Deadline::ExpiredNow();
+  EXPECT_FALSE(deadline.infinite());
+  EXPECT_TRUE(deadline.expired());
+  EXPECT_LT(deadline.remaining().count(), 0);
+}
+
+TEST(DeadlineTest, FutureDeadlineNotYetExpired) {
+  const Deadline deadline = Deadline::AfterMillis(60000);
+  EXPECT_FALSE(deadline.infinite());
+  EXPECT_FALSE(deadline.expired());
+  EXPECT_GT(deadline.remaining().count(), 0);
+}
+
+TEST(DeadlineTest, ShortDeadlineExpires) {
+  const Deadline deadline = Deadline::After(std::chrono::microseconds(100));
+  while (!deadline.expired()) std::this_thread::yield();
+  EXPECT_TRUE(deadline.expired());
+}
+
+TEST(DeadlineTest, AtRoundTripsTimePoint) {
+  const auto when = Deadline::Clock::now() + std::chrono::hours(1);
+  EXPECT_EQ(Deadline::At(when).when(), when);
+}
+
+TEST(CancelTokenTest, DefaultNeverStops) {
+  const CancelToken token;
+  EXPECT_FALSE(token.ShouldStop());
+  EXPECT_FALSE(token.cancel_requested());
+  token.RequestCancel();  // no-op on a plain token
+  EXPECT_FALSE(token.ShouldStop());
+}
+
+TEST(CancelTokenTest, ExpiredDeadlineStops) {
+  const CancelToken token(Deadline::ExpiredNow());
+  EXPECT_TRUE(token.ShouldStop());
+  EXPECT_FALSE(token.cancel_requested());
+}
+
+TEST(CancelTokenTest, CancellableCopiesShareTheFlag) {
+  const CancelToken token = CancelToken::Cancellable();
+  const CancelToken copy = token;
+  EXPECT_FALSE(copy.ShouldStop());
+  token.RequestCancel();
+  EXPECT_TRUE(copy.cancel_requested());
+  EXPECT_TRUE(copy.ShouldStop());
+}
+
+TEST(CancelPollTest, NullTokenNeverStops) {
+  CancelPoll poll(nullptr, 1);
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(poll.ShouldStop());
+}
+
+TEST(CancelPollTest, FiredTokenStopsOnFirstPoll) {
+  const CancelToken token(Deadline::ExpiredNow());
+  CancelPoll poll(&token, 64);
+  // Call 0 hits the stride boundary, so the very first check consults the
+  // token.
+  EXPECT_TRUE(poll.ShouldStop());
+}
+
+TEST(CancelPollTest, LatchesOnceStopped) {
+  const CancelToken token = CancelToken::Cancellable();
+  CancelPoll poll(&token, 1);
+  EXPECT_FALSE(poll.ShouldStop());
+  token.RequestCancel();
+  EXPECT_TRUE(poll.ShouldStop());
+  EXPECT_TRUE(poll.ShouldStop());
+}
+
+TEST(CancelPollTest, ChecksAtStrideBoundaries) {
+  const CancelToken token = CancelToken::Cancellable();
+  CancelPoll poll(&token, 4);
+  EXPECT_FALSE(poll.ShouldStop());  // call 0: checked, not fired
+  token.RequestCancel();
+  // Calls 1-3 are off-stride: the poll must not consult the token yet.
+  EXPECT_FALSE(poll.ShouldStop());
+  EXPECT_FALSE(poll.ShouldStop());
+  EXPECT_FALSE(poll.ShouldStop());
+  // Call 4 is a boundary: the fired token is observed.
+  EXPECT_TRUE(poll.ShouldStop());
+}
+
+// --- Fault-injection registry ---------------------------------------------
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjection::Instance().Reset(); }
+};
+
+TEST_F(FaultInjectionTest, CompiledInForTests) {
+  // Test builds default SKYCUBE_FAULT_INJECTION to ON; the robustness tests
+  // are vacuous otherwise.
+  EXPECT_TRUE(FaultInjection::Enabled());
+}
+
+TEST_F(FaultInjectionTest, UnarmedPointNeverFires) {
+  EXPECT_FALSE(SKYCUBE_FAULT_POINT("deadline_test.unarmed"));
+  EXPECT_EQ(FaultInjection::Instance().HitCount("deadline_test.unarmed"),
+            0u);
+}
+
+TEST_F(FaultInjectionTest, ArmedFailureFiresExactlyCountTimes) {
+  FaultInjection::Instance().ArmFailure("deadline_test.p", 2);
+  EXPECT_TRUE(SKYCUBE_FAULT_POINT("deadline_test.p"));
+  EXPECT_TRUE(SKYCUBE_FAULT_POINT("deadline_test.p"));
+  EXPECT_FALSE(SKYCUBE_FAULT_POINT("deadline_test.p"));
+  EXPECT_EQ(FaultInjection::Instance().HitCount("deadline_test.p"), 3u);
+}
+
+TEST_F(FaultInjectionTest, NegativeCountFiresForever) {
+  FaultInjection::Instance().ArmFailure("deadline_test.forever", -1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(SKYCUBE_FAULT_POINT("deadline_test.forever"));
+  }
+  FaultInjection::Instance().Disarm("deadline_test.forever");
+  EXPECT_FALSE(SKYCUBE_FAULT_POINT("deadline_test.forever"));
+  // Hit counts survive Disarm.
+  EXPECT_EQ(FaultInjection::Instance().HitCount("deadline_test.forever"),
+            101u);
+}
+
+TEST_F(FaultInjectionTest, ArmedDelayBlocksTheHit) {
+  FaultInjection::Instance().ArmDelay("deadline_test.slow", 30, 1);
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(SKYCUBE_FAULT_POINT("deadline_test.slow"));  // delay, no fail
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(elapsed, std::chrono::milliseconds(30));
+  // Second hit: delay budget spent, back to full speed.
+  EXPECT_FALSE(SKYCUBE_FAULT_POINT("deadline_test.slow"));
+}
+
+TEST_F(FaultInjectionTest, ResetClearsEverything) {
+  FaultInjection::Instance().ArmFailure("deadline_test.reset", -1);
+  EXPECT_TRUE(SKYCUBE_FAULT_POINT("deadline_test.reset"));
+  FaultInjection::Instance().Reset();
+  EXPECT_FALSE(SKYCUBE_FAULT_POINT("deadline_test.reset"));
+  EXPECT_EQ(FaultInjection::Instance().HitCount("deadline_test.reset"), 0u);
+}
+
+}  // namespace
+}  // namespace skycube

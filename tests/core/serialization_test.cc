@@ -1,5 +1,6 @@
 // Round-trip and validation tests for cube serialization.
 #include <cstdio>
+#include <fstream>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -100,6 +101,109 @@ TEST(SerializationTest, RejectsBadInput) {
                       "1 0 0 1 1 0.5\n")
           .ok());
   EXPECT_FALSE(LoadCubeFromFile("/no/such/file").ok());
+}
+
+// --- Corruption resistance -------------------------------------------------
+// A saved cube is the service's startup dependency: a corrupt file must be
+// an error, never a crash and never a silently-wrong cube.
+
+std::string ExampleCubeText() {
+  const Dataset data = Dataset::FromRows({
+                                             {5, 6, 10, 7},
+                                             {2, 6, 8, 3},
+                                             {5, 4, 9, 3},
+                                             {6, 4, 8, 5},
+                                             {2, 4, 9, 3},
+                                         })
+                           .value();
+  return SerializeCube(data.num_dims(), data.num_objects(),
+                       ComputeStellar(data));
+}
+
+TEST(SerializationTest, V2CarriesChecksumHeader) {
+  const std::string text = ExampleCubeText();
+  EXPECT_EQ(text.rfind("skycube-cube v2\nchecksum ", 0), 0u) << text;
+}
+
+TEST(SerializationTest, EveryTruncationFailsCleanly) {
+  const std::string text = ExampleCubeText();
+  for (size_t keep = 0; keep < text.size(); ++keep) {
+    const Result<SerializedCube> loaded =
+        DeserializeCube(text.substr(0, keep));
+    EXPECT_FALSE(loaded.ok()) << "truncation to " << keep << " bytes parsed";
+  }
+}
+
+TEST(SerializationTest, EverySingleBitFlipIsDetected) {
+  const std::string original = ExampleCubeText();
+  for (size_t i = 0; i < original.size(); ++i) {
+    std::string corrupt = original;
+    corrupt[i] = static_cast<char>(corrupt[i] ^ 0x4);
+    const Result<SerializedCube> loaded = DeserializeCube(corrupt);
+    EXPECT_FALSE(loaded.ok()) << "bit flip at byte " << i << " parsed";
+  }
+}
+
+TEST(SerializationTest, PayloadCorruptionIsInternal) {
+  std::string corrupt = ExampleCubeText();
+  // Flip a digit inside the payload (past the checksum line), turning a
+  // syntactically valid number into a different valid number: only the
+  // checksum can catch this.
+  const size_t payload = corrupt.find('\n', corrupt.find("checksum")) + 1;
+  const size_t digit = corrupt.find_first_of("0123456789", payload);
+  ASSERT_NE(digit, std::string::npos);
+  corrupt[digit] = corrupt[digit] == '9' ? '8' : '9';
+  const Result<SerializedCube> loaded = DeserializeCube(corrupt);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInternal);
+  EXPECT_NE(loaded.status().message().find("checksum"), std::string::npos);
+}
+
+TEST(SerializationTest, CorruptFileRoundTripFails) {
+  const std::string path = ::testing::TempDir() + "/cube_corrupt.txt";
+  const std::string text = ExampleCubeText();
+  // Truncated file.
+  {
+    std::ofstream out(path);
+    out << text.substr(0, text.size() / 2);
+  }
+  EXPECT_FALSE(LoadCubeFromFile(path).ok());
+  // Bit-flipped file.
+  {
+    std::string corrupt = text;
+    corrupt[text.size() - 2] ^= 0x10;
+    std::ofstream out(path);
+    out << corrupt;
+  }
+  EXPECT_FALSE(LoadCubeFromFile(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, LegacyV1WithoutChecksumStillLoads) {
+  const Result<SerializedCube> loaded =
+      DeserializeCube("skycube-cube v1\ndims 2 objects 2 groups 1\n"
+                      "1 0 3 1 1 0.5 0.5\n");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().num_dims, 2);
+  EXPECT_EQ(loaded.value().groups.size(), 1u);
+}
+
+TEST(SerializationTest, HugeCountsFailWithoutAllocating) {
+  // A corrupt count must not drive a pre-allocation: the parse has to fail
+  // on the missing elements, not die in resize().
+  EXPECT_FALSE(
+      DeserializeCube("skycube-cube v1\ndims 2 objects 2 groups 1\n"
+                      "1 0 3 18446744073709551615 1 0.5 0.5\n")
+          .ok());
+  EXPECT_FALSE(
+      DeserializeCube("skycube-cube v1\ndims 2 objects "
+                      "18446744073709551615 groups 1\n"
+                      "18446744073709551615 0\n")
+          .ok());
+  EXPECT_FALSE(
+      DeserializeCube("skycube-cube v1\ndims 64 objects 99999999999 "
+                      "groups 99999999999\n")
+          .ok());
 }
 
 }  // namespace

@@ -15,6 +15,9 @@
 //   --cache-capacity=N   result-cache entries, 0 disables   (default 65536)
 //   --cache-shards=N     LRU shards                         (default 8)
 //   --threads=N          batch-pool workers, 0 = hardware   (default 0)
+//   --max-in-flight=N    admission-control slots, 0 = off   (default 0)
+//   --queue-wait-ms=N    shed after waiting N ms for a slot (default 0)
+//   --deadline-ms=N      per-request deadline, 0 = none     (default 0)
 //
 // Protocol (case-insensitive command word; subspaces as letters, "ACD"):
 //   skyline SUBSPACE      Q1  -> ok n=3 v=1 hit=0 ids=0 4 17
@@ -52,6 +55,14 @@ struct ServeSession {
   /// Present when insert-capable (--data / --synthetic).
   std::unique_ptr<IncrementalCubeMaintainer> maintainer;
   int num_dims = 0;
+  /// Per-request time budget (--deadline-ms); 0 = unlimited.
+  int64_t deadline_millis = 0;
+
+  QueryRequest WithDeadline(const QueryRequest& request) const {
+    return deadline_millis > 0
+               ? request.WithDeadline(Deadline::AfterMillis(deadline_millis))
+               : request;
+  }
 };
 
 std::string Lower(std::string s) {
@@ -126,7 +137,10 @@ std::optional<QueryRequest> ParseQuery(const std::string& line, int num_dims,
 }
 
 std::string FormatResponse(const QueryResponse& response) {
-  if (!response.ok) return "err " + response.error;
+  if (!response.ok) {
+    return std::string("err [") + StatusCodeName(response.code) + "] " +
+           response.error;
+  }
   std::ostringstream out;
   out << "ok ";
   switch (response.kind) {
@@ -169,7 +183,14 @@ std::string FormatStats(const SkycubeService& service) {
       << stats.snapshot_version << " swaps=" << stats.snapshot_swaps
       << " queue_hwm=" << stats.queue_depth_high_water << " p50_us="
       << static_cast<double>(stats.latency_p50_nanos) / 1e3 << " p99_us="
-      << static_cast<double>(stats.latency_p99_nanos) / 1e3;
+      << static_cast<double>(stats.latency_p99_nanos) / 1e3
+      // Robustness counters ride at the end so older scripts matching the
+      // field order above keep working.
+      << " shed=" << stats.shed_total
+      << " deadline_exceeded=" << stats.deadline_exceeded
+      << " internal_errors=" << stats.internal_errors
+      << " admission_waits=" << stats.admission_waits
+      << " in_flight_hwm=" << stats.in_flight_high_water;
   return out.str();
 }
 
@@ -221,6 +242,9 @@ std::string HandleBatch(ServeSession& session, const std::string& args) {
     requests.push_back(*request);
   }
   if (requests.empty()) return "err batch needs ';'-separated queries";
+  for (QueryRequest& request : requests) {
+    request = session.WithDeadline(request);
+  }
   const std::vector<QueryResponse> responses =
       session.service->ExecuteBatch(requests);
   std::ostringstream out;
@@ -246,6 +270,11 @@ int Serve(const FlagParser& flags) {
   options.cache.num_shards =
       static_cast<size_t>(flags.GetInt("cache-shards", 8));
   options.batch_threads = static_cast<int>(flags.GetInt("threads", 0));
+  options.max_in_flight =
+      static_cast<size_t>(flags.GetInt("max-in-flight", 0));
+  options.queue_wait_timeout =
+      std::chrono::milliseconds(flags.GetInt("queue-wait-ms", 0));
+  session.deadline_millis = flags.GetInt("deadline-ms", 0);
 
   if (flags.Has("cube")) {
     Result<SerializedCube> loaded =
@@ -325,7 +354,8 @@ int Serve(const FlagParser& flags) {
         std::printf("err %s\n", error.c_str());
       } else {
         std::printf("%s\n",
-                    FormatResponse(session.service->Execute(*request))
+                    FormatResponse(session.service->Execute(
+                                       session.WithDeadline(*request)))
                         .c_str());
       }
     }
