@@ -6,9 +6,25 @@
 #include <cstdint>
 #include <cstring>
 #include <functional>
+#include <string_view>
 #include <vector>
 
 namespace skycube {
+
+/// FNV-1a 64-bit over a byte range. Not cryptographic, but every operation
+/// (xor byte, multiply by an odd prime) is a bijection of the state, so any
+/// single corrupted byte — truncation aside — is guaranteed to change the
+/// digest; truncation changes the byte count and is caught just as
+/// reliably. Used by the cube file format (v2), the WAL record format and
+/// the checkpoint format.
+inline uint64_t Fnv1a64(std::string_view bytes) {
+  uint64_t hash = 1469598103934665603ull;
+  for (unsigned char c : bytes) {
+    hash ^= c;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
 
 /// Mixes `value` into `seed` (boost::hash_combine-style with a 64-bit
 /// multiplier).

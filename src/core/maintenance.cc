@@ -32,6 +32,20 @@ void ExpandGroups(
 
 }  // namespace
 
+const char* InsertPathName(InsertPath path) {
+  switch (path) {
+    case InsertPath::kDuplicate:
+      return "duplicate";
+    case InsertPath::kNoOp:
+      return "noop";
+    case InsertPath::kExtensionOnly:
+      return "extension";
+    case InsertPath::kFullRecompute:
+      return "recompute";
+  }
+  return "unknown";
+}
+
 IncrementalCubeMaintainer::IncrementalCubeMaintainer(Dataset initial,
                                                      StellarOptions options)
     : options_(options),

@@ -41,6 +41,9 @@ namespace skycube {
 /// Which update path an insert took (see file comment).
 enum class InsertPath { kDuplicate, kNoOp, kExtensionOnly, kFullRecompute };
 
+/// Short lowercase name ("duplicate", "noop", "extension", "recompute").
+const char* InsertPathName(InsertPath path);
+
 /// Counters over the maintainer's lifetime.
 struct MaintenanceStats {
   uint64_t inserts = 0;

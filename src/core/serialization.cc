@@ -9,24 +9,11 @@
 #include <string_view>
 
 #include "common/fault_injection.h"
+#include "common/hash.h"
 
 namespace skycube {
 
 namespace {
-
-/// FNV-1a 64-bit over the payload bytes. Not cryptographic, but every
-/// operation (xor byte, multiply by an odd prime) is a bijection of the
-/// state, so any single corrupted byte — truncation aside — is guaranteed
-/// to change the digest; truncation changes the byte count and is caught
-/// just as reliably.
-uint64_t Fnv1a64(std::string_view bytes) {
-  uint64_t hash = 1469598103934665603ull;
-  for (unsigned char c : bytes) {
-    hash ^= c;
-    hash *= 1099511628211ull;
-  }
-  return hash;
-}
 
 std::string ChecksumHex(uint64_t hash) {
   char buffer[17];

@@ -1,0 +1,31 @@
+#include "service/ingest.h"
+
+#include "common/macros.h"
+
+namespace skycube {
+
+MaintainerInsertHandler::MaintainerInsertHandler(
+    IncrementalCubeMaintainer* maintainer)
+    : maintainer_(maintainer) {
+  SKYCUBE_CHECK_MSG(maintainer != nullptr,
+                    "MaintainerInsertHandler needs a maintainer");
+}
+
+Result<InsertHandler::Applied> MaintainerInsertHandler::ApplyInsert(
+    const std::vector<double>& values) {
+  if (static_cast<int>(values.size()) != maintainer_->data().num_dims()) {
+    return Status::InvalidArgument("insert width must equal num_dims");
+  }
+  Applied applied;
+  applied.path = maintainer_->Insert(values);
+  applied.num_objects = maintainer_->data().num_objects();
+  applied.cube = std::make_shared<const CompressedSkylineCube>(
+      maintainer_->MakeCube());
+  return applied;
+}
+
+int MaintainerInsertHandler::num_dims() const {
+  return maintainer_->data().num_dims();
+}
+
+}  // namespace skycube

@@ -1,0 +1,67 @@
+// The write-path seam of SkycubeService: an InsertHandler applies one
+// inserted row to whatever owns the mutable cube state and hands back the
+// post-insert snapshot for the service to swap in.
+//
+// Two implementations exist:
+//  - MaintainerInsertHandler (here): wraps a bare IncrementalCubeMaintainer
+//    — volatile ingest, exactly the pre-durability behaviour of
+//    skycube_serve --data/--synthetic;
+//  - DurableIngest (storage/durable_ingest.h): WAL append + maintainer +
+//    periodic checkpoints — the insert is acknowledged only after the WAL
+//    append succeeded.
+//
+// The service serializes ApplyInsert calls under its own ingest mutex, but
+// implementations must still be safe against concurrent *readers* of the
+// structures they expose (the maintainer itself is only touched from
+// ApplyInsert, so the usual pattern — snapshot-copy via MakeCube — holds).
+#ifndef SKYCUBE_SERVICE_INGEST_H_
+#define SKYCUBE_SERVICE_INGEST_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "core/cube.h"
+#include "core/maintenance.h"
+
+namespace skycube {
+
+class InsertHandler {
+ public:
+  /// Outcome of one applied insert.
+  struct Applied {
+    /// Immutable snapshot including the new row, ready for Reload.
+    std::shared_ptr<const CompressedSkylineCube> cube;
+    InsertPath path = InsertPath::kNoOp;
+    /// WAL sequence number of the insert; 0 for non-durable handlers.
+    uint64_t lsn = 0;
+    size_t num_objects = 0;
+  };
+
+  virtual ~InsertHandler() = default;
+
+  /// Applies one row (values.size() must equal num_dims()). An error means
+  /// the insert was NOT applied (and for durable handlers, not logged) —
+  /// the caller reports it to the client instead of acknowledging.
+  virtual Result<Applied> ApplyInsert(const std::vector<double>& values) = 0;
+
+  virtual int num_dims() const = 0;
+};
+
+/// Volatile adapter over an IncrementalCubeMaintainer the caller owns (and
+/// must keep alive). No durability: rows die with the process.
+class MaintainerInsertHandler : public InsertHandler {
+ public:
+  explicit MaintainerInsertHandler(IncrementalCubeMaintainer* maintainer);
+
+  Result<Applied> ApplyInsert(const std::vector<double>& values) override;
+  int num_dims() const override;
+
+ private:
+  IncrementalCubeMaintainer* maintainer_;
+};
+
+}  // namespace skycube
+
+#endif  // SKYCUBE_SERVICE_INGEST_H_

@@ -28,10 +28,11 @@ enum class QueryKind : uint8_t {
   kMembership = 2,          // Q2: object ∈ Sky(subspace)?
   kMembershipCount = 3,     // Q3: #subspaces whose skyline contains object
   kSkycubeSize = 4,         // Q3: Σ over subspaces of |Sky(B)|
+  kInsert = 5,              // ingest: add a row; acked only once durable
 };
 
 /// Number of distinct QueryKind values (for per-kind counters).
-inline constexpr int kNumQueryKinds = 5;
+inline constexpr int kNumQueryKinds = 6;
 
 /// Short lowercase name ("skyline", "cardinality", ...).
 const char* QueryKindName(QueryKind kind);
@@ -46,6 +47,9 @@ struct QueryRequest {
   /// cube traversals; an expired request answers kDeadlineExceeded instead
   /// of stalling.
   Deadline deadline;
+  /// kInsert payload: the row to add (must have the cube's num_dims
+  /// values). Empty for every read kind.
+  std::vector<double> values;
 
   /// Copy of this request with a deadline attached.
   QueryRequest WithDeadline(Deadline d) const {
@@ -54,20 +58,33 @@ struct QueryRequest {
     return copy;
   }
 
+  static QueryRequest Make(QueryKind kind, DimMask subspace, ObjectId object) {
+    QueryRequest request;
+    request.kind = kind;
+    request.subspace = subspace;
+    request.object = object;
+    return request;
+  }
   static QueryRequest SubspaceSkyline(DimMask subspace) {
-    return {QueryKind::kSubspaceSkyline, subspace, 0, {}};
+    return Make(QueryKind::kSubspaceSkyline, subspace, 0);
   }
   static QueryRequest SkylineCardinality(DimMask subspace) {
-    return {QueryKind::kSkylineCardinality, subspace, 0, {}};
+    return Make(QueryKind::kSkylineCardinality, subspace, 0);
   }
   static QueryRequest Membership(ObjectId object, DimMask subspace) {
-    return {QueryKind::kMembership, subspace, object, {}};
+    return Make(QueryKind::kMembership, subspace, object);
   }
   static QueryRequest MembershipCount(ObjectId object) {
-    return {QueryKind::kMembershipCount, 0, object, {}};
+    return Make(QueryKind::kMembershipCount, 0, object);
   }
   static QueryRequest SkycubeSize() {
-    return {QueryKind::kSkycubeSize, 0, 0, {}};
+    return Make(QueryKind::kSkycubeSize, 0, 0);
+  }
+  static QueryRequest Insert(std::vector<double> values) {
+    QueryRequest request;
+    request.kind = QueryKind::kInsert;
+    request.values = std::move(values);
+    return request;
   }
 };
 
@@ -88,8 +105,17 @@ struct QueryResponse {
   /// kMembership payload.
   bool member = false;
 
+  /// kInsert payload: the maintenance path taken ("duplicate", "noop",
+  /// "extension", "recompute") and, for durable ingest, the WAL sequence
+  /// number of the acknowledged record (0 when not durable). `count`
+  /// carries the post-insert object total.
+  std::string insert_path;
+  uint64_t lsn = 0;
+
   /// Version of the cube snapshot that produced this answer (monotonically
-  /// increasing across SkycubeService::Reload calls, starting at 1).
+  /// increasing across SkycubeService::Reload calls, starting at 1). For a
+  /// kInsert answer this is the *post-insert* version — the proof that the
+  /// result cache can no longer serve pre-insert answers.
   uint64_t snapshot_version = 0;
   /// True iff the answer came from the result cache.
   bool cache_hit = false;

@@ -25,6 +25,8 @@ const char* QueryKindName(QueryKind kind) {
       return "membership_count";
     case QueryKind::kSkycubeSize:
       return "skycube_size";
+    case QueryKind::kInsert:
+      return "insert";
   }
   return "unknown";
 }
@@ -92,8 +94,18 @@ QueryResponse SkycubeService::ShedResponse(const QueryRequest& request,
                        "overloaded: request shed by admission control");
 }
 
+QueryResponse SkycubeService::DrainingResponse(const QueryRequest& request,
+                                               uint64_t version) {
+  drained_rejects_.fetch_add(1, std::memory_order_relaxed);
+  return ErrorResponse(request, version, StatusCode::kUnavailable,
+                       "service is draining for shutdown");
+}
+
 QueryResponse SkycubeService::Execute(const QueryRequest& request) {
   const auto start = std::chrono::steady_clock::now();
+  if (draining()) {
+    return DrainingResponse(request, LoadSnapshot()->version);
+  }
   if (!AdmitSlot()) {
     return ShedResponse(request, LoadSnapshot()->version);
   }
@@ -124,6 +136,11 @@ QueryResponse SkycubeService::ExecuteOn(const QueryRequest& request,
     invalid_requests_.fetch_add(1, std::memory_order_relaxed);
     return ErrorResponse(request, snap.version, StatusCode::kInvalidArgument,
                          error);
+  }
+  // Writes bypass the cache entirely and never run against `snap`: the
+  // insert produces its own (newer) snapshot and reports *that* version.
+  if (request.kind == QueryKind::kInsert) {
+    return ExecuteInsert(request);
   }
   // A request that arrives past its deadline never touches cache or cube.
   if (request.deadline.expired()) {
@@ -180,6 +197,10 @@ const char* SkycubeService::ValidationError(
   if (needs_object && request.object >= cube.num_objects()) {
     return "object id out of range";
   }
+  if (request.kind == QueryKind::kInsert &&
+      static_cast<int>(request.values.size()) != cube.num_dims()) {
+    return "insert row width must equal num_dims";
+  }
   return nullptr;
 }
 
@@ -216,7 +237,54 @@ QueryResponse SkycubeService::Compute(const QueryRequest& request,
     case QueryKind::kSkycubeSize:
       response.count = cube.TotalSubspaceSkylineObjects(&cancel);
       break;
+    case QueryKind::kInsert:
+      // Unreachable: ExecuteOn routes inserts to ExecuteInsert before the
+      // cache probe and never calls Compute for them.
+      SKYCUBE_CHECK_MSG(false, "kInsert reached the read compute path");
+      break;
   }
+  return response;
+}
+
+void SkycubeService::AttachInsertHandler(InsertHandler* handler) {
+  insert_handler_.store(handler, std::memory_order_release);
+}
+
+void SkycubeService::BeginDrain() {
+  draining_.store(true, std::memory_order_release);
+}
+
+QueryResponse SkycubeService::ExecuteInsert(const QueryRequest& request) {
+  InsertHandler* handler = insert_handler_.load(std::memory_order_acquire);
+  if (handler == nullptr) {
+    invalid_requests_.fetch_add(1, std::memory_order_relaxed);
+    return ErrorResponse(request, LoadSnapshot()->version,
+                         StatusCode::kInvalidArgument,
+                         "service is read-only: no insert handler attached");
+  }
+  // One writer at a time: the handler mutates shared state (maintainer,
+  // WAL) and the apply→Reload pair must publish snapshots in apply order so
+  // snapshot_version stays monotone with the WAL.
+  std::lock_guard<std::mutex> lock(ingest_mu_);
+  Result<InsertHandler::Applied> applied = handler->ApplyInsert(request.values);
+  if (!applied.ok()) {
+    insert_failures_.fetch_add(1, std::memory_order_relaxed);
+    const Status& status = applied.status();
+    return ErrorResponse(request, LoadSnapshot()->version, status.code(),
+                         status.message());
+  }
+  // Swapping the snapshot bumps the version, which invalidates every cached
+  // read answer (cache keys carry the version) — a reader can never see a
+  // pre-insert answer labeled with a post-insert version.
+  Reload(applied.value().cube);
+  inserts_applied_.fetch_add(1, std::memory_order_relaxed);
+
+  QueryResponse response;
+  response.kind = QueryKind::kInsert;
+  response.insert_path = InsertPathName(applied.value().path);
+  response.lsn = applied.value().lsn;
+  response.count = applied.value().num_objects;
+  response.snapshot_version = snapshot_version();
   return response;
 }
 
@@ -226,6 +294,13 @@ std::vector<QueryResponse> SkycubeService::ExecuteBatch(
   std::vector<QueryResponse> responses(requests.size());
   if (requests.empty()) return responses;
   const auto start = std::chrono::steady_clock::now();
+  if (draining()) {
+    const uint64_t version = LoadSnapshot()->version;
+    for (size_t i = 0; i < requests.size(); ++i) {
+      responses[i] = DrainingResponse(requests[i], version);
+    }
+    return responses;
+  }
   if (!AdmitSlot()) {
     const uint64_t version = LoadSnapshot()->version;
     for (size_t i = 0; i < requests.size(); ++i) {
@@ -334,6 +409,10 @@ ServiceStats SkycubeService::stats() const {
       deadline_exceeded_.load(std::memory_order_relaxed);
   stats.internal_errors = internal_errors_.load(std::memory_order_relaxed);
   stats.admission_waits = admission_waits_.load(std::memory_order_relaxed);
+  stats.inserts_applied = inserts_applied_.load(std::memory_order_relaxed);
+  stats.insert_failures = insert_failures_.load(std::memory_order_relaxed);
+  stats.drained_rejects = drained_rejects_.load(std::memory_order_relaxed);
+  stats.draining = draining();
   if (options_.max_in_flight > 0) {
     std::lock_guard<std::mutex> lock(
         const_cast<std::mutex&>(admission_mu_));

@@ -33,6 +33,7 @@
 #include "common/deadline.h"
 #include "common/thread_pool.h"
 #include "core/cube.h"
+#include "service/ingest.h"
 #include "service/request.h"
 #include "service/result_cache.h"
 #include "service/service_stats.h"
@@ -90,6 +91,19 @@ class SkycubeService {
   /// they loaded; new queries see `cube`.
   void Reload(std::shared_ptr<const CompressedSkylineCube> cube);
 
+  /// Enables kInsert requests (disabled by default: they answer
+  /// kInvalidArgument on a read-only service). `handler` is not owned and
+  /// must outlive the service. Call before serving traffic.
+  void AttachInsertHandler(InsertHandler* handler);
+
+  /// Graceful-shutdown gate: after this, every new Execute/ExecuteBatch
+  /// answers kUnavailable without touching cache or cube; in-flight work
+  /// finishes normally. Irreversible.
+  void BeginDrain();
+  bool draining() const {
+    return draining_.load(std::memory_order_acquire);
+  }
+
   /// The currently served cube (shared ownership keeps it valid even if a
   /// Reload lands immediately after).
   std::shared_ptr<const CompressedSkylineCube> snapshot() const;
@@ -126,6 +140,15 @@ class SkycubeService {
   /// Builds + counts a kResourceExhausted response for a shed request.
   QueryResponse ShedResponse(const QueryRequest& request, uint64_t version);
 
+  /// Builds + counts a kUnavailable response for a draining service.
+  QueryResponse DrainingResponse(const QueryRequest& request,
+                                 uint64_t version);
+
+  /// The kInsert path: serialize under ingest_mu_, apply through the
+  /// handler, swap the post-insert snapshot in (which invalidates the
+  /// result cache by version). Never cached.
+  QueryResponse ExecuteInsert(const QueryRequest& request);
+
   ThreadPool& BatchPool();
 
   SkycubeServiceOptions options_;
@@ -144,6 +167,16 @@ class SkycubeService {
   std::atomic<uint64_t> deadline_exceeded_{0};
   std::atomic<uint64_t> internal_errors_{0};
   std::atomic<uint64_t> admission_waits_{0};
+
+  // Ingest path (only active once AttachInsertHandler was called).
+  std::atomic<InsertHandler*> insert_handler_{nullptr};
+  std::mutex ingest_mu_;  // serializes ApplyInsert + Reload pairs
+  std::atomic<uint64_t> inserts_applied_{0};
+  std::atomic<uint64_t> insert_failures_{0};
+
+  // Graceful drain (BeginDrain).
+  std::atomic<bool> draining_{false};
+  std::atomic<uint64_t> drained_rejects_{0};
 
   // Admission gate (only used when options_.max_in_flight > 0).
   std::mutex admission_mu_;

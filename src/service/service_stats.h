@@ -93,6 +93,16 @@ struct ServiceStats {
   /// when max_in_flight > 0).
   size_t in_flight_high_water = 0;
 
+  // --- Ingest and drain ---------------------------------------------------
+  /// kInsert requests successfully applied (each bumps snapshot_version).
+  uint64_t inserts_applied = 0;
+  /// kInsert requests rejected by the handler (bad width, WAL failure, ...).
+  uint64_t insert_failures = 0;
+  /// Requests answered kUnavailable because the service is draining.
+  uint64_t drained_rejects = 0;
+  /// True once BeginDrain() was called.
+  bool draining = false;
+
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
   uint64_t cache_evictions = 0;

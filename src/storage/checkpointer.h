@@ -1,0 +1,84 @@
+// Atomic, checksummed checkpoints of the ingest state: the full dataset
+// plus its compressed skyline cube, tagged with the WAL LSN they cover.
+//
+// File format (text, version-tagged, consistent with core/serialization.h):
+//
+//   skycube-checkpoint v1
+//   checksum <fnv1a64-hex>            (over everything below)
+//   lsn <L>
+//   dims <d> rows <n>
+//   names <name0> <name1> ...
+//   <n lines of d max-precision doubles>
+//   skycube-cube v2 ...               (embedded cube, itself checksummed)
+//
+// A checkpoint at LSN L contains the bootstrap rows plus the first L WAL
+// inserts; recovery loads it and replays only records with lsn > L.
+//
+// Crash consistency: checkpoints are written to `<name>.tmp`, fsync'd,
+// renamed into place (`checkpoint-<16hex-lsn>.ckpt`), and the directory is
+// fsync'd — a crash at any point leaves either the old set of checkpoints
+// or the old set plus the complete new one, never a half-written visible
+// file. Stray .tmp files from crashed writers are ignored by List and
+// removed by the next successful Write.
+//
+// Retention keeps the newest `keep` checkpoints. The WAL may only be
+// truncated through the *oldest retained* checkpoint's LSN — that way a
+// corrupt newest checkpoint can still fall back to an older one and find
+// every WAL record it needs.
+#ifndef SKYCUBE_STORAGE_CHECKPOINTER_H_
+#define SKYCUBE_STORAGE_CHECKPOINTER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/skyline_group.h"
+#include "dataset/dataset.h"
+
+namespace skycube {
+
+/// A loaded checkpoint.
+struct CheckpointData {
+  uint64_t lsn = 0;
+  Dataset data{1};
+  SkylineGroupSet groups;
+};
+
+/// LSNs of the complete (renamed-into-place) checkpoints in `dir`,
+/// ascending. Missing directory = empty list.
+std::vector<uint64_t> ListCheckpoints(const std::string& dir);
+
+/// Loads and validates checkpoint `lsn`; checksum mismatch or structural
+/// damage is an error (kInternal / kInvalidArgument), never a partial load.
+Result<CheckpointData> LoadCheckpoint(const std::string& dir, uint64_t lsn);
+
+/// Writes checkpoints into one directory and applies retention.
+class Checkpointer {
+ public:
+  /// `keep` >= 1: how many newest checkpoints survive retention.
+  Checkpointer(std::string dir, size_t keep = 2);
+
+  /// Atomically writes the checkpoint for `lsn`, then deletes checkpoints
+  /// beyond the retention horizon (and stray .tmp files). On success,
+  /// oldest_retained_lsn() says how far the WAL may be truncated.
+  Status Write(uint64_t lsn, const Dataset& data,
+               const SkylineGroupSet& groups);
+
+  /// LSN of the oldest checkpoint still on disk after the last successful
+  /// Write (the safe WAL truncation horizon).
+  uint64_t oldest_retained_lsn() const { return oldest_retained_lsn_; }
+
+  uint64_t checkpoints_written() const { return checkpoints_written_; }
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string dir_;
+  size_t keep_;
+  uint64_t oldest_retained_lsn_ = 0;
+  uint64_t checkpoints_written_ = 0;
+};
+
+}  // namespace skycube
+
+#endif  // SKYCUBE_STORAGE_CHECKPOINTER_H_

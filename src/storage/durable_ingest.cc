@@ -1,0 +1,135 @@
+#include "storage/durable_ingest.h"
+
+#include <utility>
+
+#include "common/macros.h"
+
+namespace skycube {
+
+DurableIngest::DurableIngest(std::string dir, DurableIngestOptions options)
+    : dir_(std::move(dir)),
+      options_(options),
+      checkpointer_(dir_, options.keep_checkpoints) {}
+
+Result<std::unique_ptr<DurableIngest>> DurableIngest::Open(
+    const std::string& dir, const Dataset* bootstrap,
+    DurableIngestOptions options) {
+  std::unique_ptr<DurableIngest> ingest(new DurableIngest(dir, options));
+  uint64_t next_lsn = 1;
+  if (DirHasDurableState(dir)) {
+    Result<RecoveredState> recovered = RecoverFromDir(dir, options.stellar);
+    if (!recovered.ok()) return recovered.status();
+    ingest->maintainer_ = std::move(recovered.value().maintainer);
+    ingest->recovery_stats_ = recovered.value().stats;
+    ingest->recovered_ = true;
+    ingest->last_checkpoint_lsn_ = recovered.value().stats.checkpoint_lsn;
+    next_lsn = recovered.value().stats.next_lsn;
+  } else {
+    if (bootstrap == nullptr) {
+      return Status::NotFound(
+          "data directory has no durable state and no bootstrap dataset "
+          "was provided");
+    }
+    ingest->maintainer_ = std::make_unique<IncrementalCubeMaintainer>(
+        *bootstrap, options.stellar);
+    // The LSN-0 checkpoint makes the bootstrap rows durable before the
+    // first insert is ever acknowledged; without it a crash before the
+    // first periodic checkpoint would have a WAL with no base to replay
+    // onto.
+    Status wrote = ingest->checkpointer_.Write(
+        0, ingest->maintainer_->data(), ingest->maintainer_->groups());
+    if (!wrote.ok()) return wrote;
+  }
+  Result<std::unique_ptr<WriteAheadLog>> wal =
+      WriteAheadLog::Open(dir, next_lsn, options.wal);
+  if (!wal.ok()) return wal.status();
+  ingest->wal_ = std::move(wal).value();
+  return ingest;
+}
+
+Result<InsertHandler::Applied> DurableIngest::ApplyInsert(
+    const std::vector<double>& values) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (static_cast<int>(values.size()) != maintainer_->data().num_dims()) {
+    return Status::InvalidArgument("insert width must equal num_dims");
+  }
+  // Log first: an insert the WAL did not accept is never applied, so the
+  // in-memory cube can run *behind* the durable log but never ahead of it.
+  Result<uint64_t> appended = wal_->Append(EncodeRowPayload(values));
+  if (!appended.ok()) return appended.status();
+  const uint64_t lsn = appended.value();
+
+  Applied applied;
+  applied.path = maintainer_->Insert(values);
+  applied.lsn = lsn;
+  applied.num_objects = maintainer_->data().num_objects();
+  applied.cube = std::make_shared<const CompressedSkylineCube>(
+      maintainer_->MakeCube());
+
+  ++inserts_since_checkpoint_;
+  if (options_.checkpoint_every > 0 &&
+      inserts_since_checkpoint_ >= options_.checkpoint_every) {
+    // A failed periodic checkpoint does not fail the insert — the row is
+    // in the WAL; only the truncation horizon stops advancing.
+    (void)CheckpointLocked(lsn);
+  }
+  return applied;
+}
+
+int DurableIngest::num_dims() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return maintainer_->data().num_dims();
+}
+
+Status DurableIngest::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return wal_->Sync();
+}
+
+Status DurableIngest::CheckpointLocked(uint64_t lsn) {
+  // Sync the log first: if the rename lands, every record the checkpoint
+  // covers is also durable, so the (old checkpoint + WAL) fallback view
+  // and the new checkpoint agree.
+  Status synced = wal_->Sync();
+  if (!synced.ok()) return synced;
+  Status wrote =
+      checkpointer_.Write(lsn, maintainer_->data(), maintainer_->groups());
+  if (!wrote.ok()) return wrote;
+  last_checkpoint_lsn_ = lsn;
+  inserts_since_checkpoint_ = 0;
+  // Truncate only through the *oldest retained* checkpoint: a corrupt
+  // newest checkpoint must still find its WAL suffix under the older one.
+  return wal_->TruncateThrough(checkpointer_.oldest_retained_lsn());
+}
+
+Status DurableIngest::Checkpoint() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t lsn = wal_->next_lsn() - 1;
+  if (lsn == last_checkpoint_lsn_ && checkpointer_.checkpoints_written() > 0) {
+    return Status::Ok();  // nothing new to cover
+  }
+  return CheckpointLocked(lsn);
+}
+
+Status DurableIngest::Drain() {
+  Status flushed = Flush();
+  if (!flushed.ok()) return flushed;
+  return Checkpoint();
+}
+
+DurableIngestStats DurableIngest::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  DurableIngestStats stats;
+  stats.recovered = recovered_;
+  stats.recovery = recovery_stats_;
+  stats.wal = wal_->stats();
+  stats.checkpoints_written = checkpointer_.checkpoints_written();
+  stats.last_checkpoint_lsn = last_checkpoint_lsn_;
+  stats.inserts_since_checkpoint = inserts_since_checkpoint_;
+  stats.num_objects = static_cast<uint64_t>(
+      maintainer_->data().num_objects());
+  stats.num_groups = static_cast<uint64_t>(maintainer_->groups().size());
+  return stats;
+}
+
+}  // namespace skycube

@@ -1,0 +1,119 @@
+// DurableIngest: the durable InsertHandler — WAL append (the ack point),
+// then cube maintenance, then periodic checkpoints with WAL truncation.
+//
+// Write path of one insert (docs/ROBUSTNESS.md, "Durability & recovery"):
+//   1. encode the row and append it to the WAL; Append returning OK is the
+//      acknowledgement point — under --fsync-policy always the record has
+//      hit stable storage before the client ever sees "ok";
+//   2. apply the row to the IncrementalCubeMaintainer (classifying it into
+//      one of the four maintenance paths) and hand the post-insert snapshot
+//      back for the service to swap in;
+//   3. every checkpoint_every applied inserts, write an atomic checkpoint
+//      of dataset + cube and truncate WAL segments the *oldest retained*
+//      checkpoint makes redundant.
+// A WAL failure in step 1 rejects the insert without applying it — the
+// in-memory cube never runs ahead of the log, so a crash after a rejected
+// insert recovers to a state that simply does not contain it.
+//
+// Open() decides between recovery and bootstrap: a directory holding at
+// least one complete checkpoint is recovered (newest valid checkpoint +
+// WAL replay); a fresh directory requires a bootstrap dataset, which is
+// checkpointed at LSN 0 before the WAL opens, so every later crash has a
+// base state to recover from.
+#ifndef SKYCUBE_STORAGE_DURABLE_INGEST_H_
+#define SKYCUBE_STORAGE_DURABLE_INGEST_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/maintenance.h"
+#include "core/stellar.h"
+#include "dataset/dataset.h"
+#include "service/ingest.h"
+#include "storage/checkpointer.h"
+#include "storage/recovery.h"
+#include "storage/wal.h"
+
+namespace skycube {
+
+struct DurableIngestOptions {
+  WalOptions wal;
+  /// Applied inserts between automatic checkpoints (0 = only explicit
+  /// Checkpoint()/Drain() calls checkpoint).
+  uint64_t checkpoint_every = 256;
+  /// Newest checkpoints retention keeps on disk.
+  size_t keep_checkpoints = 2;
+  StellarOptions stellar;
+};
+
+/// Point-in-time counters of one DurableIngest instance.
+struct DurableIngestStats {
+  /// True iff Open() recovered existing state (vs. bootstrapped).
+  bool recovered = false;
+  RecoveryStats recovery;  // meaningful iff recovered
+  WalStats wal;
+  uint64_t checkpoints_written = 0;
+  uint64_t last_checkpoint_lsn = 0;
+  uint64_t inserts_since_checkpoint = 0;
+  uint64_t num_objects = 0;
+  uint64_t num_groups = 0;
+};
+
+/// The durable write path. ApplyInsert calls are serialized by the caller
+/// (SkycubeService holds its ingest mutex across them); stats() and
+/// maintainer() may race an insert only in the trivial single-threaded
+/// sense — an internal mutex keeps them coherent regardless.
+class DurableIngest : public InsertHandler {
+ public:
+  /// Opens data directory `dir`. If it holds durable state, recovers it
+  /// (`bootstrap` is ignored); otherwise `bootstrap` must be non-null and
+  /// becomes the LSN-0 checkpoint. Fails rather than serve from a damaged
+  /// or empty directory.
+  static Result<std::unique_ptr<DurableIngest>> Open(
+      const std::string& dir, const Dataset* bootstrap,
+      DurableIngestOptions options = {});
+
+  /// WAL append (ack point) → maintainer insert → periodic checkpoint.
+  Result<Applied> ApplyInsert(const std::vector<double>& values) override;
+  int num_dims() const override;
+
+  /// Forces pending WAL records to stable storage.
+  Status Flush();
+
+  /// Writes a checkpoint at the current LSN now and truncates the WAL
+  /// through the retention horizon. No-op if nothing changed since the
+  /// last checkpoint.
+  Status Checkpoint();
+
+  /// Shutdown path: Flush + final Checkpoint. After OK, recovery replays
+  /// zero WAL records.
+  Status Drain();
+
+  const IncrementalCubeMaintainer& maintainer() const { return *maintainer_; }
+  DurableIngestStats stats() const;
+
+ private:
+  DurableIngest(std::string dir, DurableIngestOptions options);
+
+  /// Checkpoint at `lsn` + WAL truncation; caller holds mu_.
+  Status CheckpointLocked(uint64_t lsn);
+
+  std::string dir_;
+  DurableIngestOptions options_;
+  std::unique_ptr<IncrementalCubeMaintainer> maintainer_;
+  std::unique_ptr<WriteAheadLog> wal_;
+  Checkpointer checkpointer_;
+  bool recovered_ = false;
+  RecoveryStats recovery_stats_;
+  uint64_t last_checkpoint_lsn_ = 0;
+  uint64_t inserts_since_checkpoint_ = 0;
+  mutable std::mutex mu_;
+};
+
+}  // namespace skycube
+
+#endif  // SKYCUBE_STORAGE_DURABLE_INGEST_H_

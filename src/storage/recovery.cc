@@ -1,0 +1,86 @@
+#include "storage/recovery.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/timer.h"
+#include "storage/checkpointer.h"
+#include "storage/wal.h"
+
+namespace skycube {
+
+bool DirHasDurableState(const std::string& dir) {
+  return !ListCheckpoints(dir).empty();
+}
+
+Result<RecoveredState> RecoverFromDir(const std::string& dir,
+                                      const StellarOptions& options) {
+  WallTimer timer;
+  RecoveredState state;
+  RecoveryStats& stats = state.stats;
+
+  std::vector<uint64_t> lsns = ListCheckpoints(dir);
+  stats.checkpoints_found = lsns.size();
+  if (lsns.empty()) {
+    return Status::NotFound("no checkpoint in " + dir);
+  }
+
+  // Newest valid checkpoint wins; anything that fails its checksum, its
+  // parse, or the cube cross-check is rejected wholesale.
+  std::string last_error;
+  for (size_t i = lsns.size(); i-- > 0;) {
+    Result<CheckpointData> loaded = LoadCheckpoint(dir, lsns[i]);
+    if (!loaded.ok()) {
+      ++stats.checkpoints_rejected;
+      last_error = loaded.status().ToString();
+      continue;
+    }
+    auto maintainer = std::make_unique<IncrementalCubeMaintainer>(
+        std::move(loaded.value().data), options);
+    // Cross-check: the rebuilt cube must equal the checkpointed cube
+    // (both normalized). A mismatch means the checkpoint does not describe
+    // the state it claims to — treat it exactly like a checksum failure.
+    if (maintainer->groups() != loaded.value().groups) {
+      ++stats.checkpoints_rejected;
+      last_error = "checkpoint " + std::to_string(lsns[i]) +
+                   " failed the cube cross-check";
+      continue;
+    }
+    stats.checkpoint_lsn = lsns[i];
+    stats.checkpoint_rows = maintainer->data().num_objects();
+    state.maintainer = std::move(maintainer);
+    break;
+  }
+  if (state.maintainer == nullptr) {
+    return Status::Internal("every checkpoint in " + dir +
+                            " is damaged (last: " + last_error + ")");
+  }
+
+  // Replay the WAL suffix. The read already validated every record's
+  // checksum and LSN contiguity; a record that fails to decode or apply
+  // here would indicate format drift, and stops the replay the same way a
+  // damaged record stops the scan.
+  Result<WalReadResult> wal = ReadWal(dir, stats.checkpoint_lsn);
+  if (!wal.ok()) return wal.status();
+  stats.wal_suffix_discarded = wal.value().damaged_suffix;
+  stats.wal_bytes_discarded = wal.value().discarded_bytes;
+  uint64_t last_applied = stats.checkpoint_lsn;
+  for (const WalRecord& record : wal.value().records) {
+    Result<std::vector<double>> row = DecodeRowPayload(record.payload);
+    if (!row.ok() ||
+        static_cast<int>(row.value().size()) !=
+            state.maintainer->data().num_dims()) {
+      stats.wal_suffix_discarded = true;
+      break;
+    }
+    state.maintainer->Insert(row.value());
+    ++stats.wal_records_replayed;
+    last_applied = record.lsn;
+  }
+  stats.next_lsn = last_applied + 1;
+  stats.seconds_total = timer.ElapsedSeconds();
+  return state;
+}
+
+}  // namespace skycube

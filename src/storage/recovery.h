@@ -1,0 +1,70 @@
+// Startup recovery for a durable ingest directory: load the newest valid
+// checkpoint (falling back to older ones when a checkpoint fails its
+// checksum or cross-check), then replay the WAL suffix through
+// IncrementalCubeMaintainer.
+//
+// Recovery sequence (docs/ROBUSTNESS.md):
+//   1. List checkpoints, newest first. For each: load (outer FNV-1a
+//      checksum + embedded cube v2 checksum must both verify), rebuild the
+//      maintainer from the checkpointed dataset, and cross-check that the
+//      rebuilt groups exactly equal the checkpointed groups — a checkpoint
+//      that fails any of these is *rejected*, never partially applied.
+//   2. Replay WAL records with lsn > checkpoint_lsn in order through
+//      Insert(). The scan stops at the first damaged record (torn tail or
+//      corruption); the damaged suffix is reported, not loaded.
+//   3. Report per-phase counters and the next LSN to append at.
+//
+// The result is a maintainer whose groups() provably equal
+// ComputeStellar() over checkpoint rows + replayed rows — the
+// crash-consistency invariant tools/skycube_crashtest.cc enforces under
+// random SIGKILL.
+#ifndef SKYCUBE_STORAGE_RECOVERY_H_
+#define SKYCUBE_STORAGE_RECOVERY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "core/maintenance.h"
+#include "core/stellar.h"
+
+namespace skycube {
+
+/// Per-phase counters of one recovery pass.
+struct RecoveryStats {
+  uint64_t checkpoints_found = 0;
+  /// Checkpoints rejected before one loaded (checksum/parse/cross-check).
+  uint64_t checkpoints_rejected = 0;
+  /// LSN of the checkpoint recovery loaded.
+  uint64_t checkpoint_lsn = 0;
+  uint64_t checkpoint_rows = 0;
+  uint64_t wal_records_replayed = 0;
+  /// True iff the WAL scan stopped before its physical end (torn tail or a
+  /// corrupt record) — the damaged suffix was discarded, not loaded.
+  bool wal_suffix_discarded = false;
+  uint64_t wal_bytes_discarded = 0;
+  /// First LSN a reopened WAL should assign.
+  uint64_t next_lsn = 1;
+  double seconds_total = 0;
+};
+
+/// A recovered ingest state, ready to serve and to keep ingesting.
+struct RecoveredState {
+  std::unique_ptr<IncrementalCubeMaintainer> maintainer;
+  RecoveryStats stats;
+};
+
+/// True iff `dir` holds at least one complete checkpoint — the signal that
+/// a data directory carries state to recover rather than bootstrap.
+bool DirHasDurableState(const std::string& dir);
+
+/// Runs the recovery sequence over `dir`. Fails with kNotFound when the
+/// directory has no checkpoint at all, and kInternal when every checkpoint
+/// is damaged (nothing is ever silently loaded from a bad file).
+Result<RecoveredState> RecoverFromDir(const std::string& dir,
+                                      const StellarOptions& options = {});
+
+}  // namespace skycube
+
+#endif  // SKYCUBE_STORAGE_RECOVERY_H_

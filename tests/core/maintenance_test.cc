@@ -141,5 +141,79 @@ TEST(MaintenanceTest, PathsActuallyDiversify) {
   EXPECT_GT(path_counts[3], 0u) << "no recompute path taken";
 }
 
+TEST(MaintenanceTest, DuplicateOfSeedPatchesWithoutRecompute) {
+  // P5 = (2,4,9,3) is a full-space skyline point (a seed). Re-inserting a
+  // seed verbatim must take the duplicate path, not recompute.
+  IncrementalCubeMaintainer maintainer(RunningExample());
+  const uint64_t recomputes_before = maintainer.stats().full_recomputes;
+  EXPECT_EQ(maintainer.Insert({2, 4, 9, 3}), InsertPath::kDuplicate);
+  EXPECT_EQ(maintainer.Insert({2, 4, 9, 3}), InsertPath::kDuplicate);
+  ExpectCubeCurrent(maintainer);
+  EXPECT_EQ(maintainer.stats().full_recomputes, recomputes_before);
+  EXPECT_EQ(maintainer.data().num_objects(), 7u);
+}
+
+TEST(MaintenanceTest, SeedEvictingInsertRecomputes) {
+  // (2,4,8,3) strictly dominates seed P5=(2,4,9,3) while leaving the other
+  // rows alone: a partial seed eviction, which must force a recompute and
+  // still land on the from-scratch answer.
+  IncrementalCubeMaintainer maintainer(RunningExample());
+  EXPECT_EQ(maintainer.Insert({2, 4, 8, 3}), InsertPath::kFullRecompute);
+  ExpectCubeCurrent(maintainer);
+  // The evicted seed must no longer appear as a full-space skyline seed.
+  const SkylineGroupSet recomputed = ComputeStellar(maintainer.data());
+  EXPECT_EQ(maintainer.groups(), recomputed);
+}
+
+TEST(MaintenanceTest, AllTiesDatasetInsertIsDuplicate) {
+  // Every object identical: any equal insert ties everything everywhere.
+  Dataset data = Dataset::FromRows({{3, 3, 3}, {3, 3, 3}, {3, 3, 3}}).value();
+  IncrementalCubeMaintainer maintainer(std::move(data));
+  EXPECT_EQ(maintainer.Insert({3, 3, 3}), InsertPath::kDuplicate);
+  ExpectCubeCurrent(maintainer);
+  // A strictly better row then evicts the whole tied cohort.
+  EXPECT_EQ(maintainer.Insert({2, 2, 2}), InsertPath::kFullRecompute);
+  ExpectCubeCurrent(maintainer);
+}
+
+TEST(MaintenanceTest, TieOnEveryDimWithDistinctRowsStaysCurrent) {
+  // Rows that tie pairwise on some dim but never dominate: inserts that tie
+  // a seed on every dimension individually while being incomparable.
+  Dataset data = Dataset::FromRows({{1, 2, 3}, {2, 3, 1}, {3, 1, 2}}).value();
+  IncrementalCubeMaintainer maintainer(std::move(data));
+  maintainer.Insert({1, 3, 2});  // ties each column's minimum somewhere
+  ExpectCubeCurrent(maintainer);
+  maintainer.Insert({2, 1, 3});
+  ExpectCubeCurrent(maintainer);
+}
+
+TEST(MaintenanceTest, LongRandomStream500StaysEquivalent) {
+  // 500 inserts over a coarse value grid, checking the cube against a
+  // fresh ComputeStellar after every step. Slow but exhaustive: this is
+  // the reference oracle the recovery path also relies on.
+  SyntheticSpec spec;
+  spec.distribution = Distribution::kIndependent;
+  spec.num_objects = 30;
+  spec.num_dims = 3;
+  spec.truncate_decimals = 1;
+  spec.seed = 77;
+  IncrementalCubeMaintainer maintainer(GenerateSynthetic(spec));
+  Rng rng(13);
+  for (int i = 0; i < 500; ++i) {
+    std::vector<double> row(3);
+    for (double& v : row) {
+      // Mostly coarse grid values (ties), occasionally a fine value.
+      v = rng.NextBounded(10) == 0
+              ? static_cast<double>(rng.NextBounded(1000)) / 1000.0
+              : static_cast<double>(rng.NextBounded(6)) / 5.0;
+    }
+    maintainer.Insert(row);
+    ASSERT_EQ(maintainer.groups(), ComputeStellar(maintainer.data()))
+        << "diverged at insert " << i;
+  }
+  EXPECT_EQ(maintainer.data().num_objects(), 530u);
+  EXPECT_EQ(maintainer.stats().inserts, 500u);
+}
+
 }  // namespace
 }  // namespace skycube

@@ -200,6 +200,9 @@ TEST(SkycubeServiceTest, BatchMatchesSequentialExecution) {
       case QueryKind::kSkycubeSize:
         EXPECT_EQ(response.count, cube->TotalSubspaceSkylineObjects());
         break;
+      case QueryKind::kInsert:
+        FAIL() << "batch generator never emits inserts";
+        break;
     }
   }
   EXPECT_EQ(service.stats().batches, 1u);
@@ -287,6 +290,130 @@ TEST(SkycubeServiceTest, SnapshotSwapMidStormIsConsistent) {
   const ServiceStats stats = service.stats();
   EXPECT_EQ(stats.snapshot_swaps, static_cast<uint64_t>(kSwaps));
   EXPECT_EQ(stats.snapshot_version, 1u + kSwaps);
+}
+
+// --- Live ingest through the service -------------------------------------
+
+TEST(SkycubeServiceTest, InsertWithoutHandlerIsRejected) {
+  const Dataset data = MakeData(40, 3, 9);
+  SkycubeService service(MakeCube(data));
+  const QueryResponse response =
+      service.Execute(QueryRequest::Insert({0.5, 0.5, 0.5}));
+  EXPECT_FALSE(response.ok);
+  EXPECT_NE(response.error.find("read-only"), std::string::npos);
+  EXPECT_EQ(service.stats().inserts_applied, 0u);
+}
+
+TEST(SkycubeServiceTest, InsertAppliesBumpsVersionAndReportsPath) {
+  const Dataset data = MakeData(40, 3, 9);
+  IncrementalCubeMaintainer maintainer(data);
+  MaintainerInsertHandler handler(&maintainer);
+  SkycubeService service(
+      std::make_shared<const CompressedSkylineCube>(maintainer.MakeCube()));
+  service.AttachInsertHandler(&handler);
+
+  // Width mismatch is a validation error, not an apply failure.
+  const QueryResponse bad = service.Execute(QueryRequest::Insert({0.5}));
+  EXPECT_FALSE(bad.ok);
+  EXPECT_EQ(service.stats().invalid_requests, 1u);
+
+  const QueryResponse applied =
+      service.Execute(QueryRequest::Insert({0.001, 0.001, 0.001}));
+  ASSERT_TRUE(applied.ok) << applied.error;
+  EXPECT_EQ(applied.kind, QueryKind::kInsert);
+  EXPECT_EQ(applied.insert_path, "recompute");
+  EXPECT_EQ(applied.count, data.num_objects() + 1);
+  EXPECT_EQ(applied.snapshot_version, 2u);  // post-insert snapshot
+  EXPECT_EQ(service.snapshot_version(), 2u);
+  EXPECT_EQ(service.stats().inserts_applied, 1u);
+
+  // The new snapshot answers queries over the grown dataset.
+  const ObjectId inserted = static_cast<ObjectId>(data.num_objects());
+  const QueryResponse member = service.Execute(
+      QueryRequest::Membership(inserted, data.full_mask()));
+  ASSERT_TRUE(member.ok) << member.error;
+  EXPECT_TRUE(member.member);
+}
+
+TEST(SkycubeServiceTest, InsertInvalidatesCachedAnswers) {
+  // The staleness regression this PR fixes: a cached pre-insert answer
+  // must never be served once an insert has changed the cube.
+  const Dataset data = MakeData(60, 3, 11);
+  IncrementalCubeMaintainer maintainer(data);
+  MaintainerInsertHandler handler(&maintainer);
+  SkycubeService service(
+      std::make_shared<const CompressedSkylineCube>(maintainer.MakeCube()));
+  service.AttachInsertHandler(&handler);
+
+  const DimMask full = data.full_mask();
+  const QueryResponse before =
+      service.Execute(QueryRequest::SkylineCardinality(full));
+  ASSERT_TRUE(before.ok);
+  // Same query again: served from cache.
+  service.Execute(QueryRequest::SkylineCardinality(full));
+  EXPECT_EQ(service.stats().cache_hits, 1u);
+
+  // A strictly dominating insert changes every subspace skyline.
+  const QueryResponse applied =
+      service.Execute(QueryRequest::Insert({-1.0, -1.0, -1.0}));
+  ASSERT_TRUE(applied.ok) << applied.error;
+
+  const QueryResponse after =
+      service.Execute(QueryRequest::SkylineCardinality(full));
+  ASSERT_TRUE(after.ok);
+  EXPECT_EQ(after.snapshot_version, 2u);
+  EXPECT_EQ(after.count, 1u);  // the dominator owns the skyline
+  EXPECT_NE(after.count, before.count);
+  // The post-insert probe missed: version-keyed cache cannot serve v1.
+  EXPECT_EQ(service.stats().cache_hits, 1u);
+}
+
+TEST(SkycubeServiceTest, InsertResponsesAreNeverCached) {
+  const Dataset data = MakeData(30, 3, 13);
+  IncrementalCubeMaintainer maintainer(data);
+  MaintainerInsertHandler handler(&maintainer);
+  SkycubeService service(
+      std::make_shared<const CompressedSkylineCube>(maintainer.MakeCube()));
+  service.AttachInsertHandler(&handler);
+  const std::vector<double> row = {0.4, 0.4, 0.4};
+  const QueryResponse first = service.Execute(QueryRequest::Insert(row));
+  const QueryResponse second = service.Execute(QueryRequest::Insert(row));
+  ASSERT_TRUE(first.ok && second.ok);
+  EXPECT_EQ(second.insert_path, "duplicate");  // actually applied twice
+  EXPECT_EQ(second.snapshot_version, first.snapshot_version + 1);
+  EXPECT_EQ(service.stats().cache_hits, 0u);
+  EXPECT_EQ(service.stats().inserts_applied, 2u);
+}
+
+TEST(SkycubeServiceTest, DrainRejectsAllTraffic) {
+  const Dataset data = MakeData(30, 3, 15);
+  IncrementalCubeMaintainer maintainer(data);
+  MaintainerInsertHandler handler(&maintainer);
+  SkycubeService service(
+      std::make_shared<const CompressedSkylineCube>(maintainer.MakeCube()));
+  service.AttachInsertHandler(&handler);
+  ASSERT_FALSE(service.draining());
+
+  service.BeginDrain();
+  EXPECT_TRUE(service.draining());
+
+  const QueryResponse query =
+      service.Execute(QueryRequest::SkylineCardinality(data.full_mask()));
+  EXPECT_FALSE(query.ok);
+  EXPECT_NE(query.error.find("draining"), std::string::npos);
+  const QueryResponse insert =
+      service.Execute(QueryRequest::Insert({0.5, 0.5, 0.5}));
+  EXPECT_FALSE(insert.ok);
+  const std::vector<QueryResponse> batch = service.ExecuteBatch(
+      {QueryRequest::SkycubeSize(), QueryRequest::SkycubeSize()});
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_FALSE(batch[0].ok);
+  EXPECT_FALSE(batch[1].ok);
+
+  const ServiceStats stats = service.stats();
+  EXPECT_TRUE(stats.draining);
+  EXPECT_EQ(stats.drained_rejects, 4u);
+  EXPECT_EQ(stats.inserts_applied, 0u);
 }
 
 }  // namespace

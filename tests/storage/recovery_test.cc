@@ -1,0 +1,239 @@
+// Recovery tests: checkpoint + WAL replay round trips through
+// DurableIngest, checkpoint fallback on corruption, cross-check rejection,
+// and damaged-WAL-suffix handling — nothing damaged is ever silently
+// loaded, and what loads always equals ComputeStellar over the recovered
+// rows.
+#include "storage/recovery.h"
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/stellar.h"
+#include "datagen/synthetic.h"
+#include "gtest/gtest.h"
+#include "storage/checkpointer.h"
+#include "storage/durable_ingest.h"
+#include "storage/wal.h"
+
+namespace skycube {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+Dataset MakeData(size_t n, int dims, uint64_t seed) {
+  SyntheticSpec spec;
+  spec.distribution = Distribution::kIndependent;
+  spec.num_objects = n;
+  spec.num_dims = dims;
+  spec.seed = seed;
+  spec.truncate_decimals = 3;
+  return GenerateSynthetic(spec);
+}
+
+std::vector<double> Row(double a, double b, double c) { return {a, b, c}; }
+
+/// Applies `rows` through a fresh DurableIngest over `bootstrap`.
+void Ingest(const std::string& dir, const Dataset& bootstrap,
+            const std::vector<std::vector<double>>& rows,
+            uint64_t checkpoint_every) {
+  DurableIngestOptions options;
+  options.checkpoint_every = checkpoint_every;
+  Result<std::unique_ptr<DurableIngest>> ingest =
+      DurableIngest::Open(dir, &bootstrap, options);
+  ASSERT_TRUE(ingest.ok()) << ingest.status().ToString();
+  for (const std::vector<double>& row : rows) {
+    Result<InsertHandler::Applied> applied =
+        ingest.value()->ApplyInsert(row);
+    ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+    EXPECT_GT(applied.value().lsn, 0u);
+  }
+}
+
+/// Golden expectation: bootstrap + rows run through plain Stellar.
+SkylineGroupSet Golden(const Dataset& bootstrap,
+                       const std::vector<std::vector<double>>& rows,
+                       size_t prefix) {
+  Dataset data = bootstrap;
+  for (size_t i = 0; i < prefix; ++i) data.AddRow(rows[i]);
+  SkylineGroupSet groups = ComputeStellar(data);
+  NormalizeGroups(&groups);
+  return groups;
+}
+
+TEST(RecoveryTest, EmptyDirHasNoDurableState) {
+  const std::string dir = FreshDir("rec_empty");
+  EXPECT_FALSE(DirHasDurableState(dir));
+  Result<RecoveredState> recovered = RecoverFromDir(dir);
+  ASSERT_FALSE(recovered.ok());
+  EXPECT_EQ(recovered.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RecoveryTest, CheckpointPlusWalReplayRoundTrip) {
+  const std::string dir = FreshDir("rec_roundtrip");
+  const Dataset bootstrap = MakeData(40, 3, 2);
+  const std::vector<std::vector<double>> rows = {
+      Row(0.9, 0.8, 0.7), Row(0.1, 0.2, 0.3), Row(0.1, 0.2, 0.3),
+      Row(0.05, 0.9, 0.9), Row(0.5, 0.5, 0.5), Row(0.01, 0.01, 0.01),
+      Row(0.6, 0.6, 0.6)};
+  // checkpoint_every=3 → checkpoints at lsn 3 and 6; records 7 replay.
+  Ingest(dir, bootstrap, rows, 3);
+  EXPECT_TRUE(DirHasDurableState(dir));
+
+  Result<RecoveredState> recovered = RecoverFromDir(dir);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  const RecoveryStats& stats = recovered.value().stats;
+  EXPECT_EQ(stats.checkpoint_lsn, 6u);
+  EXPECT_EQ(stats.checkpoint_rows, 46u);
+  EXPECT_EQ(stats.wal_records_replayed, 1u);
+  EXPECT_FALSE(stats.wal_suffix_discarded);
+  EXPECT_EQ(stats.next_lsn, 8u);
+  EXPECT_EQ(stats.checkpoints_rejected, 0u);
+  EXPECT_EQ(recovered.value().maintainer->data().num_objects(),
+            bootstrap.num_objects() + rows.size());
+  EXPECT_EQ(recovered.value().maintainer->groups(),
+            Golden(bootstrap, rows, rows.size()));
+}
+
+TEST(RecoveryTest, FallsBackWhenNewestCheckpointCorrupt) {
+  const std::string dir = FreshDir("rec_fallback");
+  const Dataset bootstrap = MakeData(30, 3, 4);
+  const std::vector<std::vector<double>> rows = {
+      Row(0.4, 0.4, 0.4), Row(0.2, 0.7, 0.7), Row(0.9, 0.1, 0.9),
+      Row(0.3, 0.3, 0.3), Row(0.02, 0.02, 0.02), Row(0.8, 0.2, 0.5)};
+  Ingest(dir, bootstrap, rows, 2);  // checkpoints at 2, 4, 6; keep=2: 4 & 6
+
+  // Flip one byte of the newest checkpoint — recovery must fall back to
+  // lsn 4 and replay records 5 and 6 from the (untruncated) WAL.
+  const std::string newest = dir + "/checkpoint-0000000000000006.ckpt";
+  ASSERT_TRUE(fs::exists(newest));
+  {
+    std::fstream stream(newest,
+                        std::ios::in | std::ios::out | std::ios::binary);
+    stream.seekp(80);
+    stream.write("#", 1);
+  }
+  Result<RecoveredState> recovered = RecoverFromDir(dir);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered.value().stats.checkpoints_rejected, 1u);
+  EXPECT_EQ(recovered.value().stats.checkpoint_lsn, 4u);
+  EXPECT_EQ(recovered.value().stats.wal_records_replayed, 2u);
+  EXPECT_EQ(recovered.value().stats.next_lsn, 7u);
+  EXPECT_EQ(recovered.value().maintainer->groups(),
+            Golden(bootstrap, rows, rows.size()));
+}
+
+TEST(RecoveryTest, AllCheckpointsDamagedIsAnError) {
+  const std::string dir = FreshDir("rec_all_bad");
+  const Dataset bootstrap = MakeData(20, 3, 6);
+  Ingest(dir, bootstrap, {Row(0.5, 0.5, 0.5)}, 0);
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() != ".ckpt") continue;
+    fs::resize_file(entry.path(), fs::file_size(entry.path()) / 2);
+  }
+  EXPECT_TRUE(DirHasDurableState(dir));  // listed, but...
+  Result<RecoveredState> recovered = RecoverFromDir(dir);
+  ASSERT_FALSE(recovered.ok());  // ...never silently loaded
+  EXPECT_EQ(recovered.status().code(), StatusCode::kInternal);
+}
+
+TEST(RecoveryTest, CrossCheckRejectsInconsistentCheckpoint) {
+  // A checkpoint whose checksums verify but whose groups do not match its
+  // own dataset (e.g. a writer bug) must be rejected by the rebuild
+  // cross-check, exactly like a corrupt one.
+  const std::string dir = FreshDir("rec_crosscheck");
+  const Dataset data = MakeData(25, 3, 8);
+  const Dataset other = MakeData(25, 3, 9);
+  Checkpointer checkpointer(dir, 1);
+  ASSERT_TRUE(checkpointer.Write(0, data, ComputeStellar(other)).ok());
+  Result<RecoveredState> recovered = RecoverFromDir(dir);
+  ASSERT_FALSE(recovered.ok());
+  EXPECT_EQ(recovered.status().code(), StatusCode::kInternal);
+}
+
+TEST(RecoveryTest, DamagedWalSuffixIsSkippedExactly) {
+  const std::string dir = FreshDir("rec_torn_wal");
+  const Dataset bootstrap = MakeData(30, 3, 12);
+  const std::vector<std::vector<double>> rows = {
+      Row(0.5, 0.6, 0.7), Row(0.2, 0.2, 0.9), Row(0.03, 0.5, 0.5),
+      Row(0.7, 0.7, 0.7)};
+  Ingest(dir, bootstrap, rows, 0);  // no checkpoints beyond bootstrap's lsn 0
+
+  // Tear the final WAL record: recovery must keep exactly rows[0..2].
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() != ".log") continue;
+    fs::resize_file(entry.path(), fs::file_size(entry.path()) - 5);
+  }
+  Result<RecoveredState> recovered = RecoverFromDir(dir);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered.value().stats.checkpoint_lsn, 0u);
+  EXPECT_EQ(recovered.value().stats.wal_records_replayed, 3u);
+  EXPECT_TRUE(recovered.value().stats.wal_suffix_discarded);
+  EXPECT_GT(recovered.value().stats.wal_bytes_discarded, 0u);
+  EXPECT_EQ(recovered.value().stats.next_lsn, 4u);
+  EXPECT_EQ(recovered.value().maintainer->groups(),
+            Golden(bootstrap, rows, 3));
+}
+
+TEST(RecoveryTest, ReopenAfterTornTailContinuesCleanly) {
+  // End-to-end: tear the WAL, recover, reopen DurableIngest at the
+  // recovered next_lsn (discarding the torn tail), and keep ingesting.
+  const std::string dir = FreshDir("rec_reopen");
+  const Dataset bootstrap = MakeData(20, 3, 14);
+  const std::vector<std::vector<double>> rows = {Row(0.4, 0.5, 0.6),
+                                                 Row(0.6, 0.5, 0.4)};
+  Ingest(dir, bootstrap, rows, 0);
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() != ".log") continue;
+    fs::resize_file(entry.path(), fs::file_size(entry.path()) - 3);
+  }
+  Result<std::unique_ptr<DurableIngest>> reopened =
+      DurableIngest::Open(dir, nullptr, {});
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  const DurableIngestStats before = reopened.value()->stats();
+  EXPECT_TRUE(before.recovered);
+  EXPECT_EQ(before.recovery.wal_records_replayed, 1u);
+  Result<InsertHandler::Applied> applied =
+      reopened.value()->ApplyInsert(Row(0.1, 0.9, 0.1));
+  ASSERT_TRUE(applied.ok());
+  EXPECT_EQ(applied.value().lsn, 2u);  // reuses the torn record's lsn
+  reopened.value().reset();
+
+  Result<RecoveredState> final_state = RecoverFromDir(dir);
+  ASSERT_TRUE(final_state.ok());
+  const std::vector<std::vector<double>> survivors = {rows[0],
+                                                      Row(0.1, 0.9, 0.1)};
+  EXPECT_EQ(final_state.value().maintainer->groups(),
+            Golden(bootstrap, survivors, survivors.size()));
+}
+
+TEST(RecoveryTest, DrainThenRecoverReplaysNothing) {
+  const std::string dir = FreshDir("rec_drain");
+  const Dataset bootstrap = MakeData(20, 3, 16);
+  DurableIngestOptions options;
+  options.checkpoint_every = 0;
+  Result<std::unique_ptr<DurableIngest>> ingest =
+      DurableIngest::Open(dir, &bootstrap, options);
+  ASSERT_TRUE(ingest.ok());
+  ASSERT_TRUE(ingest.value()->ApplyInsert(Row(0.3, 0.3, 0.3)).ok());
+  ASSERT_TRUE(ingest.value()->ApplyInsert(Row(0.9, 0.9, 0.9)).ok());
+  ASSERT_TRUE(ingest.value()->Drain().ok());
+  ingest.value().reset();
+
+  Result<RecoveredState> recovered = RecoverFromDir(dir);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered.value().stats.checkpoint_lsn, 2u);
+  EXPECT_EQ(recovered.value().stats.wal_records_replayed, 0u);
+  EXPECT_EQ(recovered.value().maintainer->data().num_objects(), 22u);
+}
+
+}  // namespace
+}  // namespace skycube

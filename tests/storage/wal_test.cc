@@ -1,0 +1,272 @@
+// WAL unit tests: append/read round trips, fsync policies, torn-tail
+// truncation at Open, segment rotation + truncation, and the corruption
+// matrix (bit flips and truncations must cost exactly the damaged suffix,
+// never a silent wrong read).
+#include "storage/wal.h"
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace skycube {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+std::vector<std::string> Payloads(int n) {
+  std::vector<std::string> payloads;
+  for (int i = 0; i < n; ++i) {
+    payloads.push_back("row-" + std::to_string(i) +
+                       std::string(static_cast<size_t>(i % 7), 'x'));
+  }
+  return payloads;
+}
+
+Result<std::unique_ptr<WriteAheadLog>> OpenAt(const std::string& dir,
+                                              uint64_t next_lsn,
+                                              WalOptions options = {}) {
+  return WriteAheadLog::Open(dir, next_lsn, options);
+}
+
+TEST(WalTest, AppendReadRoundTrip) {
+  const std::string dir = FreshDir("wal_roundtrip");
+  auto wal = OpenAt(dir, 1);
+  ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+  const std::vector<std::string> payloads = Payloads(20);
+  for (size_t i = 0; i < payloads.size(); ++i) {
+    Result<uint64_t> lsn = wal.value()->Append(payloads[i]);
+    ASSERT_TRUE(lsn.ok()) << lsn.status().ToString();
+    EXPECT_EQ(lsn.value(), i + 1);  // contiguous from next_lsn
+  }
+  EXPECT_EQ(wal.value()->next_lsn(), payloads.size() + 1);
+  wal.value().reset();  // close
+
+  Result<WalReadResult> read = ReadWal(dir, 0);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_FALSE(read.value().damaged_suffix);
+  ASSERT_EQ(read.value().records.size(), payloads.size());
+  for (size_t i = 0; i < payloads.size(); ++i) {
+    EXPECT_EQ(read.value().records[i].lsn, i + 1);
+    EXPECT_EQ(read.value().records[i].payload, payloads[i]);
+  }
+  // after_lsn skips the prefix.
+  Result<WalReadResult> suffix = ReadWal(dir, 15);
+  ASSERT_TRUE(suffix.ok());
+  ASSERT_EQ(suffix.value().records.size(), 5u);
+  EXPECT_EQ(suffix.value().records.front().lsn, 16u);
+}
+
+TEST(WalTest, EmptyOrAbsentDirectoryReadsEmpty) {
+  const std::string dir = FreshDir("wal_absent");
+  Result<WalReadResult> read = ReadWal(dir, 0);
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read.value().records.empty());
+  EXPECT_FALSE(read.value().damaged_suffix);
+}
+
+TEST(WalTest, FsyncPolicies) {
+  for (const char* name : {"always", "every", "timer"}) {
+    Result<FsyncPolicy> policy = FsyncPolicyFromName(name);
+    ASSERT_TRUE(policy.ok()) << name;
+    WalOptions options;
+    options.fsync_policy = policy.value();
+    options.fsync_every_n = 4;
+    const std::string dir = FreshDir(std::string("wal_policy_") + name);
+    auto wal = OpenAt(dir, 1, options);
+    ASSERT_TRUE(wal.ok());
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(wal.value()->Append("p").ok());
+    }
+    const WalStats stats = wal.value()->stats();
+    EXPECT_EQ(stats.records_appended, 10u);
+    if (policy.value() == FsyncPolicy::kEveryRecord) {
+      EXPECT_EQ(stats.fsyncs, 10u);
+    } else if (policy.value() == FsyncPolicy::kEveryN) {
+      EXPECT_LT(stats.fsyncs, 10u);
+    }
+    ASSERT_TRUE(wal.value()->Sync().ok());
+    wal.value().reset();
+    Result<WalReadResult> read = ReadWal(dir, 0);
+    ASSERT_TRUE(read.ok());
+    EXPECT_EQ(read.value().records.size(), 10u);
+  }
+  EXPECT_FALSE(FsyncPolicyFromName("bogus").ok());
+}
+
+TEST(WalTest, OpenTruncatesBeyondNextLsn) {
+  const std::string dir = FreshDir("wal_open_trunc");
+  {
+    auto wal = OpenAt(dir, 1);
+    ASSERT_TRUE(wal.ok());
+    for (const std::string& payload : Payloads(10)) {
+      ASSERT_TRUE(wal.value()->Append(payload).ok());
+    }
+  }
+  // Reopen claiming only 6 records are trusted: 7.. must be discarded.
+  {
+    auto wal = OpenAt(dir, 7);
+    ASSERT_TRUE(wal.ok());
+    EXPECT_EQ(wal.value()->next_lsn(), 7u);
+    EXPECT_GT(wal.value()->stats().open_discarded_bytes, 0u);
+    ASSERT_TRUE(wal.value()->Append("replacement").ok());
+  }
+  Result<WalReadResult> read = ReadWal(dir, 0);
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(read.value().records.size(), 7u);
+  EXPECT_EQ(read.value().records.back().payload, "replacement");
+  EXPECT_EQ(read.value().records.back().lsn, 7u);
+}
+
+TEST(WalTest, SegmentRotationAndTruncateThrough) {
+  const std::string dir = FreshDir("wal_rotate");
+  WalOptions options;
+  options.segment_bytes = 128;  // force frequent rotation
+  auto wal = OpenAt(dir, 1, options);
+  ASSERT_TRUE(wal.ok());
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(wal.value()->Append("payload-" + std::to_string(i)).ok());
+  }
+  ASSERT_GT(wal.value()->stats().segments_created, 3u);
+
+  // Truncating through lsn 20 removes only whole segments fully <= 20.
+  ASSERT_TRUE(wal.value()->TruncateThrough(20).ok());
+  EXPECT_GT(wal.value()->stats().segments_deleted, 0u);
+  Result<WalReadResult> read = ReadWal(dir, 20);
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(read.value().records.size(), 20u);
+  EXPECT_EQ(read.value().records.front().lsn, 21u);
+  EXPECT_FALSE(read.value().damaged_suffix);
+
+  // Records after truncation continue the same LSN sequence.
+  Result<uint64_t> lsn = wal.value()->Append("after-truncate");
+  ASSERT_TRUE(lsn.ok());
+  EXPECT_EQ(lsn.value(), 41u);
+}
+
+// --- Corruption matrix ----------------------------------------------------
+// Damage byte-by-byte shapes; every case must surface as a damaged suffix
+// whose boundary is exactly the last intact record.
+
+struct Damage {
+  const char* name;
+  // Applies damage to the (single) segment file; returns the number of
+  // records expected to survive out of 10.
+  size_t (*apply)(const std::string& file);
+};
+
+size_t FileSize(const std::string& file) {
+  return static_cast<size_t>(fs::file_size(file));
+}
+
+void FlipByteAt(const std::string& file, size_t offset) {
+  std::fstream stream(file,
+                      std::ios::in | std::ios::out | std::ios::binary);
+  stream.seekg(static_cast<std::streamoff>(offset));
+  char byte = 0;
+  stream.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x40);
+  stream.seekp(static_cast<std::streamoff>(offset));
+  stream.write(&byte, 1);
+}
+
+TEST(WalTest, CorruptionMatrix) {
+  // Build a reference log once to learn record offsets.
+  const std::string ref_dir = FreshDir("wal_corrupt_ref");
+  {
+    auto wal = OpenAt(ref_dir, 1);
+    ASSERT_TRUE(wal.ok());
+    for (const std::string& payload : Payloads(10)) {
+      ASSERT_TRUE(wal.value()->Append(payload).ok());
+    }
+  }
+  const std::string segment =
+      (fs::directory_iterator(ref_dir)->path()).string();
+  const size_t full_size = FileSize(segment);
+
+  struct Case {
+    std::string name;
+    size_t damage_offset;  // byte to flip (or npos = truncate instead)
+    size_t truncate_to;    // only when damage_offset == npos
+    size_t expect_records;
+  };
+  // Offsets: 8-byte magic, then records of 20-byte header + payload. Record
+  // i's payload is "row-i" + (i%7) 'x' → length 5 + i%7 for one-digit i.
+  const size_t kNpos = static_cast<size_t>(-1);
+  std::vector<Case> cases;
+  // Flip a byte in record 5's payload → records 0..4 survive.
+  size_t offset = 8;
+  for (int i = 0; i < 5; ++i) {
+    offset += 20 + 5 + static_cast<size_t>(i % 7);
+  }
+  cases.push_back({"payload-bit-flip", offset + 20 + 2, 0, 5});
+  // Flip a byte in record 0's header (lsn field) → nothing survives.
+  cases.push_back({"first-header-flip", 8 + 4, 0, 0});
+  // Truncate mid-final-record (torn tail) → 9 survive.
+  cases.push_back({"torn-tail", kNpos, full_size - 3, 9});
+  // Truncate inside the magic → empty log, damaged.
+  cases.push_back({"torn-magic", kNpos, 4, 0});
+  // Flip the last record's checksum field (record is 20 + 7 bytes; the
+  // checksum sits at record_start + 12).
+  cases.push_back({"checksum-flip", full_size - 27 + 12, 0, 9});
+
+  for (const Case& damage : cases) {
+    const std::string dir = FreshDir("wal_corrupt_" + damage.name);
+    fs::create_directories(dir);
+    const std::string copy = dir + "/" + fs::path(segment).filename().string();
+    fs::copy_file(segment, copy);
+    if (damage.damage_offset == kNpos) {
+      fs::resize_file(copy, damage.truncate_to);
+    } else {
+      FlipByteAt(copy, damage.damage_offset);
+    }
+    Result<WalReadResult> read = ReadWal(dir, 0);
+    ASSERT_TRUE(read.ok()) << damage.name;
+    EXPECT_EQ(read.value().records.size(), damage.expect_records)
+        << damage.name;
+    EXPECT_TRUE(read.value().damaged_suffix) << damage.name;
+    // The surviving prefix is byte-exact, not merely counted.
+    for (size_t i = 0; i < read.value().records.size(); ++i) {
+      EXPECT_EQ(read.value().records[i].payload, Payloads(10)[i])
+          << damage.name;
+    }
+  }
+}
+
+TEST(WalTest, RowPayloadCodec) {
+  const std::vector<double> row = {0.25, -3.5, 1e-9, 42.0};
+  Result<std::vector<double>> decoded = DecodeRowPayload(EncodeRowPayload(row));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), row);
+  EXPECT_FALSE(DecodeRowPayload("garbage").ok());
+  EXPECT_FALSE(DecodeRowPayload("").ok());
+}
+
+TEST(WalTest, ReadAfterLsnBeyondTruncatedPrefixReportsDamage) {
+  const std::string dir = FreshDir("wal_missing_prefix");
+  WalOptions options;
+  options.segment_bytes = 64;
+  auto wal = OpenAt(dir, 1, options);
+  ASSERT_TRUE(wal.ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(wal.value()->Append("abcdefgh").ok());
+  }
+  ASSERT_TRUE(wal.value()->TruncateThrough(15).ok());
+  // Asking for records after lsn 2 when the log starts later than 3 is a
+  // gap — must be reported, never silently skipped.
+  Result<WalReadResult> read = ReadWal(dir, 2);
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read.value().records.empty());
+  EXPECT_TRUE(read.value().damaged_suffix);
+}
+
+}  // namespace
+}  // namespace skycube

@@ -13,6 +13,7 @@ total
 batch card A; card B; member 0 AB
 insert 0.5,0.5,0.5,0.5
 card AC
+health
 skyline ZZ
 bogus
 stats
@@ -30,15 +31,15 @@ if(NOT code EQUAL 0)
   message(FATAL_ERROR "skycube_serve failed (${code}): ${err}\n${out}")
 endif()
 
-# One answer line per scripted query (12 before 'quit'). Semicolons inside
+# One answer line per scripted query (13 before 'quit'). Semicolons inside
 # answers (batch separators) would split CMake lists — neutralize them first.
 string(REPLACE ";" "~" sanitized "${out}")
 string(REGEX REPLACE "\n$" "" trimmed "${sanitized}")
 string(REPLACE "\n" ";" lines "${trimmed}")
 list(LENGTH lines num_lines)
-if(NOT num_lines EQUAL 12)
+if(NOT num_lines EQUAL 13)
   message(FATAL_ERROR
-    "expected 12 answer lines, got ${num_lines}:\n${out}")
+    "expected 13 answer lines, got ${num_lines}:\n${out}")
 endif()
 
 function(expect_line index pattern)
@@ -58,9 +59,10 @@ expect_line(5 "^ok count=[0-9]+ v=1")
 expect_line(6 "^ok .* ~ ok .* ~ ok ")          # batch: three answers
 expect_line(7 "^ok path=(duplicate|noop|extension|recompute) version=2")
 expect_line(8 "^ok count=[0-9]+ v=2 hit=0")    # post-swap: new version, cold
-expect_line(9 "^err ")                         # Z beyond 4 dims
-expect_line(10 "^err unknown query")
-expect_line(11 "^ok queries=.*cache_hits=.*version=2 swaps=1")
+expect_line(9 "^ok status=ready version=2 durable=0")  # volatile serve mode
+expect_line(10 "^err ")                        # Z beyond 4 dims
+expect_line(11 "^err unknown query")
+expect_line(12 "^ok queries=.*cache_hits=.*version=2 swaps=1")
 
 # Q1/card answers must agree before the insert: lines 1 and 2 equal counts.
 list(GET lines 1 card_one)

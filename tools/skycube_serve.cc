@@ -11,6 +11,16 @@
 //   --data=FILE.csv    dataset; cube built with Stellar  [--negate]
 //   --synthetic        generated dataset: --dist=independent|correlated|anti
 //                      --tuples=N --dims=D [--seed=S] [--truncate=K]
+// Durability (docs/ROBUSTNESS.md, "Durability & recovery"):
+//   --data-dir=DIR       durable ingest: WAL + checkpoints live in DIR. If
+//                        DIR holds state it is recovered (crash-safe);
+//                        otherwise --data/--synthetic bootstraps it. Inserts
+//                        are acknowledged only after the WAL append.
+//   --fsync-policy=P     always | every | timer                (default always)
+//   --fsync-every=N      records between syncs under 'every'   (default 64)
+//   --fsync-interval-ms=N max unsynced age under 'timer'       (default 5)
+//   --checkpoint-every=N inserts between checkpoints, 0 = off  (default 256)
+//   --keep-checkpoints=N retention depth                       (default 2)
 // Service knobs:
 //   --cache-capacity=N   result-cache entries, 0 disables   (default 65536)
 //   --cache-shards=N     LRU shards                         (default 8)
@@ -26,18 +36,34 @@
 //   count ID              Q3  -> ok count=17 v=1 hit=0
 //   total                 Q3  -> ok count=40310 v=1 hit=0
 //   batch Q; Q; ...       fan-out over the pool; answers joined with " ; "
-//   insert V1,V2,...      add a row (not with --cube) and swap the snapshot
+//   insert V1,V2,...      add a row (not with --cube) and swap the snapshot;
+//                         with --data-dir the ack carries the WAL lsn
+//   health                readiness + durability/recovery counters
 //   stats                 one-line service counters
 //   help | quit
+//
+// SIGTERM/SIGINT drain gracefully: new requests answer kUnavailable, the
+// WAL is flushed and a final checkpoint written before exit (same path as
+// 'quit'). SIGKILL is the crash case tools/skycube_crashtest.cc exercises.
+//
+// SKYCUBE_ARM_FAULTS=point[=count][,point...] arms fault-injection points
+// at startup (builds with SKYCUBE_FAULT_INJECTION only) — the crash test
+// uses this to detonate wal.append_torn / checkpoint.crash_before_rename
+// inside a child server.
+#include <atomic>
 #include <cctype>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "common/flags.h"
 #include "common/subspace.h"
 #include "core/maintenance.h"
@@ -46,14 +72,18 @@
 #include "datagen/synthetic.h"
 #include "dataset/dataset.h"
 #include "service/service.h"
+#include "storage/durable_ingest.h"
 
 namespace skycube {
 namespace {
 
 struct ServeSession {
   std::unique_ptr<SkycubeService> service;
-  /// Present when insert-capable (--data / --synthetic).
+  /// Present when insert-capable without durability (--data / --synthetic).
   std::unique_ptr<IncrementalCubeMaintainer> maintainer;
+  std::unique_ptr<MaintainerInsertHandler> volatile_ingest;
+  /// Present with --data-dir: WAL + checkpoints + recovery.
+  std::unique_ptr<DurableIngest> durable;
   int num_dims = 0;
   /// Per-request time budget (--deadline-ms); 0 = unlimited.
   int64_t deadline_millis = 0;
@@ -64,6 +94,42 @@ struct ServeSession {
                : request;
   }
 };
+
+/// Last shutdown signal received (0 = none). sig_atomic_t: written from the
+/// handler, read from the serve loop.
+volatile std::sig_atomic_t g_shutdown_signal = 0;
+
+extern "C" void OnShutdownSignal(int sig) { g_shutdown_signal = sig; }
+
+/// SIGTERM/SIGINT request a drain. Deliberately no SA_RESTART: the blocking
+/// stdin read must fail with EINTR so the serve loop observes the flag
+/// instead of waiting for the next input line.
+void InstallShutdownHandlers() {
+  struct sigaction action = {};
+  action.sa_handler = OnShutdownSignal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+}
+
+/// SKYCUBE_ARM_FAULTS=point[=count][,point...] — arm fault points inside a
+/// forked server (no test harness can reach this process's registry).
+void ArmFaultsFromEnv() {
+  const char* spec = std::getenv("SKYCUBE_ARM_FAULTS");
+  if (spec == nullptr || !FaultInjection::Enabled()) return;
+  std::istringstream in(spec);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    if (item.empty()) continue;
+    int count = 1;
+    const size_t eq = item.find('=');
+    if (eq != std::string::npos) {
+      count = std::atoi(item.c_str() + eq + 1);
+    }
+    FaultInjection::Instance().ArmFailure(item.substr(0, eq), count);
+  }
+}
 
 std::string Lower(std::string s) {
   for (char& c : s) c = static_cast<char>(std::tolower(c));
@@ -141,6 +207,14 @@ std::string FormatResponse(const QueryResponse& response) {
     return std::string("err [") + StatusCodeName(response.code) + "] " +
            response.error;
   }
+  if (response.kind == QueryKind::kInsert) {
+    std::ostringstream out;
+    out << "ok path=" << response.insert_path
+        << " version=" << response.snapshot_version
+        << " objects=" << response.count;
+    if (response.lsn > 0) out << " lsn=" << response.lsn;
+    return out.str();
+  }
   std::ostringstream out;
   out << "ok ";
   switch (response.kind) {
@@ -155,6 +229,8 @@ std::string FormatResponse(const QueryResponse& response) {
     case QueryKind::kMembership:
       out << "member=" << (response.member ? "yes" : "no");
       break;
+    case QueryKind::kInsert:
+      break;  // handled above
   }
   out << " v=" << response.snapshot_version
       << " hit=" << (response.cache_hit ? 1 : 0);
@@ -190,14 +266,42 @@ std::string FormatStats(const SkycubeService& service) {
       << " deadline_exceeded=" << stats.deadline_exceeded
       << " internal_errors=" << stats.internal_errors
       << " admission_waits=" << stats.admission_waits
-      << " in_flight_hwm=" << stats.in_flight_high_water;
+      << " in_flight_hwm=" << stats.in_flight_high_water
+      << " inserts=" << stats.inserts_applied
+      << " insert_failures=" << stats.insert_failures
+      << " unavailable=" << stats.drained_rejects
+      << " draining=" << (stats.draining ? 1 : 0);
+  return out.str();
+}
+
+/// Readiness plus durability/recovery counters — what an orchestrator polls.
+std::string FormatHealth(const ServeSession& session) {
+  std::ostringstream out;
+  out << "ok status=" << (session.service->draining() ? "draining" : "ready")
+      << " version=" << session.service->snapshot_version()
+      << " durable=" << (session.durable ? 1 : 0);
+  if (session.durable) {
+    const DurableIngestStats stats = session.durable->stats();
+    out << " recovered=" << (stats.recovered ? 1 : 0)
+        << " objects=" << stats.num_objects << " groups=" << stats.num_groups
+        << " next_lsn=" << stats.wal.next_lsn
+        << " checkpoint_lsn=" << stats.last_checkpoint_lsn
+        << " checkpoints=" << stats.checkpoints_written
+        << " wal_records=" << stats.wal.records_appended
+        << " wal_fsyncs=" << stats.wal.fsyncs
+        << " wal_segments=" << stats.wal.segments_created;
+    if (stats.recovered) {
+      out << " recovery_checkpoint_lsn=" << stats.recovery.checkpoint_lsn
+          << " recovery_rejected=" << stats.recovery.checkpoints_rejected
+          << " recovery_replayed=" << stats.recovery.wal_records_replayed
+          << " recovery_discarded_suffix="
+          << (stats.recovery.wal_suffix_discarded ? 1 : 0);
+    }
+  }
   return out.str();
 }
 
 std::string HandleInsert(ServeSession& session, const std::string& args) {
-  if (!session.maintainer) {
-    return "err insert needs a dataset-backed server (--data/--synthetic)";
-  }
   std::vector<double> values;
   std::istringstream in(args);
   std::string cell;
@@ -212,19 +316,11 @@ std::string HandleInsert(ServeSession& session, const std::string& args) {
     return "err insert needs " + std::to_string(session.num_dims) +
            " comma-separated values";
   }
-  const InsertPath path = session.maintainer->Insert(values);
-  session.service->Reload(std::make_shared<const CompressedSkylineCube>(
-      session.maintainer->MakeCube()));
-  const char* path_name =
-      path == InsertPath::kDuplicate        ? "duplicate"
-      : path == InsertPath::kNoOp           ? "noop"
-      : path == InsertPath::kExtensionOnly  ? "extension"
-                                            : "recompute";
-  std::ostringstream out;
-  out << "ok path=" << path_name << " version="
-      << session.service->snapshot_version()
-      << " objects=" << session.maintainer->data().num_objects();
-  return out.str();
+  // Through the service like any other request: the service serializes
+  // writers, applies via the attached handler (durable or volatile), swaps
+  // the snapshot, and only then builds the acknowledgement.
+  return FormatResponse(
+      session.service->Execute(QueryRequest::Insert(std::move(values))));
 }
 
 std::string HandleBatch(ServeSession& session, const std::string& args) {
@@ -257,9 +353,28 @@ std::string HandleBatch(ServeSession& session, const std::string& args) {
 int Usage() {
   std::fprintf(stderr,
                "usage: skycube_serve (--cube=FILE | --data=FILE.csv | "
-               "--synthetic) [flags]\n(see the header of "
+               "--synthetic | --data-dir=DIR) [flags]\n(see the header of "
                "tools/skycube_serve.cc)\n");
   return 2;
+}
+
+/// Loads --data or generates --synthetic (the two dataset-backed sources).
+Result<Dataset> LoadSourceDataset(const FlagParser& flags) {
+  if (flags.Has("data")) {
+    Result<Dataset> loaded = Dataset::FromCsvFile(flags.GetString("data", ""));
+    if (!loaded.ok()) return loaded.status();
+    Dataset data = std::move(loaded).value();
+    if (flags.GetBool("negate", false)) data = data.Negated();
+    return data;
+  }
+  SyntheticSpec spec;
+  spec.distribution =
+      DistributionFromName(flags.GetString("dist", "independent"));
+  spec.num_objects = static_cast<size_t>(flags.GetInt("tuples", 2000));
+  spec.num_dims = static_cast<int>(flags.GetInt("dims", 6));
+  spec.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  spec.truncate_decimals = static_cast<int>(flags.GetInt("truncate", 4));
+  return GenerateSynthetic(spec);
 }
 
 int Serve(const FlagParser& flags) {
@@ -276,7 +391,79 @@ int Serve(const FlagParser& flags) {
       std::chrono::milliseconds(flags.GetInt("queue-wait-ms", 0));
   session.deadline_millis = flags.GetInt("deadline-ms", 0);
 
-  if (flags.Has("cube")) {
+  const bool has_dataset_source =
+      flags.Has("data") || flags.GetBool("synthetic", false);
+  if (flags.Has("data-dir")) {
+    if (flags.Has("cube")) {
+      std::fprintf(stderr,
+                   "--data-dir and --cube are exclusive (durable ingest "
+                   "needs the maintainable dataset form)\n");
+      return 2;
+    }
+    const std::string dir = flags.GetString("data-dir", "");
+    DurableIngestOptions ingest_options;
+    Result<FsyncPolicy> policy =
+        FsyncPolicyFromName(flags.GetString("fsync-policy", "always"));
+    if (!policy.ok()) {
+      std::fprintf(stderr, "%s\n", policy.status().ToString().c_str());
+      return 2;
+    }
+    ingest_options.wal.fsync_policy = policy.value();
+    ingest_options.wal.fsync_every_n =
+        static_cast<int>(flags.GetInt("fsync-every", 64));
+    ingest_options.wal.fsync_interval =
+        std::chrono::milliseconds(flags.GetInt("fsync-interval-ms", 5));
+    ingest_options.checkpoint_every =
+        static_cast<uint64_t>(flags.GetInt("checkpoint-every", 256));
+    ingest_options.keep_checkpoints =
+        static_cast<size_t>(flags.GetInt("keep-checkpoints", 2));
+    // A directory with durable state recovers from it; a fresh one needs a
+    // bootstrap dataset (and ignores none — passing --data/--synthetic with
+    // an existing directory just means the bootstrap is unused).
+    std::optional<Dataset> bootstrap;
+    if (has_dataset_source && !DirHasDurableState(dir)) {
+      Result<Dataset> loaded = LoadSourceDataset(flags);
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+        return 1;
+      }
+      bootstrap = std::move(loaded).value();
+    }
+    Result<std::unique_ptr<DurableIngest>> opened = DurableIngest::Open(
+        dir, bootstrap ? &*bootstrap : nullptr, ingest_options);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "%s\n", opened.status().ToString().c_str());
+      return 1;
+    }
+    session.durable = std::move(opened).value();
+    session.num_dims = session.durable->maintainer().data().num_dims();
+    session.service = std::make_unique<SkycubeService>(
+        std::make_shared<const CompressedSkylineCube>(
+            session.durable->maintainer().MakeCube()),
+        options);
+    session.service->AttachInsertHandler(session.durable.get());
+    const DurableIngestStats stats = session.durable->stats();
+    if (stats.recovered) {
+      std::fprintf(stderr,
+                   "recovered %s: checkpoint lsn=%llu rows=%llu, replayed "
+                   "%llu wal records (%s), next lsn=%llu\n",
+                   dir.c_str(),
+                   static_cast<unsigned long long>(
+                       stats.recovery.checkpoint_lsn),
+                   static_cast<unsigned long long>(
+                       stats.recovery.checkpoint_rows),
+                   static_cast<unsigned long long>(
+                       stats.recovery.wal_records_replayed),
+                   stats.recovery.wal_suffix_discarded
+                       ? "damaged suffix discarded"
+                       : "clean tail",
+                   static_cast<unsigned long long>(stats.recovery.next_lsn));
+    } else {
+      std::fprintf(stderr, "bootstrapped %s: %llu rows checkpointed at lsn 0\n",
+                   dir.c_str(),
+                   static_cast<unsigned long long>(stats.num_objects));
+    }
+  } else if (flags.Has("cube")) {
     Result<SerializedCube> loaded =
         LoadCubeFromFile(flags.GetString("cube", ""));
     if (!loaded.ok()) {
@@ -289,34 +476,22 @@ int Serve(const FlagParser& flags) {
             loaded.value().num_dims, loaded.value().num_objects,
             std::move(loaded.value().groups)),
         options);
-  } else if (flags.Has("data") || flags.GetBool("synthetic", false)) {
-    Dataset data(1);
-    if (flags.Has("data")) {
-      Result<Dataset> loaded =
-          Dataset::FromCsvFile(flags.GetString("data", ""));
-      if (!loaded.ok()) {
-        std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
-        return 1;
-      }
-      data = std::move(loaded).value();
-      if (flags.GetBool("negate", false)) data = data.Negated();
-    } else {
-      SyntheticSpec spec;
-      spec.distribution =
-          DistributionFromName(flags.GetString("dist", "independent"));
-      spec.num_objects = static_cast<size_t>(flags.GetInt("tuples", 2000));
-      spec.num_dims = static_cast<int>(flags.GetInt("dims", 6));
-      spec.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
-      spec.truncate_decimals = static_cast<int>(flags.GetInt("truncate", 4));
-      data = GenerateSynthetic(spec);
+  } else if (has_dataset_source) {
+    Result<Dataset> loaded = LoadSourceDataset(flags);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 1;
     }
-    session.num_dims = data.num_dims();
-    session.maintainer =
-        std::make_unique<IncrementalCubeMaintainer>(std::move(data));
+    session.num_dims = loaded.value().num_dims();
+    session.maintainer = std::make_unique<IncrementalCubeMaintainer>(
+        std::move(loaded).value());
+    session.volatile_ingest =
+        std::make_unique<MaintainerInsertHandler>(session.maintainer.get());
     session.service = std::make_unique<SkycubeService>(
         std::make_shared<const CompressedSkylineCube>(
             session.maintainer->MakeCube()),
         options);
+    session.service->AttachInsertHandler(session.volatile_ingest.get());
   } else {
     return Usage();
   }
@@ -327,8 +502,9 @@ int Serve(const FlagParser& flags) {
                session.num_dims,
                static_cast<unsigned long long>(
                    session.service->snapshot_version()));
+  InstallShutdownHandlers();
   std::string line;
-  while (std::getline(std::cin, line)) {
+  while (g_shutdown_signal == 0 && std::getline(std::cin, line)) {
     std::istringstream in(line);
     std::string command;
     in >> command;
@@ -340,9 +516,12 @@ int Serve(const FlagParser& flags) {
     if (command == "help") {
       std::printf(
           "ok commands: skyline S | card S | member ID S | count ID | "
-          "total | batch Q; Q; ... | insert V1,V2,... | stats | quit\n");
+          "total | batch Q; Q; ... | insert V1,V2,... | health | stats | "
+          "quit\n");
     } else if (command == "stats") {
       std::printf("%s\n", FormatStats(*session.service).c_str());
+    } else if (command == "health") {
+      std::printf("%s\n", FormatHealth(session).c_str());
     } else if (command == "insert") {
       std::printf("%s\n", HandleInsert(session, rest).c_str());
     } else if (command == "batch") {
@@ -361,6 +540,26 @@ int Serve(const FlagParser& flags) {
     }
     std::fflush(stdout);
   }
+
+  // Graceful drain — reached by 'quit', stdin EOF, SIGTERM, or SIGINT. New
+  // requests would answer kUnavailable from here on; with durable ingest
+  // the WAL is flushed and a final checkpoint written, so the next startup
+  // recovers without replaying anything.
+  session.service->BeginDrain();
+  if (session.durable) {
+    Status drained = session.durable->Drain();
+    if (!drained.ok()) {
+      std::fprintf(stderr, "drain failed: %s\n",
+                   drained.ToString().c_str());
+      return 1;
+    }
+  }
+  if (g_shutdown_signal != 0) {
+    std::fprintf(stderr, "signal %d: drained%s, exiting\n",
+                 static_cast<int>(g_shutdown_signal),
+                 session.durable ? " (wal flushed, final checkpoint written)"
+                                 : "");
+  }
   return 0;
 }
 
@@ -368,6 +567,7 @@ int Serve(const FlagParser& flags) {
 }  // namespace skycube
 
 int main(int argc, char** argv) {
+  skycube::ArmFaultsFromEnv();
   const skycube::FlagParser flags(argc, argv);
   return skycube::Serve(flags);
 }
