@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
   json.AddScalar("full", full ? "full" : "default");
 
   std::vector<size_t> sizes;
+  sizes.reserve(5);
   for (int i = 1; i <= 5; ++i) {
     sizes.push_back(static_cast<size_t>(i) * (full ? 100000 : 20000));
   }

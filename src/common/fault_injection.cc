@@ -13,14 +13,14 @@ FaultInjection& FaultInjection::Instance() {
 }
 
 void FaultInjection::ArmFailure(const std::string& point, int count) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   points_[point].fail_remaining = count;
   registered_points_.store(points_.size(), std::memory_order_relaxed);
 }
 
 void FaultInjection::ArmDelay(const std::string& point, int delay_millis,
                               int count) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Entry& entry = points_[point];
   entry.delay_millis = delay_millis;
   entry.delay_remaining = count;
@@ -28,7 +28,7 @@ void FaultInjection::ArmDelay(const std::string& point, int delay_millis,
 }
 
 void FaultInjection::Disarm(const std::string& point) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = points_.find(point);
   if (it == points_.end()) return;
   it->second.fail_remaining = 0;
@@ -36,13 +36,13 @@ void FaultInjection::Disarm(const std::string& point) {
 }
 
 void FaultInjection::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   points_.clear();
   registered_points_.store(0, std::memory_order_relaxed);
 }
 
 uint64_t FaultInjection::HitCount(const std::string& point) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = points_.find(point);
   return it == points_.end() ? 0 : it->second.hits;
 }
@@ -52,7 +52,7 @@ bool FaultInjection::Hit(const char* point) {
   int delay_millis = 0;
   bool fail = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = points_.find(point);
     if (it == points_.end()) return false;
     Entry& entry = it->second;

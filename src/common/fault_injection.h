@@ -22,9 +22,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_map>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 #ifndef SKYCUBE_FAULT_INJECTION
 #define SKYCUBE_FAULT_INJECTION 0
@@ -42,27 +44,28 @@ class FaultInjection {
   static constexpr bool Enabled() { return SKYCUBE_FAULT_INJECTION != 0; }
 
   /// The next `count` hits of `point` report failure (count < 0: forever).
-  void ArmFailure(const std::string& point, int count = 1);
+  void ArmFailure(const std::string& point, int count = 1) EXCLUDES(mu_);
 
   /// The next `count` hits of `point` sleep `delay_millis` before
   /// continuing normally (count < 0: forever). A point may be armed with
   /// both a delay and a failure; the delay applies first.
-  void ArmDelay(const std::string& point, int delay_millis, int count = -1);
+  void ArmDelay(const std::string& point, int delay_millis, int count = -1)
+      EXCLUDES(mu_);
 
   /// Clears the armed state of one point (hit counts persist).
-  void Disarm(const std::string& point);
+  void Disarm(const std::string& point) EXCLUDES(mu_);
 
   /// Clears every armed point and every hit count.
-  void Reset();
+  void Reset() EXCLUDES(mu_);
 
   /// How many times `point` was traversed while present in the registry
   /// (i.e. since it was first armed; survives Disarm, cleared by Reset).
-  uint64_t HitCount(const std::string& point) const;
+  uint64_t HitCount(const std::string& point) const EXCLUDES(mu_);
 
   /// Called by SKYCUBE_FAULT_POINT: applies an armed delay, then returns
   /// whether the armed failure fires. Fast path (nothing ever armed) is one
   /// relaxed atomic load.
-  bool Hit(const char* point);
+  bool Hit(const char* point) EXCLUDES(mu_);
 
  private:
   struct Entry {
@@ -74,8 +77,9 @@ class FaultInjection {
 
   FaultInjection() = default;
 
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, Entry> points_;
+  mutable Mutex mu_;
+  std::unordered_map<std::string, Entry> points_ GUARDED_BY(mu_);
+  /// Mirror of points_.size(), readable without mu_ — the unarmed fast path.
   std::atomic<size_t> registered_points_{0};
 };
 

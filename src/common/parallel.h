@@ -14,15 +14,14 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 
+#include "common/mutex.h"
 #include "common/thread_pool.h"
 
 namespace skycube {
@@ -92,9 +91,9 @@ void ParallelChunks(size_t n, int num_threads, Fn&& fn) {
   // indices. The caller must not return while a submitted runner might still
   // touch these locals, hence the exited-runner handshake.
   std::atomic<int> next_chunk{0};
-  std::mutex mu;
-  std::condition_variable all_exited;
-  int exited = 0;
+  Mutex mu;
+  CondVar all_exited;
+  int exited = 0;  // guarded by mu (locals cannot carry GUARDED_BY)
   auto runner = [&] {
     for (;;) {
       const int t = next_chunk.fetch_add(1, std::memory_order_relaxed);
@@ -104,9 +103,9 @@ void ParallelChunks(size_t n, int num_threads, Fn&& fn) {
     // Notify while holding the lock: the caller destroys these locals the
     // moment it can observe the predicate, and it can only observe it under
     // mu — an unlocked notify could touch an already-destroyed condvar.
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(&mu);
     ++exited;
-    all_exited.notify_one();
+    all_exited.NotifyOne();
   };
   ThreadPool& pool = ThreadPool::Shared();
   int submitted = 0;
@@ -120,8 +119,8 @@ void ParallelChunks(size_t n, int num_threads, Fn&& fn) {
     ++submitted;
   }
   runner();  // the caller claims chunks too
-  std::unique_lock<std::mutex> lock(mu);
-  all_exited.wait(lock, [&] { return exited == submitted + 1; });
+  MutexLock lock(&mu);
+  while (exited != submitted + 1) all_exited.Wait(&mu);
 }
 
 }  // namespace skycube

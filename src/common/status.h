@@ -32,7 +32,9 @@ enum class StatusCode {
 const char* StatusCodeName(StatusCode code);
 
 /// A success-or-error value. Cheap to copy on success (empty message).
-class Status {
+/// [[nodiscard]]: silently dropping a Status swallows an I/O or validation
+/// error; discard deliberately with `(void)expr` and a comment.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -84,7 +86,7 @@ class Status {
 #pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
 #endif
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from value — enables `return value;` in functions returning
   /// Result<T>.

@@ -1,0 +1,91 @@
+// Clang thread-safety annotation macros — the compile-time half of the
+// repo's concurrency contract (docs/STATIC_ANALYSIS.md).
+//
+// Under Clang these expand to the `thread_safety` attribute family, so a
+// `-Wthread-safety -Werror=thread-safety` build rejects any access to a
+// GUARDED_BY member without its mutex, any REQUIRES function called without
+// the lock, and any unbalanced ACQUIRE/RELEASE — on every build, not only
+// under a sanitizer schedule. Under GCC (which has no such analysis) every
+// macro expands to nothing; tests/common/thread_annotations_test.cc proves
+// the no-op expansion.
+//
+// Use the annotated wrappers in common/mutex.h (Mutex, MutexLock, CondVar,
+// SharedMutex) rather than std::mutex directly: libstdc++'s types carry no
+// annotations, so the analysis is blind to them. tools/lint_invariants.py
+// enforces that rule across src/.
+//
+// Naming follows the Clang documentation (and LevelDB/Chromium usage):
+//   GUARDED_BY(mu)        member may only be touched while holding mu
+//   PT_GUARDED_BY(mu)     pointee (not the pointer) is guarded by mu
+//   REQUIRES(mu)          caller must hold mu (split *Locked() helpers)
+//   REQUIRES_SHARED(mu)   caller must hold mu at least in shared mode
+//   ACQUIRE/RELEASE(...)  function takes / drops the lock itself
+//   EXCLUDES(mu)          caller must NOT hold mu (deadlock documentation)
+//   NO_THREAD_SAFETY_ANALYSIS  audited escape hatch; justify in a comment
+#ifndef SKYCUBE_COMMON_THREAD_ANNOTATIONS_H_
+#define SKYCUBE_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define SKYCUBE_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define SKYCUBE_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op on GCC & friends
+#endif
+
+#define CAPABILITY(x) SKYCUBE_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+#define SCOPED_CAPABILITY SKYCUBE_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+#define GUARDED_BY(x) SKYCUBE_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+#define PT_GUARDED_BY(x) SKYCUBE_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+#define ACQUIRED_BEFORE(...) \
+  SKYCUBE_THREAD_ANNOTATION_ATTRIBUTE__(acquired_before(__VA_ARGS__))
+
+#define ACQUIRED_AFTER(...) \
+  SKYCUBE_THREAD_ANNOTATION_ATTRIBUTE__(acquired_after(__VA_ARGS__))
+
+#define REQUIRES(...) \
+  SKYCUBE_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+
+#define REQUIRES_SHARED(...) \
+  SKYCUBE_THREAD_ANNOTATION_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+
+#define ACQUIRE(...) \
+  SKYCUBE_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+
+#define ACQUIRE_SHARED(...) \
+  SKYCUBE_THREAD_ANNOTATION_ATTRIBUTE__(acquire_shared_capability(__VA_ARGS__))
+
+#define RELEASE(...) \
+  SKYCUBE_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+
+#define RELEASE_SHARED(...) \
+  SKYCUBE_THREAD_ANNOTATION_ATTRIBUTE__(release_shared_capability(__VA_ARGS__))
+
+#define RELEASE_GENERIC(...) \
+  SKYCUBE_THREAD_ANNOTATION_ATTRIBUTE__(release_generic_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE(...) \
+  SKYCUBE_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE_SHARED(...)                 \
+  SKYCUBE_THREAD_ANNOTATION_ATTRIBUTE__(        \
+      try_acquire_shared_capability(__VA_ARGS__))
+
+#define EXCLUDES(...) \
+  SKYCUBE_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+#define ASSERT_CAPABILITY(x) \
+  SKYCUBE_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+
+#define ASSERT_SHARED_CAPABILITY(x) \
+  SKYCUBE_THREAD_ANNOTATION_ATTRIBUTE__(assert_shared_capability(x))
+
+#define RETURN_CAPABILITY(x) \
+  SKYCUBE_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+#define NO_THREAD_SAFETY_ANALYSIS \
+  SKYCUBE_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+#endif  // SKYCUBE_COMMON_THREAD_ANNOTATIONS_H_

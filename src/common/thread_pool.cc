@@ -29,33 +29,40 @@ ThreadPool::ThreadPool(Options options) : options_(options) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutting_down_ = true;
   }
-  not_empty_.notify_all();
-  not_full_.notify_all();
+  not_empty_.NotifyAll();
+  not_full_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
-  SKYCUBE_CHECK(queue_.empty());  // workers drain before exiting
+  // Workers drain before exiting; taking the lock here is cheap (they are
+  // all joined) and keeps the guarded read honest.
+  MutexLock lock(&mu_);
+  SKYCUBE_CHECK(queue_.empty());
+}
+
+void ThreadPool::NoteEnqueuedLocked() {
+  ++stats_.tasks_submitted;
+  stats_.queue_depth_high_water =
+      std::max(stats_.queue_depth_high_water, queue_.size());
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   SKYCUBE_CHECK_MSG(static_cast<bool>(task), "Submit of an empty task");
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     SKYCUBE_CHECK_MSG(!shutting_down_, "Submit after shutdown began");
     if (queue_.size() >= options_.queue_capacity) {
       ++stats_.submit_waits;
-      not_full_.wait(lock, [this] {
-        return queue_.size() < options_.queue_capacity || shutting_down_;
-      });
+      while (queue_.size() >= options_.queue_capacity && !shutting_down_) {
+        not_full_.Wait(&mu_);
+      }
       SKYCUBE_CHECK_MSG(!shutting_down_, "Submit raced pool shutdown");
     }
     queue_.push_back(std::move(task));
-    ++stats_.tasks_submitted;
-    stats_.queue_depth_high_water =
-        std::max(stats_.queue_depth_high_water, queue_.size());
+    NoteEnqueuedLocked();
   }
-  not_empty_.notify_one();
+  not_empty_.NotifyOne();
 }
 
 bool ThreadPool::TrySubmit(std::function<void()>& task) {
@@ -64,25 +71,23 @@ bool ThreadPool::TrySubmit(std::function<void()>& task) {
   // themselves (the batch fan-out contract).
   if (SKYCUBE_FAULT_POINT("thread_pool.try_submit")) return false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     SKYCUBE_CHECK_MSG(!shutting_down_, "TrySubmit after shutdown began");
     if (queue_.size() >= options_.queue_capacity) return false;
     queue_.push_back(std::move(task));
-    ++stats_.tasks_submitted;
-    stats_.queue_depth_high_water =
-        std::max(stats_.queue_depth_high_water, queue_.size());
+    NoteEnqueuedLocked();
   }
-  not_empty_.notify_one();
+  not_empty_.NotifyOne();
   return true;
 }
 
 size_t ThreadPool::QueueDepth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return queue_.size();
 }
 
 ThreadPoolStats ThreadPool::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return stats_;
 }
 
@@ -100,15 +105,14 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      not_empty_.wait(lock,
-                      [this] { return !queue_.empty() || shutting_down_; });
+      MutexLock lock(&mu_);
+      while (queue_.empty() && !shutting_down_) not_empty_.Wait(&mu_);
       if (queue_.empty()) return;  // shutting down with nothing left
       task = std::move(queue_.front());
       queue_.pop_front();
       ++stats_.tasks_executed;
     }
-    not_full_.notify_one();
+    not_full_.NotifyOne();
     task();
   }
 }

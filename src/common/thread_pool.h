@@ -14,14 +14,15 @@
 #ifndef SKYCUBE_COMMON_THREAD_POOL_H_
 #define SKYCUBE_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace skycube {
 
@@ -57,19 +58,19 @@ class ThreadPool {
 
   /// Enqueues `task`; blocks while the queue is at capacity. Must not be
   /// called after the destructor has started.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) EXCLUDES(mu_);
 
   /// Enqueues `task` if the queue has room; returns false (task untouched)
   /// otherwise. Never blocks.
-  bool TrySubmit(std::function<void()>& task);
+  bool TrySubmit(std::function<void()>& task) EXCLUDES(mu_);
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
   size_t queue_capacity() const { return options_.queue_capacity; }
 
   /// Queued-but-not-running tasks right now (racy by nature; for stats).
-  size_t QueueDepth() const;
+  size_t QueueDepth() const EXCLUDES(mu_);
 
-  ThreadPoolStats stats() const;
+  ThreadPoolStats stats() const EXCLUDES(mu_);
 
   /// True iff the calling thread is a worker of *any* ThreadPool. Used by
   /// ParallelChunks to run nested parallel regions inline instead of
@@ -81,15 +82,18 @@ class ThreadPool {
   static ThreadPool& Shared();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
+
+  /// Records an enqueue in the cumulative counters.
+  void NoteEnqueuedLocked() REQUIRES(mu_);
 
   Options options_;
-  mutable std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<std::function<void()>> queue_;
-  bool shutting_down_ = false;
-  ThreadPoolStats stats_;
+  mutable Mutex mu_;
+  CondVar not_empty_;
+  CondVar not_full_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  bool shutting_down_ GUARDED_BY(mu_) = false;
+  ThreadPoolStats stats_ GUARDED_BY(mu_);
   std::vector<std::thread> workers_;
 };
 

@@ -23,31 +23,36 @@ CubeRebuilder::CubeRebuilder(SkycubeService* service, Builder builder,
 
 CubeRebuilder::~CubeRebuilder() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutting_down_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   worker_.join();
 }
 
 void CubeRebuilder::TriggerRebuild() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     trigger_pending_ = true;
     stats_.idle = false;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 bool CubeRebuilder::WaitUntilIdle(std::chrono::milliseconds timeout) {
-  std::unique_lock<std::mutex> lock(mu_);
-  return idle_cv_.wait_for(lock, timeout, [&] {
-    return !trigger_pending_ && !building_;
-  });
+  const auto give_up = std::chrono::steady_clock::now() + timeout;
+  MutexLock lock(&mu_);
+  while (trigger_pending_ || building_) {
+    if (!idle_cv_.WaitUntil(&mu_, give_up) &&
+        (trigger_pending_ || building_)) {
+      return false;  // timed out still busy
+    }
+  }
+  return true;
 }
 
 CubeRebuilderStats CubeRebuilder::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return stats_;
 }
 
@@ -71,7 +76,7 @@ CubeRebuilder::RunBuilder() {
   }
 }
 
-std::chrono::milliseconds CubeRebuilder::NextBackoff(
+std::chrono::milliseconds CubeRebuilder::NextBackoffLocked(
     int consecutive_failures) {
   double backoff = static_cast<double>(options_.initial_backoff.count());
   for (int i = 1; i < consecutive_failures; ++i) {
@@ -81,7 +86,6 @@ std::chrono::milliseconds CubeRebuilder::NextBackoff(
   backoff = std::min(backoff, static_cast<double>(options_.max_backoff.count()));
   double factor = 1.0;
   if (options_.jitter > 0.0) {
-    std::lock_guard<std::mutex> lock(mu_);
     Rng rng(jitter_state_++);
     factor = 1.0 + options_.jitter * (2.0 * rng.NextDouble() - 1.0);
   }
@@ -90,27 +94,27 @@ std::chrono::milliseconds CubeRebuilder::NextBackoff(
 }
 
 void CubeRebuilder::WorkerLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  mu_.Lock();
   while (!shutting_down_) {
-    cv_.wait(lock, [&] { return trigger_pending_ || shutting_down_; });
+    while (!trigger_pending_ && !shutting_down_) cv_.Wait(&mu_);
     if (shutting_down_) break;
     trigger_pending_ = false;
     building_ = true;
     int consecutive_failures = 0;
     for (;;) {
       ++stats_.builds_attempted;
-      lock.unlock();
+      mu_.Unlock();
       // The build (and a successful swap) runs unlocked: TriggerRebuild and
       // stats() must never block behind a slow builder.
       auto result = RunBuilder();
       if (result.ok()) {
         service_->Reload(std::move(result).value());
-        lock.lock();
+        mu_.Lock();
         ++stats_.builds_succeeded;
         stats_.last_backoff_millis = 0;
         break;
       }
-      lock.lock();
+      mu_.Lock();
       ++stats_.builds_failed;
       ++consecutive_failures;
       if (options_.max_attempts > 0 &&
@@ -119,20 +123,22 @@ void CubeRebuilder::WorkerLoop() {
         stats_.last_backoff_millis = 0;
         break;
       }
-      lock.unlock();
-      const auto backoff = NextBackoff(consecutive_failures);
-      lock.lock();
+      const auto backoff = NextBackoffLocked(consecutive_failures);
       stats_.last_backoff_millis = backoff.count();
       // Backoff sleep, interruptible by shutdown. A new trigger does NOT
       // shorten the sleep: the pending retry already covers it (coalescing).
-      if (cv_.wait_for(lock, backoff, [&] { return shutting_down_; })) {
-        break;
+      const auto wake = std::chrono::steady_clock::now() + backoff;
+      while (!shutting_down_ && cv_.WaitUntil(&mu_, wake)) {
+        // Notified (or spurious) before the timeout: keep sleeping unless
+        // shutdown was requested.
       }
+      if (shutting_down_) break;
     }
     building_ = false;
     if (!trigger_pending_) stats_.idle = true;
-    idle_cv_.notify_all();
+    idle_cv_.NotifyAll();
   }
+  mu_.Unlock();
 }
 
 }  // namespace skycube

@@ -14,14 +14,14 @@
 #define SKYCUBE_SERVICE_CUBE_REBUILDER_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "core/cube.h"
 #include "service/service.h"
 
@@ -80,33 +80,35 @@ class CubeRebuilder {
 
   /// Requests a rebuild. Returns immediately; coalesces with a rebuild
   /// already pending or running.
-  void TriggerRebuild();
+  void TriggerRebuild() EXCLUDES(mu_);
 
   /// Blocks until no build is running or pending, or until `timeout`.
   /// Returns true iff the rebuilder went idle in time.
-  bool WaitUntilIdle(std::chrono::milliseconds timeout);
+  bool WaitUntilIdle(std::chrono::milliseconds timeout) EXCLUDES(mu_);
 
-  CubeRebuilderStats stats() const;
+  CubeRebuilderStats stats() const EXCLUDES(mu_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
   /// One builder invocation with exception containment.
   Result<std::shared_ptr<const CompressedSkylineCube>> RunBuilder();
-  /// The post-failure sleep for `consecutive_failures` failures so far.
-  std::chrono::milliseconds NextBackoff(int consecutive_failures);
+  /// The post-failure sleep for `consecutive_failures` failures so far
+  /// (advances the jitter RNG state, hence the lock).
+  std::chrono::milliseconds NextBackoffLocked(int consecutive_failures)
+      REQUIRES(mu_);
 
   SkycubeService* service_;
   Builder builder_;
   CubeRebuilderOptions options_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;     // wakes the worker (trigger / shutdown)
-  std::condition_variable idle_cv_;  // wakes WaitUntilIdle waiters
-  bool trigger_pending_ = false;
-  bool building_ = false;
-  bool shutting_down_ = false;
-  CubeRebuilderStats stats_;
-  uint64_t jitter_state_;  // advanced under mu_; fed to Rng per backoff
+  mutable Mutex mu_;
+  CondVar cv_;       // wakes the worker (trigger / shutdown)
+  CondVar idle_cv_;  // wakes WaitUntilIdle waiters
+  bool trigger_pending_ GUARDED_BY(mu_) = false;
+  bool building_ GUARDED_BY(mu_) = false;
+  bool shutting_down_ GUARDED_BY(mu_) = false;
+  CubeRebuilderStats stats_ GUARDED_BY(mu_);
+  uint64_t jitter_state_ GUARDED_BY(mu_);  // fed to Rng per backoff
 
   std::thread worker_;
 };

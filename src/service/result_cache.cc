@@ -41,12 +41,12 @@ bool ResultCache::Lookup(const Key& key, QueryResponse* response) {
   // Test-only forced miss; still counted so hit-rate accounting stays honest.
   if (SKYCUBE_FAULT_POINT("result_cache.lookup")) {
     Shard& shard = ShardFor(key);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     ++shard.misses;
     return false;
   }
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   auto it = shard.map.find(key);
   if (it == shard.map.end()) {
     ++shard.misses;
@@ -63,7 +63,7 @@ void ResultCache::Insert(const Key& key, const QueryResponse& response) {
   // Test-only dropped insert: callers must tolerate the cache losing writes.
   if (SKYCUBE_FAULT_POINT("result_cache.insert")) return;
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   auto it = shard.map.find(key);
   if (it != shard.map.end()) {
     // Refresh: racing computations of the same key produce equal answers
@@ -84,7 +84,7 @@ void ResultCache::Insert(const Key& key, const QueryResponse& response) {
 
 void ResultCache::Clear() {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(&shard->mu);
     shard->invalidations += shard->lru.size();
     shard->map.clear();
     shard->lru.clear();
@@ -94,7 +94,7 @@ void ResultCache::Clear() {
 ResultCacheStats ResultCache::stats() const {
   ResultCacheStats stats;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(&shard->mu);
     stats.hits += shard->hits;
     stats.misses += shard->misses;
     stats.insertions += shard->insertions;

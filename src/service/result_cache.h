@@ -14,10 +14,11 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "service/request.h"
 
 namespace skycube {
@@ -91,15 +92,16 @@ class ResultCache {
     QueryResponse response;
   };
   struct Shard {
-    std::mutex mu;
+    Mutex mu;
     /// Front = most recently used.
-    std::list<Entry> lru;
-    std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> map;
-    uint64_t hits = 0;
-    uint64_t misses = 0;
-    uint64_t insertions = 0;
-    uint64_t evictions = 0;
-    uint64_t invalidations = 0;
+    std::list<Entry> lru GUARDED_BY(mu);
+    std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> map
+        GUARDED_BY(mu);
+    uint64_t hits GUARDED_BY(mu) = 0;
+    uint64_t misses GUARDED_BY(mu) = 0;
+    uint64_t insertions GUARDED_BY(mu) = 0;
+    uint64_t evictions GUARDED_BY(mu) = 0;
+    uint64_t invalidations GUARDED_BY(mu) = 0;
   };
 
   Shard& ShardFor(const Key& key);

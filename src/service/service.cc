@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <chrono>
-#include <condition_variable>
 #include <exception>
 #include <functional>
 #include <new>
@@ -10,6 +9,7 @@
 
 #include "common/fault_injection.h"
 #include "common/macros.h"
+#include "common/mutex.h"
 
 namespace skycube {
 
@@ -61,15 +61,18 @@ SkycubeService::~SkycubeService() = default;
 
 bool SkycubeService::AdmitSlot() {
   if (options_.max_in_flight == 0) return true;
-  std::unique_lock<std::mutex> lock(admission_mu_);
+  MutexLock lock(&admission_mu_);
   if (in_flight_ >= options_.max_in_flight) {
     admission_waits_.fetch_add(1, std::memory_order_relaxed);
-    const bool got_slot =
-        options_.queue_wait_timeout.count() > 0 &&
-        admission_cv_.wait_for(lock, options_.queue_wait_timeout, [&] {
-          return in_flight_ < options_.max_in_flight;
-        });
-    if (!got_slot) return false;
+    if (options_.queue_wait_timeout.count() <= 0) return false;
+    const auto give_up =
+        std::chrono::steady_clock::now() + options_.queue_wait_timeout;
+    while (in_flight_ >= options_.max_in_flight) {
+      if (!admission_cv_.WaitUntil(&admission_mu_, give_up) &&
+          in_flight_ >= options_.max_in_flight) {
+        return false;  // timed out still over the limit: shed
+      }
+    }
   }
   ++in_flight_;
   in_flight_high_water_ = std::max(in_flight_high_water_, in_flight_);
@@ -79,10 +82,10 @@ bool SkycubeService::AdmitSlot() {
 void SkycubeService::ReleaseSlot() {
   if (options_.max_in_flight == 0) return;
   {
-    std::lock_guard<std::mutex> lock(admission_mu_);
+    MutexLock lock(&admission_mu_);
     --in_flight_;
   }
-  admission_cv_.notify_one();
+  admission_cv_.NotifyOne();
 }
 
 QueryResponse SkycubeService::ShedResponse(const QueryRequest& request,
@@ -265,7 +268,7 @@ QueryResponse SkycubeService::ExecuteInsert(const QueryRequest& request) {
   // One writer at a time: the handler mutates shared state (maintainer,
   // WAL) and the apply→Reload pair must publish snapshots in apply order so
   // snapshot_version stays monotone with the WAL.
-  std::lock_guard<std::mutex> lock(ingest_mu_);
+  MutexLock lock(&ingest_mu_);
   Result<InsertHandler::Applied> applied = handler->ApplyInsert(request.values);
   if (!applied.ok()) {
     insert_failures_.fetch_add(1, std::memory_order_relaxed);
@@ -320,9 +323,9 @@ std::vector<QueryResponse> SkycubeService::ExecuteBatch(
   const std::shared_ptr<const Snapshot> snap = LoadSnapshot();
   ThreadPool& pool = BatchPool();
   std::atomic<size_t> next{0};
-  std::mutex mu;
-  std::condition_variable all_exited;
-  int exited = 0;
+  Mutex mu;
+  CondVar all_exited;
+  int exited = 0;  // guarded by mu (locals cannot carry GUARDED_BY)
   auto runner = [&] {
     for (;;) {
       const size_t i = next.fetch_add(1, std::memory_order_relaxed);
@@ -333,9 +336,9 @@ std::vector<QueryResponse> SkycubeService::ExecuteBatch(
     }
     // Notify under the lock: the caller's stack frame (and this condvar)
     // dies as soon as it can observe the predicate, which requires mu.
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(&mu);
     ++exited;
-    all_exited.notify_one();
+    all_exited.NotifyOne();
   };
   int submitted = 0;
   const int helpers = std::min(static_cast<int>(requests.size()) - 1,
@@ -347,8 +350,8 @@ std::vector<QueryResponse> SkycubeService::ExecuteBatch(
   }
   runner();  // the caller works through the batch too
   {
-    std::unique_lock<std::mutex> lock(mu);
-    all_exited.wait(lock, [&] { return exited == submitted + 1; });
+    MutexLock lock(&mu);
+    while (exited != submitted + 1) all_exited.Wait(&mu);
   }
   latency_.Record(static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -414,8 +417,7 @@ ServiceStats SkycubeService::stats() const {
   stats.drained_rejects = drained_rejects_.load(std::memory_order_relaxed);
   stats.draining = draining();
   if (options_.max_in_flight > 0) {
-    std::lock_guard<std::mutex> lock(
-        const_cast<std::mutex&>(admission_mu_));
+    MutexLock lock(&admission_mu_);
     stats.in_flight_high_water = in_flight_high_water_;
   }
 

@@ -24,13 +24,14 @@
 #include <array>
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
+#include <mutex>  // std::once_flag
 #include <vector>
 
 #include "common/deadline.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "core/cube.h"
 #include "service/ingest.h"
@@ -109,7 +110,7 @@ class SkycubeService {
   std::shared_ptr<const CompressedSkylineCube> snapshot() const;
   uint64_t snapshot_version() const;
 
-  ServiceStats stats() const;
+  ServiceStats stats() const EXCLUDES(admission_mu_);
 
  private:
   struct Snapshot {
@@ -134,8 +135,8 @@ class SkycubeService {
 
   /// Admission gate. True = a slot was acquired (pair with ReleaseSlot);
   /// false = shed. Always true when max_in_flight == 0.
-  bool AdmitSlot();
-  void ReleaseSlot();
+  bool AdmitSlot() EXCLUDES(admission_mu_);
+  void ReleaseSlot() EXCLUDES(admission_mu_);
 
   /// Builds + counts a kResourceExhausted response for a shed request.
   QueryResponse ShedResponse(const QueryRequest& request, uint64_t version);
@@ -147,7 +148,8 @@ class SkycubeService {
   /// The kInsert path: serialize under ingest_mu_, apply through the
   /// handler, swap the post-insert snapshot in (which invalidates the
   /// result cache by version). Never cached.
-  QueryResponse ExecuteInsert(const QueryRequest& request);
+  QueryResponse ExecuteInsert(const QueryRequest& request)
+      EXCLUDES(ingest_mu_);
 
   ThreadPool& BatchPool();
 
@@ -170,7 +172,7 @@ class SkycubeService {
 
   // Ingest path (only active once AttachInsertHandler was called).
   std::atomic<InsertHandler*> insert_handler_{nullptr};
-  std::mutex ingest_mu_;  // serializes ApplyInsert + Reload pairs
+  Mutex ingest_mu_;  // serializes ApplyInsert + Reload pairs
   std::atomic<uint64_t> inserts_applied_{0};
   std::atomic<uint64_t> insert_failures_{0};
 
@@ -178,11 +180,12 @@ class SkycubeService {
   std::atomic<bool> draining_{false};
   std::atomic<uint64_t> drained_rejects_{0};
 
-  // Admission gate (only used when options_.max_in_flight > 0).
-  std::mutex admission_mu_;
-  std::condition_variable admission_cv_;
-  size_t in_flight_ = 0;
-  size_t in_flight_high_water_ = 0;
+  // Admission gate (only used when options_.max_in_flight > 0). Mutable so
+  // const stats() can take it for a consistent high-water read.
+  mutable Mutex admission_mu_;
+  CondVar admission_cv_;
+  size_t in_flight_ GUARDED_BY(admission_mu_) = 0;
+  size_t in_flight_high_water_ GUARDED_BY(admission_mu_) = 0;
 
   std::once_flag pool_once_;
   std::unique_ptr<ThreadPool> pool_;

@@ -17,6 +17,10 @@ namespace skycube {
 /// counts samples in [2^i, 2^(i+1)) ns; with 40 buckets the histogram spans
 /// ~1 ns to ~18 minutes. Recording is one relaxed fetch_add — safe from any
 /// number of threads.
+///
+/// Deliberately lock-free: every member is a std::atomic, so there is no
+/// capability to annotate (GUARDED_BY does not apply) and readers tolerate
+/// torn cross-bucket snapshots by design — stats are approximate.
 class LatencyHistogram {
  public:
   static constexpr int kNumBuckets = 40;

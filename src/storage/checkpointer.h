@@ -62,8 +62,8 @@ class Checkpointer {
   /// Atomically writes the checkpoint for `lsn`, then deletes checkpoints
   /// beyond the retention horizon (and stray .tmp files). On success,
   /// oldest_retained_lsn() says how far the WAL may be truncated.
-  Status Write(uint64_t lsn, const Dataset& data,
-               const SkylineGroupSet& groups);
+  [[nodiscard]] Status Write(uint64_t lsn, const Dataset& data,
+                             const SkylineGroupSet& groups);
 
   /// LSN of the oldest checkpoint still on disk after the last successful
   /// Write (the safe WAL truncation horizon).

@@ -15,6 +15,10 @@ Result<std::unique_ptr<DurableIngest>> DurableIngest::Open(
     const std::string& dir, const Dataset* bootstrap,
     DurableIngestOptions options) {
   std::unique_ptr<DurableIngest> ingest(new DurableIngest(dir, options));
+  // No concurrent access is possible before Open returns, but the members
+  // set up here are guarded, so hold the (uncontended) lock for the
+  // analysis — it also publishes them to whichever thread uses the handle.
+  MutexLock lock(&ingest->mu_);
   uint64_t next_lsn = 1;
   if (DirHasDurableState(dir)) {
     Result<RecoveredState> recovered = RecoverFromDir(dir, options.stellar);
@@ -49,7 +53,7 @@ Result<std::unique_ptr<DurableIngest>> DurableIngest::Open(
 
 Result<InsertHandler::Applied> DurableIngest::ApplyInsert(
     const std::vector<double>& values) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (static_cast<int>(values.size()) != maintainer_->data().num_dims()) {
     return Status::InvalidArgument("insert width must equal num_dims");
   }
@@ -77,12 +81,12 @@ Result<InsertHandler::Applied> DurableIngest::ApplyInsert(
 }
 
 int DurableIngest::num_dims() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return maintainer_->data().num_dims();
 }
 
 Status DurableIngest::Flush() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return wal_->Sync();
 }
 
@@ -103,7 +107,7 @@ Status DurableIngest::CheckpointLocked(uint64_t lsn) {
 }
 
 Status DurableIngest::Checkpoint() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const uint64_t lsn = wal_->next_lsn() - 1;
   if (lsn == last_checkpoint_lsn_ && checkpointer_.checkpoints_written() > 0) {
     return Status::Ok();  // nothing new to cover
@@ -118,7 +122,7 @@ Status DurableIngest::Drain() {
 }
 
 DurableIngestStats DurableIngest::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   DurableIngestStats stats;
   stats.recovered = recovered_;
   stats.recovery = recovery_stats_;

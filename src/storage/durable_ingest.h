@@ -25,11 +25,12 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "core/maintenance.h"
 #include "core/stellar.h"
 #include "dataset/dataset.h"
@@ -78,40 +79,48 @@ class DurableIngest : public InsertHandler {
       DurableIngestOptions options = {});
 
   /// WAL append (ack point) → maintainer insert → periodic checkpoint.
-  Result<Applied> ApplyInsert(const std::vector<double>& values) override;
-  int num_dims() const override;
+  Result<Applied> ApplyInsert(const std::vector<double>& values) override
+      EXCLUDES(mu_);
+  int num_dims() const override EXCLUDES(mu_);
 
   /// Forces pending WAL records to stable storage.
-  Status Flush();
+  Status Flush() EXCLUDES(mu_);
 
   /// Writes a checkpoint at the current LSN now and truncates the WAL
   /// through the retention horizon. No-op if nothing changed since the
   /// last checkpoint.
-  Status Checkpoint();
+  Status Checkpoint() EXCLUDES(mu_);
 
   /// Shutdown path: Flush + final Checkpoint. After OK, recovery replays
   /// zero WAL records.
-  Status Drain();
+  Status Drain() EXCLUDES(mu_);
 
-  const IncrementalCubeMaintainer& maintainer() const { return *maintainer_; }
-  DurableIngestStats stats() const;
+  /// Read-only view for post-shutdown inspection (tests, recovery
+  /// verification). Deliberately unlocked: callers use it only after
+  /// ingest traffic has stopped, and holding mu_ across the returned
+  /// reference would be meaningless anyway.
+  const IncrementalCubeMaintainer& maintainer() const
+      NO_THREAD_SAFETY_ANALYSIS {
+    return *maintainer_;
+  }
+  DurableIngestStats stats() const EXCLUDES(mu_);
 
  private:
   DurableIngest(std::string dir, DurableIngestOptions options);
 
-  /// Checkpoint at `lsn` + WAL truncation; caller holds mu_.
-  Status CheckpointLocked(uint64_t lsn);
+  /// Checkpoint at `lsn` + WAL truncation.
+  Status CheckpointLocked(uint64_t lsn) REQUIRES(mu_);
 
   std::string dir_;
   DurableIngestOptions options_;
-  std::unique_ptr<IncrementalCubeMaintainer> maintainer_;
-  std::unique_ptr<WriteAheadLog> wal_;
-  Checkpointer checkpointer_;
-  bool recovered_ = false;
-  RecoveryStats recovery_stats_;
-  uint64_t last_checkpoint_lsn_ = 0;
-  uint64_t inserts_since_checkpoint_ = 0;
-  mutable std::mutex mu_;
+  std::unique_ptr<IncrementalCubeMaintainer> maintainer_ GUARDED_BY(mu_);
+  std::unique_ptr<WriteAheadLog> wal_ GUARDED_BY(mu_);
+  Checkpointer checkpointer_ GUARDED_BY(mu_);
+  bool recovered_ GUARDED_BY(mu_) = false;
+  RecoveryStats recovery_stats_ GUARDED_BY(mu_);
+  uint64_t last_checkpoint_lsn_ GUARDED_BY(mu_) = 0;
+  uint64_t inserts_since_checkpoint_ GUARDED_BY(mu_) = 0;
+  mutable Mutex mu_;
 };
 
 }  // namespace skycube

@@ -278,7 +278,9 @@ WriteAheadLog::WriteAheadLog(std::string dir, uint64_t next_lsn,
 
 WriteAheadLog::~WriteAheadLog() {
   if (fd_ >= 0) {
-    if (sync_pending_) ::fdatasync(fd_);
+    // Best effort: a destructor cannot report failure. Callers that need
+    // the durability guarantee call Sync()/Drain() first.
+    if (sync_pending_) (void)::fdatasync(fd_);
     ::close(fd_);
   }
 }
@@ -430,7 +432,7 @@ Result<uint64_t> WriteAheadLog::Append(std::string_view payload) {
   // the next open must truncate.
   if (SKYCUBE_FAULT_POINT("wal.append_torn")) {
     (void)WriteAll(fd_, record.data(), record.size() / 2);
-    ::fdatasync(fd_);
+    (void)::fdatasync(fd_);  // make the torn half durable, then die
     std::_Exit(42);
   }
   if (Status write = WriteAll(fd_, record.data(), record.size());

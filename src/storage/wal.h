@@ -111,9 +111,8 @@ class WriteAheadLog {
   /// tails, or records a recovery pass rejected — is discarded so the log
   /// stays contiguous. Pass the next_lsn a recovery pass decided on, or
   /// checkpoint_lsn + 1 when bootstrapping.
-  static Result<std::unique_ptr<WriteAheadLog>> Open(const std::string& dir,
-                                                     uint64_t next_lsn,
-                                                     WalOptions options = {});
+  [[nodiscard]] static Result<std::unique_ptr<WriteAheadLog>> Open(
+      const std::string& dir, uint64_t next_lsn, WalOptions options = {});
 
   ~WriteAheadLog();
   WriteAheadLog(const WriteAheadLog&) = delete;
@@ -122,15 +121,15 @@ class WriteAheadLog {
   /// Appends one record, returning its LSN. When this returns OK the record
   /// is durable per the fsync policy (always, for kEveryRecord). Appends
   /// after any I/O error keep failing — the log never silently skips.
-  Result<uint64_t> Append(std::string_view payload);
+  [[nodiscard]] Result<uint64_t> Append(std::string_view payload);
 
   /// Forces an fdatasync of the active segment (no-op if nothing pending).
-  Status Sync();
+  [[nodiscard]] Status Sync();
 
   /// Deletes whole segments whose every record has lsn <= `lsn` (the active
   /// segment is never deleted). Called after a checkpoint made that prefix
   /// redundant.
-  Status TruncateThrough(uint64_t lsn);
+  [[nodiscard]] Status TruncateThrough(uint64_t lsn);
 
   uint64_t next_lsn() const { return next_lsn_; }
   const std::string& dir() const { return dir_; }
@@ -140,8 +139,8 @@ class WriteAheadLog {
   WriteAheadLog(std::string dir, uint64_t next_lsn, WalOptions options);
 
   /// Opens a fresh segment whose name encodes next_lsn_.
-  Status RotateSegment();
-  Status SyncDir();
+  [[nodiscard]] Status RotateSegment();
+  [[nodiscard]] Status SyncDir();
 
   std::string dir_;
   WalOptions options_;

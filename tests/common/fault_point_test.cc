@@ -1,0 +1,62 @@
+// Proves the compile-time contract of SKYCUBE_FAULT_POINT in *both* build
+// modes:
+//  - fault injection ON (the test-suite default): armed points fire, hits
+//    are counted, and the registry observes traversals;
+//  - fault injection OFF (Release builds; exercised by the faults-off CI
+//    ctest run): the macro is the compile-time constant `false` — the
+//    static_asserts below would fail to compile if any registry call
+//    survived, and arming a point is a no-op for call sites.
+
+#include "common/fault_injection.h"
+
+#include <type_traits>
+
+#include "gtest/gtest.h"
+
+namespace skycube {
+namespace {
+
+#if !SKYCUBE_FAULT_INJECTION
+
+// The macro must collapse to a constant expression usable in static_assert
+// — i.e. no FaultInjection::Instance() call, no branch, nothing for the
+// optimizer to even remove.
+static_assert(!SKYCUBE_FAULT_POINT("test.compiled_out"),
+              "SKYCUBE_FAULT_POINT must be constant false when "
+              "SKYCUBE_FAULT_INJECTION is off");
+static_assert(
+    std::is_same_v<decltype(SKYCUBE_FAULT_POINT("test.compiled_out")), bool>,
+    "SKYCUBE_FAULT_POINT must stay a bool expression in both modes");
+
+#endif
+
+TEST(FaultPointTest, EnabledReflectsBuildMode) {
+  EXPECT_EQ(FaultInjection::Enabled(), SKYCUBE_FAULT_INJECTION != 0);
+}
+
+TEST(FaultPointTest, ArmedPointFiresOnlyWhenCompiledIn) {
+  FaultInjection::Instance().Reset();
+  FaultInjection::Instance().ArmFailure("test.compiled_out", 1);
+  const bool fired = SKYCUBE_FAULT_POINT("test.compiled_out");
+  if (FaultInjection::Enabled()) {
+    EXPECT_TRUE(fired);
+    EXPECT_EQ(FaultInjection::Instance().HitCount("test.compiled_out"), 1u);
+    // The armed count is spent: the next traversal passes.
+    EXPECT_FALSE(SKYCUBE_FAULT_POINT("test.compiled_out"));
+  } else {
+    // Compiled out: the site never consulted the registry.
+    EXPECT_FALSE(fired);
+    EXPECT_EQ(FaultInjection::Instance().HitCount("test.compiled_out"), 0u);
+  }
+  FaultInjection::Instance().Reset();
+}
+
+TEST(FaultPointTest, UnarmedPointNeverFires) {
+  FaultInjection::Instance().Reset();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(SKYCUBE_FAULT_POINT("test.never_armed"));
+  }
+}
+
+}  // namespace
+}  // namespace skycube

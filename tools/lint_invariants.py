@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Repo-specific invariant lints for skycube (docs/STATIC_ANALYSIS.md).
+
+Rules (each checkable faster than a compile, so they run as a ctest test
+and as a required CI job):
+
+  R1  fault-point registry: every SKYCUBE_FAULT_POINT name wired in src/
+      appears at exactly one site, and every name a test arms/queries is
+      either wired in src/ or test-local (contains "test" in its prefix,
+      e.g. "deadline_test.slow") — catching both copy-pasted point names
+      and tests arming a typo that can never fire.
+  R2  raw-I/O confinement: naked open/fsync/fdatasync/fcntl calls live only
+      in src/storage/ — everything else goes through the storage layer, so
+      durability decisions stay in one reviewable place. Waive a justified
+      site with a "lint:allow-raw-io" comment on the same line.
+  R3  no silently dropped Status: a bare statement-position call to one of
+      the known Status/Result-returning mutators is an error; discard
+      deliberately with `(void)call(...)` (plus a why-comment) instead.
+  R4  no std::endl under src/: the serving path never wants the implicit
+      flush; use '\\n'.
+  R5  no const_cast of a mutex type: a const method that needs the lock
+      marks the mutex `mutable` instead.
+  R6  annotated locks only: src/ uses the Mutex/MutexLock/CondVar wrappers
+      from common/mutex.h, never raw std::mutex & friends — raw std types
+      carry no thread-safety annotations, so Clang's analysis is blind to
+      them. (std::once_flag/std::call_once are fine: there is no annotated
+      equivalent and no guarded state.)
+
+Exit status 0 = clean; 1 = findings (one per line: path:line: rule: what).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from collections import Counter
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+SOURCE_GLOBS = ("src/**/*.h", "src/**/*.cc", "tools/**/*.cc", "bench/**/*.h",
+                "bench/**/*.cc", "tests/**/*.cc")
+
+FAULT_POINT_RE = re.compile(r'SKYCUBE_FAULT_POINT\("([^"]+)"\)')
+ARMED_RE = re.compile(r'(?:ArmFailure|ArmDelay|Disarm|HitCount)\("([^"]+)"')
+
+# R2: syscall-shaped raw I/O. Matches `open(`, `::open(`, `fsync(` etc. as
+# standalone identifiers — not RotateSegment(, fopen(, or .open( members.
+RAW_IO_RE = re.compile(r'(?<![\w.:>])(?:::)?\b(open|openat|fsync|fdatasync|'
+                       r'fcntl)\s*\(')
+
+# R3: Status/Result-returning mutators of the storage/ingest/service layers.
+# A line that *starts* with one of these calls (optionally through obj./->)
+# drops the Status on the floor.
+STATUS_CALLS = ("Sync", "SyncDir", "RotateSegment", "TruncateThrough",
+                "Flush", "Drain", "Checkpoint", "CheckpointLocked",
+                "ApplyInsert")
+DROPPED_STATUS_RE = re.compile(
+    r'^\s*(?:[A-Za-z_]\w*(?:\.|->))?(' + "|".join(STATUS_CALLS) +
+    r')\s*\([^;]*\)\s*;\s*$')
+
+# R6: raw lock types the annotated wrappers replace.
+RAW_LOCK_RE = re.compile(
+    r'std::(mutex|shared_mutex|recursive_mutex|timed_mutex|'
+    r'condition_variable(?:_any)?|lock_guard|unique_lock|scoped_lock|'
+    r'shared_lock)\b')
+R6_EXEMPT = ("src/common/mutex.h",)  # the wrappers themselves
+
+COMMENT_BLOCK_RE = re.compile(r'/\*.*?\*/', re.DOTALL)
+
+
+def strip_comments(text: str) -> str:
+    """Blank out comments, preserving line numbers (no string-literal
+    awareness: good enough for the token rules here)."""
+    text = COMMENT_BLOCK_RE.sub(lambda m: re.sub(r'[^\n]', ' ', m.group()),
+                                text)
+    return "\n".join(line.split("//", 1)[0] for line in text.splitlines())
+
+
+def iter_sources():
+    for pattern in SOURCE_GLOBS:
+        yield from sorted(REPO.glob(pattern))
+
+
+def main() -> int:
+    findings: list[str] = []
+    wired = Counter()          # fault point name -> [(path, line)]
+    wired_sites: dict[str, list[str]] = {}
+    armed: list[tuple[str, str]] = []   # (site, name)
+
+    for path in iter_sources():
+        rel = path.relative_to(REPO).as_posix()
+        raw = path.read_text(encoding="utf-8")
+        code = strip_comments(raw)
+        code_lines = code.splitlines()
+
+        for lineno, line in enumerate(code_lines, 1):
+            site = f"{rel}:{lineno}"
+            raw_line = raw.splitlines()[lineno - 1]
+
+            for name in FAULT_POINT_RE.findall(line):
+                if rel.startswith("src/"):
+                    wired[name] += 1
+                    wired_sites.setdefault(name, []).append(site)
+            for name in ARMED_RE.findall(line):
+                armed.append((site, name))
+
+            if (RAW_IO_RE.search(line)
+                    and not rel.startswith("src/storage/")
+                    and "lint:allow-raw-io" not in raw_line):
+                findings.append(
+                    f"{site}: R2: raw file-I/O call outside src/storage/ "
+                    "(route through the storage layer, or waive with a "
+                    "'lint:allow-raw-io' comment)")
+
+            if not rel.startswith("tests/"):
+                match = DROPPED_STATUS_RE.match(line)
+                if match:
+                    findings.append(
+                        f"{site}: R3: result of Status-returning "
+                        f"{match.group(1)}() is discarded (handle it, or "
+                        "'(void)' it with a reason)")
+
+            if rel.startswith("src/") and "std::endl" in line:
+                findings.append(f"{site}: R4: std::endl in src/ "
+                                "(implicit flush; use '\\n')")
+
+            if re.search(r'const_cast\s*<\s*(?:std::)?\w*[Mm]utex', line):
+                findings.append(
+                    f"{site}: R5: const_cast of a mutex type "
+                    "(mark the mutex 'mutable' instead)")
+
+            if (rel.startswith("src/") and rel not in R6_EXEMPT
+                    and RAW_LOCK_RE.search(line)):
+                findings.append(
+                    f"{site}: R6: raw {RAW_LOCK_RE.search(line).group()} in "
+                    "src/ (use the annotated wrappers in common/mutex.h)")
+
+    for name, count in sorted(wired.items()):
+        if count != 1:
+            findings.append(
+                f"{wired_sites[name][1]}: R1: fault point \"{name}\" wired "
+                f"at {count} sites (first: {wired_sites[name][0]}); names "
+                "must be unique")
+    for site, name in armed:
+        if name not in wired and "test" not in name.split(".")[0]:
+            findings.append(
+                f"{site}: R1: \"{name}\" is armed/queried but no "
+                "SKYCUBE_FAULT_POINT in src/ wires it (typo?)")
+
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"\nlint_invariants: {len(findings)} finding(s)",
+              file=sys.stderr)
+        return 1
+    print(f"lint_invariants: clean ({len(wired)} fault points, "
+          f"{sum(1 for _ in iter_sources())} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

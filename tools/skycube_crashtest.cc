@@ -93,7 +93,8 @@ Child Spawn(const std::string& serve, const std::vector<std::string>& args,
   if (pid == 0) {
     dup2(to_child[0], STDIN_FILENO);
     dup2(from_child[1], STDOUT_FILENO);
-    const int devnull = open("/dev/null", O_WRONLY);
+    // Post-fork child setup: no storage-layer durability involved.
+    const int devnull = open("/dev/null", O_WRONLY);  // lint:allow-raw-io
     if (devnull >= 0) dup2(devnull, STDERR_FILENO);
     close(to_child[0]);
     close(to_child[1]);
@@ -105,6 +106,7 @@ Child Spawn(const std::string& serve, const std::vector<std::string>& args,
       setenv("SKYCUBE_ARM_FAULTS", faults.c_str(), 1);
     }
     std::vector<char*> argv;
+    argv.reserve(args.size() + 2);  // program name + args + trailing null
     argv.push_back(const_cast<char*>(serve.c_str()));
     for (const std::string& arg : args) {
       argv.push_back(const_cast<char*>(arg.c_str()));
@@ -295,6 +297,7 @@ void RunKillRound(const Config& config, int round, Rng* rng) {
   Child child = Spawn(config.serve, ServerArgs(config, dir, true), "");
 
   std::vector<std::string> sent;
+  sent.reserve(config.inserts);
   for (int i = 0; i < config.inserts; ++i) {
     sent.push_back(MakeInsertText(rng, config.dims, &sent));
   }
@@ -333,6 +336,7 @@ void RunSigtermRound(const Config& config, Rng* rng) {
   std::filesystem::remove_all(dir);
   Child child = Spawn(config.serve, ServerArgs(config, dir, true), "");
   std::vector<std::string> sent;
+  sent.reserve(config.inserts);
   std::string line;
   for (int i = 0; i < config.inserts; ++i) {
     sent.push_back(MakeInsertText(rng, config.dims, &sent));
@@ -367,6 +371,7 @@ void RunFaultRound(const Config& config, Rng* rng, const char* fault,
   std::vector<std::string> sent;
   std::string line;
   const int warmup = 3 + static_cast<int>(rng->Bounded(4));
+  sent.reserve(warmup);
   for (int i = 0; i < warmup; ++i) {
     sent.push_back(MakeInsertText(rng, config.dims, &sent));
     std::fprintf(child.to, "insert %s\n", sent.back().c_str());
