@@ -1,0 +1,85 @@
+#include "net/connection.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace skycube::net {
+
+Connection::Connection(uint64_t id, int fd, size_t max_payload)
+    : id_(id), fd_(fd), decoder_(max_payload) {}
+
+Connection::~Connection() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+uint64_t Connection::AddPending() {
+  slots_.emplace_back();
+  return base_seq_ + slots_.size() - 1;
+}
+
+void Connection::Complete(uint64_t seq, std::string frame) {
+  SKYCUBE_CHECK_MSG(seq >= base_seq_ && seq - base_seq_ < slots_.size(),
+                    "completion for an unknown pipeline slot");
+  Slot& slot = slots_[seq - base_seq_];
+  SKYCUBE_CHECK_MSG(!slot.done, "pipeline slot completed twice");
+  slot.done = true;
+  slot.frame = std::move(frame);
+  // Move the completed prefix to the wire, preserving request order.
+  while (!slots_.empty() && slots_.front().done) {
+    // Compact the consumed outbound prefix before growing the buffer.
+    if (outbound_off_ > 0 && outbound_off_ >= outbound_.size() / 2) {
+      outbound_.erase(0, outbound_off_);
+      outbound_off_ = 0;
+    }
+    outbound_ += slots_.front().frame;
+    slots_.pop_front();
+    ++base_seq_;
+  }
+}
+
+Connection::IoResult Connection::ReadIntoDecoder(size_t max_bytes,
+                                                 size_t* bytes_read) {
+  *bytes_read = 0;
+  char buffer[64 * 1024];
+  while (*bytes_read < max_bytes) {
+    const ssize_t n = ::recv(fd_, buffer, sizeof(buffer), 0);
+    if (n > 0) {
+      decoder_.Append(buffer, static_cast<size_t>(n));
+      *bytes_read += static_cast<size_t>(n);
+      if (static_cast<size_t>(n) < sizeof(buffer)) return IoResult::kOk;
+      continue;
+    }
+    if (n == 0) return IoResult::kClosed;  // orderly peer shutdown
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoResult::kOk;
+    if (errno == EINTR) continue;
+    return IoResult::kClosed;  // hard socket error
+  }
+  return IoResult::kOk;  // budget spent; more may be readable
+}
+
+Connection::IoResult Connection::FlushOutbound(size_t* bytes_written) {
+  *bytes_written = 0;
+  while (outbound_off_ < outbound_.size()) {
+    const ssize_t n =
+        ::send(fd_, outbound_.data() + outbound_off_,
+               outbound_.size() - outbound_off_, MSG_NOSIGNAL);
+    if (n > 0) {
+      outbound_off_ += static_cast<size_t>(n);
+      *bytes_written += static_cast<size_t>(n);
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoResult::kBlocked;
+    if (errno == EINTR) continue;
+    return IoResult::kClosed;  // EPIPE/ECONNRESET and friends
+  }
+  outbound_.clear();
+  outbound_off_ = 0;
+  return IoResult::kOk;
+}
+
+}  // namespace skycube::net

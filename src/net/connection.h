@@ -1,0 +1,101 @@
+// Per-connection state machine of the network server: an inbound
+// FrameDecoder, an ordered pipeline of pending responses, and a buffered
+// non-blocking write side.
+//
+// Pipelining contract: the server answers requests in arrival order, even
+// though the dispatch pool completes them in any order. Each decoded
+// request claims the next sequence slot; a completion fills its slot; only
+// the *done prefix* of the slot queue is ever moved to the outbound buffer.
+//
+// All state is owned by the event-loop thread — no locks. Completions
+// computed on pool threads re-enter through EventLoop::Post (see
+// server.cc), so Complete() still runs on the loop thread.
+#ifndef SKYCUBE_NET_CONNECTION_H_
+#define SKYCUBE_NET_CONNECTION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "net/protocol.h"
+
+namespace skycube::net {
+
+class Connection {
+ public:
+  Connection(uint64_t id, int fd, size_t max_payload);
+  ~Connection();  // closes the socket
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  uint64_t id() const { return id_; }
+  int fd() const { return fd_; }
+  FrameDecoder& decoder() { return decoder_; }
+
+  // --- Ordered response pipeline ---------------------------------------
+
+  /// Claims the next response slot; returns its sequence number.
+  uint64_t AddPending();
+
+  /// Number of requests decoded but not yet flushed to the outbound buffer.
+  size_t pending() const { return slots_.size(); }
+
+  /// Fills slot `seq` with its encoded response frame. Completed frames at
+  /// the front of the queue move to the outbound buffer immediately (the
+  /// done prefix), preserving request order.
+  void Complete(uint64_t seq, std::string frame);
+
+  /// Appends a frame that bypasses the pipeline (goaway). Only valid when
+  /// the connection will close after the flush.
+  void AppendRaw(const std::string& frame) { outbound_ += frame; }
+
+  // --- Non-blocking socket I/O -----------------------------------------
+
+  enum class IoResult {
+    kOk,       // made progress (or nothing to do), socket still open
+    kBlocked,  // would block: write side needs EPOLLOUT
+    kClosed,   // peer closed or hard error: tear the connection down
+  };
+
+  /// Reads until EAGAIN (or `max_bytes`), feeding the decoder.
+  IoResult ReadIntoDecoder(size_t max_bytes, size_t* bytes_read);
+
+  /// Writes the outbound buffer until empty or EAGAIN.
+  IoResult FlushOutbound(size_t* bytes_written);
+
+  /// Bytes queued for write but not yet accepted by the kernel.
+  size_t outbound_bytes() const { return outbound_.size() - outbound_off_; }
+
+  /// True when nothing is pending and nothing is buffered — the state in
+  /// which a draining connection may close.
+  bool Idle() const { return slots_.empty() && outbound_bytes() == 0; }
+
+  // --- Flow-control flags (managed by the server) -----------------------
+
+  bool reads_paused = false;    // EPOLLIN withdrawn (backpressure / drain)
+  bool want_writable = false;   // EPOLLOUT armed
+  bool close_after_flush = false;  // goaway sent; close once outbound empty
+  uint32_t armed_events = 0;    // epoll mask currently registered
+
+ private:
+  struct Slot {
+    bool done = false;
+    std::string frame;
+  };
+
+  uint64_t id_;
+  int fd_;
+  FrameDecoder decoder_;
+
+  std::deque<Slot> slots_;
+  uint64_t base_seq_ = 0;  // sequence number of slots_.front()
+
+  std::string outbound_;
+  size_t outbound_off_ = 0;
+};
+
+}  // namespace skycube::net
+
+#endif  // SKYCUBE_NET_CONNECTION_H_

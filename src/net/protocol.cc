@@ -1,0 +1,522 @@
+#include "net/protocol.h"
+
+#include <cstring>
+
+#include "common/hash.h"
+
+namespace skycube::net {
+namespace {
+
+// --- Little-endian writers ----------------------------------------------
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutDouble(std::string* out, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+void PutString(std::string* out, std::string_view s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s.data(), s.size());
+}
+
+// --- Bounds-checked little-endian reader --------------------------------
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view bytes) : bytes_(bytes) {}
+
+  bool ReadU8(uint8_t* v) {
+    if (pos_ + 1 > bytes_.size()) return Fail();
+    *v = static_cast<uint8_t>(bytes_[pos_++]);
+    return true;
+  }
+  bool ReadU32(uint32_t* v) {
+    if (pos_ + 4 > bytes_.size()) return Fail();
+    uint32_t out = 0;
+    for (int i = 0; i < 4; ++i) {
+      out |= static_cast<uint32_t>(static_cast<uint8_t>(bytes_[pos_ + i]))
+             << (8 * i);
+    }
+    pos_ += 4;
+    *v = out;
+    return true;
+  }
+  bool ReadU64(uint64_t* v) {
+    if (pos_ + 8 > bytes_.size()) return Fail();
+    uint64_t out = 0;
+    for (int i = 0; i < 8; ++i) {
+      out |= static_cast<uint64_t>(static_cast<uint8_t>(bytes_[pos_ + i]))
+             << (8 * i);
+    }
+    pos_ += 8;
+    *v = out;
+    return true;
+  }
+  bool ReadDouble(double* v) {
+    uint64_t bits;
+    if (!ReadU64(&bits)) return false;
+    std::memcpy(v, &bits, sizeof(*v));
+    return true;
+  }
+  bool ReadString(std::string* v, size_t max_len = kDefaultMaxPayload) {
+    uint32_t len = 0;
+    if (!ReadU32(&len)) return false;
+    if (len > max_len || pos_ + len > bytes_.size()) return Fail();
+    v->assign(bytes_.data() + pos_, len);
+    pos_ += len;
+    return true;
+  }
+
+  bool failed() const { return failed_; }
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
+ private:
+  bool Fail() {
+    failed_ = true;
+    return false;
+  }
+
+  std::string_view bytes_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+Status Malformed(const WireRequest& request, const char* what) {
+  return Status::InvalidArgument(std::string("malformed ") +
+                                 OpcodeName(request.op) + " request: " + what);
+}
+
+}  // namespace
+
+bool IsQueryOpcode(Opcode op) {
+  switch (op) {
+    case Opcode::kSkyline:
+    case Opcode::kCardinality:
+    case Opcode::kMembership:
+    case Opcode::kMembershipCount:
+    case Opcode::kSkycubeSize:
+    case Opcode::kInsert:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsRequestOpcode(Opcode op) {
+  return IsQueryOpcode(op) || op == Opcode::kHealth || op == Opcode::kStats ||
+         op == Opcode::kPing;
+}
+
+Opcode OpcodeForKind(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kSubspaceSkyline:
+      return Opcode::kSkyline;
+    case QueryKind::kSkylineCardinality:
+      return Opcode::kCardinality;
+    case QueryKind::kMembership:
+      return Opcode::kMembership;
+    case QueryKind::kMembershipCount:
+      return Opcode::kMembershipCount;
+    case QueryKind::kSkycubeSize:
+      return Opcode::kSkycubeSize;
+    case QueryKind::kInsert:
+      return Opcode::kInsert;
+  }
+  return Opcode::kPing;
+}
+
+const char* OpcodeName(Opcode op) {
+  switch (op) {
+    case Opcode::kSkyline:
+      return "skyline";
+    case Opcode::kCardinality:
+      return "cardinality";
+    case Opcode::kMembership:
+      return "membership";
+    case Opcode::kMembershipCount:
+      return "membership_count";
+    case Opcode::kSkycubeSize:
+      return "skycube_size";
+    case Opcode::kInsert:
+      return "insert";
+    case Opcode::kHealth:
+      return "health";
+    case Opcode::kStats:
+      return "stats";
+    case Opcode::kPing:
+      return "ping";
+    case Opcode::kResponse:
+      return "response";
+    case Opcode::kGoAway:
+      return "goaway";
+  }
+  return "unknown";
+}
+
+void AppendFrame(std::string_view payload, std::string* out) {
+  PutU32(out, static_cast<uint32_t>(payload.size()));
+  PutU64(out, Fnv1a64(payload));
+  out->append(payload.data(), payload.size());
+}
+
+std::string EncodeRequest(const WireRequest& request) {
+  std::string payload;
+  PutU8(&payload, static_cast<uint8_t>(request.op));
+  PutU64(&payload, request.id);
+  switch (request.op) {
+    case Opcode::kSkyline:
+    case Opcode::kCardinality:
+      PutU64(&payload, request.subspace);
+      break;
+    case Opcode::kMembership:
+      PutU64(&payload, request.subspace);
+      PutU32(&payload, request.object);
+      break;
+    case Opcode::kMembershipCount:
+      PutU32(&payload, request.object);
+      break;
+    case Opcode::kInsert:
+      PutU32(&payload, static_cast<uint32_t>(request.values.size()));
+      for (double v : request.values) PutDouble(&payload, v);
+      break;
+    default:
+      break;  // kSkycubeSize/kHealth/kStats/kPing carry no arguments
+  }
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  AppendFrame(payload, &frame);
+  return frame;
+}
+
+std::string EncodeResponse(const WireResponse& response) {
+  std::string payload;
+  PutU8(&payload, static_cast<uint8_t>(Opcode::kResponse));
+  PutU64(&payload, response.id);
+  PutU8(&payload, static_cast<uint8_t>(response.request_op));
+  PutU8(&payload, static_cast<uint8_t>(response.status));
+  PutU8(&payload, response.cache_hit ? 1 : 0);
+  PutU64(&payload, response.snapshot_version);
+  if (response.status != StatusCode::kOk) {
+    PutString(&payload, response.text);
+  } else {
+    switch (response.request_op) {
+      case Opcode::kSkyline:
+        PutU32(&payload, static_cast<uint32_t>(response.ids.size()));
+        for (ObjectId id : response.ids) PutU32(&payload, id);
+        break;
+      case Opcode::kCardinality:
+      case Opcode::kMembershipCount:
+      case Opcode::kSkycubeSize:
+        PutU64(&payload, response.count);
+        break;
+      case Opcode::kMembership:
+        PutU8(&payload, response.member ? 1 : 0);
+        break;
+      case Opcode::kInsert:
+        PutU64(&payload, response.lsn);
+        PutU64(&payload, response.count);
+        PutString(&payload, response.text);
+        break;
+      case Opcode::kHealth:
+      case Opcode::kStats:
+        PutString(&payload, response.text);
+        break;
+      default:
+        break;  // kPing: empty body
+    }
+  }
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  AppendFrame(payload, &frame);
+  return frame;
+}
+
+std::string EncodeGoAway(StatusCode status, std::string_view reason) {
+  std::string payload;
+  PutU8(&payload, static_cast<uint8_t>(Opcode::kGoAway));
+  PutU8(&payload, static_cast<uint8_t>(status));
+  PutString(&payload, reason);
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  AppendFrame(payload, &frame);
+  return frame;
+}
+
+Result<WireRequest> ParseRequest(std::string_view payload,
+                                 size_t max_values) {
+  WireRequest request;
+  ByteReader reader(payload);
+  uint8_t op = 0;
+  if (!reader.ReadU8(&op)) {
+    return Status::InvalidArgument("empty request payload");
+  }
+  request.op = static_cast<Opcode>(op);
+  if (!IsRequestOpcode(request.op)) {
+    return Status::InvalidArgument("unknown request opcode " +
+                                   std::to_string(int{op}));
+  }
+  if (!reader.ReadU64(&request.id)) {
+    return Malformed(request, "truncated request id");
+  }
+  switch (request.op) {
+    case Opcode::kSkyline:
+    case Opcode::kCardinality:
+      if (!reader.ReadU64(&request.subspace)) {
+        return Malformed(request, "truncated subspace mask");
+      }
+      break;
+    case Opcode::kMembership:
+      if (!reader.ReadU64(&request.subspace) ||
+          !reader.ReadU32(&request.object)) {
+        return Malformed(request, "truncated subspace/object");
+      }
+      break;
+    case Opcode::kMembershipCount:
+      if (!reader.ReadU32(&request.object)) {
+        return Malformed(request, "truncated object id");
+      }
+      break;
+    case Opcode::kInsert: {
+      uint32_t count = 0;
+      if (!reader.ReadU32(&count)) {
+        return Malformed(request, "truncated value count");
+      }
+      if (count > max_values) {
+        return Malformed(request, "row wider than the server accepts");
+      }
+      request.values.resize(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        if (!reader.ReadDouble(&request.values[i])) {
+          return Malformed(request, "truncated values");
+        }
+      }
+      break;
+    }
+    default:
+      break;  // no arguments
+  }
+  if (!reader.AtEnd()) {
+    return Malformed(request, "trailing bytes after request body");
+  }
+  return request;
+}
+
+Result<WireResponse> ParseResponse(std::string_view payload) {
+  WireResponse response;
+  ByteReader reader(payload);
+  uint8_t op = 0, request_op = 0, status = 0, flags = 0;
+  if (!reader.ReadU8(&op) ||
+      static_cast<Opcode>(op) != Opcode::kResponse) {
+    return Status::InvalidArgument("not a response payload");
+  }
+  if (!reader.ReadU64(&response.id) || !reader.ReadU8(&request_op) ||
+      !reader.ReadU8(&status) || !reader.ReadU8(&flags) ||
+      !reader.ReadU64(&response.snapshot_version)) {
+    return Status::InvalidArgument("truncated response header");
+  }
+  response.request_op = static_cast<Opcode>(request_op);
+  response.status = static_cast<StatusCode>(status);
+  response.cache_hit = (flags & 1) != 0;
+  if (response.status != StatusCode::kOk) {
+    if (!reader.ReadString(&response.text)) {
+      return Status::InvalidArgument("truncated error text");
+    }
+  } else {
+    switch (response.request_op) {
+      case Opcode::kSkyline: {
+        uint32_t n = 0;
+        if (!reader.ReadU32(&n) || n > payload.size() / 4) {
+          return Status::InvalidArgument("truncated skyline ids");
+        }
+        response.ids.resize(n);
+        for (uint32_t i = 0; i < n; ++i) {
+          if (!reader.ReadU32(&response.ids[i])) {
+            return Status::InvalidArgument("truncated skyline ids");
+          }
+        }
+        response.count = n;
+        break;
+      }
+      case Opcode::kCardinality:
+      case Opcode::kMembershipCount:
+      case Opcode::kSkycubeSize:
+        if (!reader.ReadU64(&response.count)) {
+          return Status::InvalidArgument("truncated count");
+        }
+        break;
+      case Opcode::kMembership: {
+        uint8_t member = 0;
+        if (!reader.ReadU8(&member)) {
+          return Status::InvalidArgument("truncated membership bit");
+        }
+        response.member = member != 0;
+        break;
+      }
+      case Opcode::kInsert:
+        if (!reader.ReadU64(&response.lsn) ||
+            !reader.ReadU64(&response.count) ||
+            !reader.ReadString(&response.text)) {
+          return Status::InvalidArgument("truncated insert ack");
+        }
+        break;
+      case Opcode::kHealth:
+      case Opcode::kStats:
+        if (!reader.ReadString(&response.text)) {
+          return Status::InvalidArgument("truncated text payload");
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after response body");
+  }
+  return response;
+}
+
+Result<WireGoAway> ParseGoAway(std::string_view payload) {
+  WireGoAway goaway;
+  ByteReader reader(payload);
+  uint8_t op = 0, status = 0;
+  if (!reader.ReadU8(&op) || static_cast<Opcode>(op) != Opcode::kGoAway) {
+    return Status::InvalidArgument("not a goaway payload");
+  }
+  if (!reader.ReadU8(&status) || !reader.ReadString(&goaway.reason) ||
+      !reader.AtEnd()) {
+    return Status::InvalidArgument("malformed goaway payload");
+  }
+  goaway.status = static_cast<StatusCode>(status);
+  return goaway;
+}
+
+void FrameDecoder::Append(const char* data, size_t size) {
+  // Compact lazily: only when the consumed prefix dominates the buffer, so
+  // steady-state appends are amortized O(size).
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(data, size);
+}
+
+FrameDecoder::Next FrameDecoder::Take(std::string* payload,
+                                      std::string* error) {
+  if (poisoned_) {
+    *error = poison_reason_;
+    return Next::kError;
+  }
+  const size_t available = buffer_.size() - consumed_;
+  if (available < kFrameHeaderBytes) return Next::kNeedMore;
+  const auto* head =
+      reinterpret_cast<const unsigned char*>(buffer_.data() + consumed_);
+  uint32_t declared = 0;
+  for (int i = 0; i < 4; ++i) {
+    declared |= static_cast<uint32_t>(head[i]) << (8 * i);
+  }
+  uint64_t checksum = 0;
+  for (int i = 0; i < 8; ++i) {
+    checksum |= static_cast<uint64_t>(head[4 + i]) << (8 * i);
+  }
+  if (declared == 0 || declared > max_payload_) {
+    poisoned_ = true;
+    poison_reason_ = "declared payload length " + std::to_string(declared) +
+                     " outside [1, " + std::to_string(max_payload_) + "]";
+    *error = poison_reason_;
+    return Next::kError;
+  }
+  if (available < kFrameHeaderBytes + declared) return Next::kNeedMore;
+  const std::string_view body(buffer_.data() + consumed_ + kFrameHeaderBytes,
+                              declared);
+  if (Fnv1a64(body) != checksum) {
+    poisoned_ = true;
+    poison_reason_ = "frame checksum mismatch (corrupted stream)";
+    *error = poison_reason_;
+    return Next::kError;
+  }
+  payload->assign(body.data(), body.size());
+  consumed_ += kFrameHeaderBytes + declared;
+  return Next::kFrame;
+}
+
+QueryRequest ToQueryRequest(const WireRequest& request) {
+  switch (request.op) {
+    case Opcode::kSkyline:
+      return QueryRequest::SubspaceSkyline(request.subspace);
+    case Opcode::kCardinality:
+      return QueryRequest::SkylineCardinality(request.subspace);
+    case Opcode::kMembership:
+      return QueryRequest::Membership(request.object, request.subspace);
+    case Opcode::kMembershipCount:
+      return QueryRequest::MembershipCount(request.object);
+    case Opcode::kInsert:
+      return QueryRequest::Insert(request.values);
+    default:
+      return QueryRequest::SkycubeSize();
+  }
+}
+
+WireResponse FromQueryResponse(const WireRequest& request,
+                               const QueryResponse& response) {
+  WireResponse wire;
+  wire.id = request.id;
+  wire.request_op = request.op;
+  wire.status = response.code;
+  wire.cache_hit = response.cache_hit;
+  wire.snapshot_version = response.snapshot_version;
+  if (!response.ok) {
+    wire.text = response.error;
+    return wire;
+  }
+  switch (request.op) {
+    case Opcode::kSkyline:
+      if (response.ids != nullptr) wire.ids = *response.ids;
+      wire.count = wire.ids.size();
+      break;
+    case Opcode::kCardinality:
+    case Opcode::kMembershipCount:
+    case Opcode::kSkycubeSize:
+      wire.count = response.count;
+      break;
+    case Opcode::kMembership:
+      wire.member = response.member;
+      break;
+    case Opcode::kInsert:
+      wire.lsn = response.lsn;
+      wire.count = response.count;
+      wire.text = response.insert_path;
+      break;
+    default:
+      break;
+  }
+  return wire;
+}
+
+WireResponse ErrorWireResponse(const WireRequest& request, StatusCode status,
+                               std::string_view reason) {
+  WireResponse wire;
+  wire.id = request.id;
+  wire.request_op = request.op;
+  wire.status = status;
+  wire.text = reason;
+  return wire;
+}
+
+}  // namespace skycube::net

@@ -1,0 +1,202 @@
+// Length-prefixed binary wire protocol of the skycube network server
+// (docs/NET.md).
+//
+// Every frame is:
+//
+//   u32 LE   payload length N (1 <= N <= max_payload)
+//   u64 LE   FNV-1a-64 checksum of the payload bytes
+//   N bytes  payload
+//
+// — the same checksum discipline as the v2 cube serialization and the WAL
+// record format (common/hash.h): any single corrupted byte changes the
+// digest, truncation changes the byte count. The first payload byte is an
+// Opcode; the rest is the opcode-specific body, all integers little-endian,
+// doubles as their IEEE-754 bit pattern. Strings are u32 length + bytes.
+//
+// A connection is a byte stream of frames; clients may pipeline any number
+// of request frames without waiting, and the server answers each with
+// exactly one kResponse frame, in request order. Stream-level failures
+// (bad checksum, oversized length, malformed payload) are answered with one
+// kGoAway frame and a close — once framing is untrustworthy the stream is
+// dead, there is nothing to resynchronize on.
+#ifndef SKYCUBE_NET_PROTOCOL_H_
+#define SKYCUBE_NET_PROTOCOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "common/subspace.h"
+#include "dataset/dataset.h"
+#include "service/request.h"
+
+namespace skycube::net {
+
+/// Frame header: u32 payload length + u64 FNV-1a checksum.
+inline constexpr size_t kFrameHeaderBytes = 12;
+
+/// Default ceiling on a declared payload length. A length above the
+/// decoder's limit is a protocol error (likely desynchronization or an
+/// attack), never an allocation.
+inline constexpr size_t kDefaultMaxPayload = size_t{1} << 24;  // 16 MiB
+
+/// First payload byte. Requests are client->server; kResponse/kGoAway are
+/// server->client.
+enum class Opcode : uint8_t {
+  // Query requests, mirroring QueryKind (body: u64 request id, then args).
+  kSkyline = 1,          // u64 subspace mask
+  kCardinality = 2,      // u64 subspace mask
+  kMembership = 3,       // u64 subspace mask, u32 object id
+  kMembershipCount = 4,  // u32 object id
+  kSkycubeSize = 5,      // (no args)
+  kInsert = 6,           // u32 count, count doubles
+  // Introspection requests (body: u64 request id only).
+  kHealth = 7,  // answers the serve-tool health line as a string
+  kStats = 8,   // answers the serve-tool stats line as a string
+  kPing = 9,    // answers with an empty-bodied ok response
+  // Server->client frames.
+  kResponse = 64,
+  kGoAway = 65,
+};
+
+/// True for opcodes that dispatch into SkycubeService (vs. introspection
+/// answered on the loop thread).
+bool IsQueryOpcode(Opcode op);
+
+/// True for any opcode a client may send.
+bool IsRequestOpcode(Opcode op);
+
+/// The request opcode for a QueryKind (kSkyline for kSubspaceSkyline, ...).
+Opcode OpcodeForKind(QueryKind kind);
+
+/// Short lowercase opcode name for error messages ("skyline", "goaway").
+const char* OpcodeName(Opcode op);
+
+/// A decoded request frame.
+struct WireRequest {
+  Opcode op = Opcode::kPing;
+  /// Client-chosen correlation id, echoed verbatim in the response. The
+  /// server answers in request order regardless; ids exist so a pipelining
+  /// client can match responses without counting.
+  uint64_t id = 0;
+  DimMask subspace = 0;       // kSkyline/kCardinality/kMembership
+  ObjectId object = 0;        // kMembership/kMembershipCount
+  std::vector<double> values;  // kInsert
+};
+
+/// A decoded kResponse frame. Exactly one per request, in request order.
+/// Body layout after the opcode byte:
+///   u64 request id, u8 request opcode, u8 status code, u8 flags
+///   (bit 0 = cache hit), u64 snapshot version, then the status/opcode
+///   specific payload (see docs/NET.md).
+struct WireResponse {
+  uint64_t id = 0;
+  Opcode request_op = Opcode::kPing;
+  StatusCode status = StatusCode::kOk;
+  bool cache_hit = false;
+  uint64_t snapshot_version = 0;
+
+  /// kSkyline payload (ascending object ids).
+  std::vector<ObjectId> ids;
+  /// kCardinality / kMembershipCount / kSkycubeSize / kInsert object total.
+  uint64_t count = 0;
+  /// kMembership payload.
+  bool member = false;
+  /// kInsert WAL sequence number (0 when not durable).
+  uint64_t lsn = 0;
+  /// Error text when status != kOk; insert path / health line / stats line
+  /// otherwise.
+  std::string text;
+};
+
+/// A decoded kGoAway frame: the server is abandoning the stream (protocol
+/// error, refused connection during drain). Body: u8 status code, string.
+struct WireGoAway {
+  StatusCode status = StatusCode::kUnavailable;
+  std::string reason;
+};
+
+// --- Encoding ------------------------------------------------------------
+
+/// Appends the 12-byte header + payload to `out`.
+void AppendFrame(std::string_view payload, std::string* out);
+
+/// Encodes one request as a complete frame.
+std::string EncodeRequest(const WireRequest& request);
+
+/// Encodes one response as a complete frame.
+std::string EncodeResponse(const WireResponse& response);
+
+/// Encodes a goaway as a complete frame.
+std::string EncodeGoAway(StatusCode status, std::string_view reason);
+
+// --- Decoding ------------------------------------------------------------
+
+/// Parses a request payload (first byte must be a request opcode); a
+/// kInvalidArgument result for anything malformed — garbage opcode,
+/// truncated body, trailing bytes, or an insert wider than `max_values`.
+Result<WireRequest> ParseRequest(std::string_view payload,
+                                 size_t max_values = 4096);
+
+/// Parses a kResponse payload (client side: tests, bench, nettest).
+Result<WireResponse> ParseResponse(std::string_view payload);
+
+/// Parses a kGoAway payload.
+Result<WireGoAway> ParseGoAway(std::string_view payload);
+
+/// The opcode of a payload (its first byte); kGoAway-shaped garbage for an
+/// empty payload is impossible — frames have N >= 1.
+inline Opcode PayloadOpcode(std::string_view payload) {
+  return static_cast<Opcode>(static_cast<uint8_t>(payload[0]));
+}
+
+/// Incremental frame extractor over a received byte stream. Feed bytes with
+/// Append; Take yields complete verified payloads one at a time. After the
+/// first kError the decoder is poisoned: the stream cannot be resynchronized
+/// and every further Take reports the same error.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(size_t max_payload = kDefaultMaxPayload)
+      : max_payload_(max_payload) {}
+
+  void Append(const char* data, size_t size);
+
+  enum class Next {
+    kFrame,     // *payload holds one verified payload
+    kNeedMore,  // the buffer holds no complete frame yet
+    kError,     // framing is broken; *error says why (poisons the decoder)
+  };
+  Next Take(std::string* payload, std::string* error);
+
+  /// Bytes buffered but not yet consumed by Take.
+  size_t buffered() const { return buffer_.size() - consumed_; }
+
+ private:
+  size_t max_payload_;
+  std::string buffer_;
+  size_t consumed_ = 0;  // prefix of buffer_ already handed out
+  bool poisoned_ = false;
+  std::string poison_reason_;
+};
+
+// --- Service bridging ----------------------------------------------------
+
+/// Converts a query-opcode request into the service vocabulary (no
+/// deadline; the server attaches one). Must only be called when
+/// IsQueryOpcode(request.op).
+QueryRequest ToQueryRequest(const WireRequest& request);
+
+/// Builds the wire response for a service answer to `request`.
+WireResponse FromQueryResponse(const WireRequest& request,
+                               const QueryResponse& response);
+
+/// Builds an error response frame (shed, drain, internal) for `request`.
+WireResponse ErrorWireResponse(const WireRequest& request, StatusCode status,
+                               std::string_view reason);
+
+}  // namespace skycube::net
+
+#endif  // SKYCUBE_NET_PROTOCOL_H_

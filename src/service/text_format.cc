@@ -1,0 +1,89 @@
+#include "service/text_format.h"
+
+#include <sstream>
+
+#include "common/status.h"
+#include "service/service_stats.h"
+
+namespace skycube {
+
+std::string FormatResponseLine(const QueryResponse& response) {
+  if (!response.ok) {
+    return std::string("err [") + StatusCodeName(response.code) + "] " +
+           response.error;
+  }
+  if (response.kind == QueryKind::kInsert) {
+    std::ostringstream out;
+    out << "ok path=" << response.insert_path
+        << " version=" << response.snapshot_version
+        << " objects=" << response.count;
+    if (response.lsn > 0) out << " lsn=" << response.lsn;
+    return out.str();
+  }
+  std::ostringstream out;
+  out << "ok ";
+  switch (response.kind) {
+    case QueryKind::kSubspaceSkyline:
+      out << "n=" << response.count;
+      break;
+    case QueryKind::kSkylineCardinality:
+    case QueryKind::kMembershipCount:
+    case QueryKind::kSkycubeSize:
+      out << "count=" << response.count;
+      break;
+    case QueryKind::kMembership:
+      out << "member=" << (response.member ? "yes" : "no");
+      break;
+    case QueryKind::kInsert:
+      break;  // handled above
+  }
+  out << " v=" << response.snapshot_version
+      << " hit=" << (response.cache_hit ? 1 : 0);
+  if (response.ids) {
+    out << " ids=";
+    for (size_t i = 0; i < response.ids->size(); ++i) {
+      out << (i == 0 ? "" : " ") << (*response.ids)[i];
+    }
+  }
+  return out.str();
+}
+
+std::string FormatStatsLine(const SkycubeService& service) {
+  const ServiceStats stats = service.stats();
+  std::ostringstream out;
+  out << "ok queries=" << stats.queries_total;
+  for (int kind = 0; kind < kNumQueryKinds; ++kind) {
+    out << " " << QueryKindName(static_cast<QueryKind>(kind)) << "="
+        << stats.queries_by_kind[kind];
+  }
+  out << " invalid=" << stats.invalid_requests
+      << " batches=" << stats.batches << " cache_hits=" << stats.cache_hits
+      << " cache_misses=" << stats.cache_misses
+      << " cache_evictions=" << stats.cache_evictions
+      << " cache_entries=" << stats.cache_entries << " version="
+      << stats.snapshot_version << " swaps=" << stats.snapshot_swaps
+      << " queue_hwm=" << stats.queue_depth_high_water << " p50_us="
+      << static_cast<double>(stats.latency_p50_nanos) / 1e3 << " p99_us="
+      << static_cast<double>(stats.latency_p99_nanos) / 1e3
+      // Robustness counters ride at the end so older scripts matching the
+      // field order above keep working.
+      << " shed=" << stats.shed_total
+      << " deadline_exceeded=" << stats.deadline_exceeded
+      << " internal_errors=" << stats.internal_errors
+      << " admission_waits=" << stats.admission_waits
+      << " in_flight_hwm=" << stats.in_flight_high_water
+      << " inserts=" << stats.inserts_applied
+      << " insert_failures=" << stats.insert_failures
+      << " unavailable=" << stats.drained_rejects
+      << " draining=" << (stats.draining ? 1 : 0);
+  return out.str();
+}
+
+std::string FormatHealthLine(const SkycubeService& service) {
+  std::ostringstream out;
+  out << "ok status=" << (service.draining() ? "draining" : "ready")
+      << " version=" << service.snapshot_version();
+  return out.str();
+}
+
+}  // namespace skycube

@@ -1,0 +1,29 @@
+// One-line text renderings of service answers and counters — the shared
+// vocabulary of the skycube_serve REPL and the network protocol's
+// kHealth/kStats opcodes (docs/SERVICE.md, "Serving binary"). Kept in
+// src/service/ so every front end (stdin REPL, socket server, tests)
+// formats identically and scripts can scrape either transport.
+#ifndef SKYCUBE_SERVICE_TEXT_FORMAT_H_
+#define SKYCUBE_SERVICE_TEXT_FORMAT_H_
+
+#include <string>
+
+#include "service/request.h"
+#include "service/service.h"
+
+namespace skycube {
+
+/// Renders one answer as the REPL's "ok ..."/"err [...]..." line.
+std::string FormatResponseLine(const QueryResponse& response);
+
+/// Renders the full one-line stats dump ("ok queries=... draining=...").
+std::string FormatStatsLine(const SkycubeService& service);
+
+/// Renders the base health line ("ok status=ready version=N"). Front ends
+/// append deployment-specific fields — tools/skycube_serve.cc adds
+/// "durable=..." plus the WAL/recovery counters of DurableIngest.
+std::string FormatHealthLine(const SkycubeService& service);
+
+}  // namespace skycube
+
+#endif  // SKYCUBE_SERVICE_TEXT_FORMAT_H_

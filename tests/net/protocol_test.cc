@@ -1,0 +1,465 @@
+// Wire-protocol tests: frame round-trips under every delivery pattern the
+// kernel can produce (whole, split, coalesced), and the malformed-input
+// matrix — truncated prefixes, oversized lengths, checksum bit-flips at
+// every byte position, garbage opcodes. Every malformed case must yield a
+// clean protocol error (and poison the decoder); none may crash or hang.
+#include "net/protocol.h"
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace skycube::net {
+namespace {
+
+// --- Helpers -------------------------------------------------------------
+
+/// Runs one complete frame string through a fresh decoder and parses the
+/// payload as a request.
+Result<WireRequest> DecodeRequestFrame(const std::string& frame) {
+  FrameDecoder decoder;
+  decoder.Append(frame.data(), frame.size());
+  std::string payload, error;
+  EXPECT_EQ(decoder.Take(&payload, &error), FrameDecoder::Next::kFrame)
+      << error;
+  return ParseRequest(payload);
+}
+
+WireRequest MakeInsert(uint64_t id, std::vector<double> values) {
+  WireRequest request;
+  request.op = Opcode::kInsert;
+  request.id = id;
+  request.values = std::move(values);
+  return request;
+}
+
+// --- Request round-trips -------------------------------------------------
+
+TEST(ProtocolRoundTrip, EveryRequestOpcode) {
+  std::vector<WireRequest> requests;
+  {
+    WireRequest r;
+    r.op = Opcode::kSkyline;
+    r.id = 1;
+    r.subspace = 0b1011;
+    requests.push_back(r);
+    r.op = Opcode::kCardinality;
+    r.id = 2;
+    r.subspace = 0xFFFFFFFFFFFFFFFFull;  // full-width mask survives
+    requests.push_back(r);
+    r.op = Opcode::kMembership;
+    r.id = 3;
+    r.subspace = 0b101;
+    r.object = 4096;
+    requests.push_back(r);
+    r = WireRequest{};
+    r.op = Opcode::kMembershipCount;
+    r.id = 4;
+    r.object = 0xFFFFFFFFu;
+    requests.push_back(r);
+    r = WireRequest{};
+    r.op = Opcode::kSkycubeSize;
+    r.id = 0xDEADBEEFCAFEBABEull;  // ids are opaque 64-bit values
+    requests.push_back(r);
+    requests.push_back(MakeInsert(6, {1.5, -2.25, 0.0, 1e300}));
+    r = WireRequest{};
+    r.op = Opcode::kHealth;
+    r.id = 7;
+    requests.push_back(r);
+    r.op = Opcode::kStats;
+    r.id = 8;
+    requests.push_back(r);
+    r.op = Opcode::kPing;
+    r.id = 9;
+    requests.push_back(r);
+  }
+  for (const WireRequest& request : requests) {
+    const Result<WireRequest> decoded =
+        DecodeRequestFrame(EncodeRequest(request));
+    ASSERT_TRUE(decoded.ok())
+        << OpcodeName(request.op) << ": " << decoded.status().ToString();
+    EXPECT_EQ(decoded.value().op, request.op);
+    EXPECT_EQ(decoded.value().id, request.id);
+    EXPECT_EQ(decoded.value().subspace, request.subspace);
+    EXPECT_EQ(decoded.value().object, request.object);
+    EXPECT_EQ(decoded.value().values, request.values);
+  }
+}
+
+TEST(ProtocolRoundTrip, InsertPreservesDoubleBitPatterns) {
+  // -0.0 and denormals must survive the wire bit-exactly (the dataset layer
+  // decides their semantics, not the transport).
+  const std::vector<double> values = {-0.0, 5e-324, -1e-308, 3.25};
+  const Result<WireRequest> decoded =
+      DecodeRequestFrame(EncodeRequest(MakeInsert(1, values)));
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded.value().values.size(), values.size());
+  EXPECT_TRUE(std::signbit(decoded.value().values[0]));
+  EXPECT_EQ(decoded.value().values[1], 5e-324);
+}
+
+// --- Response round-trips ------------------------------------------------
+
+TEST(ProtocolRoundTrip, SkylineResponseCarriesIds) {
+  WireResponse response;
+  response.id = 42;
+  response.request_op = Opcode::kSkyline;
+  response.cache_hit = true;
+  response.snapshot_version = 7;
+  response.ids = {0, 5, 17, 4000000000u};
+
+  FrameDecoder decoder;
+  const std::string frame = EncodeResponse(response);
+  decoder.Append(frame.data(), frame.size());
+  std::string payload, error;
+  ASSERT_EQ(decoder.Take(&payload, &error), FrameDecoder::Next::kFrame);
+  ASSERT_EQ(PayloadOpcode(payload), Opcode::kResponse);
+  const Result<WireResponse> decoded = ParseResponse(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().id, 42u);
+  EXPECT_EQ(decoded.value().request_op, Opcode::kSkyline);
+  EXPECT_EQ(decoded.value().status, StatusCode::kOk);
+  EXPECT_TRUE(decoded.value().cache_hit);
+  EXPECT_EQ(decoded.value().snapshot_version, 7u);
+  EXPECT_EQ(decoded.value().ids, response.ids);
+}
+
+TEST(ProtocolRoundTrip, ResponseShapes) {
+  // One response per payload shape: count, member, insert, text, error.
+  WireResponse count;
+  count.request_op = Opcode::kCardinality;
+  count.count = 123456789012345ull;
+
+  WireResponse member;
+  member.request_op = Opcode::kMembership;
+  member.member = true;
+
+  WireResponse insert;
+  insert.request_op = Opcode::kInsert;
+  insert.count = 2001;
+  insert.lsn = 77;
+  insert.text = "extension";
+
+  WireResponse health;
+  health.request_op = Opcode::kHealth;
+  health.text = "ok status=ready version=3";
+
+  WireResponse error;
+  error.request_op = Opcode::kSkyline;
+  error.status = StatusCode::kResourceExhausted;
+  error.text = "dispatch queue full";
+
+  for (const WireResponse* response :
+       {&count, &member, &insert, &health, &error}) {
+    FrameDecoder decoder;
+    const std::string frame = EncodeResponse(*response);
+    decoder.Append(frame.data(), frame.size());
+    std::string payload, err;
+    ASSERT_EQ(decoder.Take(&payload, &err), FrameDecoder::Next::kFrame);
+    const Result<WireResponse> decoded = ParseResponse(payload);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded.value().request_op, response->request_op);
+    EXPECT_EQ(decoded.value().status, response->status);
+    EXPECT_EQ(decoded.value().count, response->count);
+    EXPECT_EQ(decoded.value().member, response->member);
+    EXPECT_EQ(decoded.value().lsn, response->lsn);
+    EXPECT_EQ(decoded.value().text, response->text);
+  }
+}
+
+TEST(ProtocolRoundTrip, GoAway) {
+  FrameDecoder decoder;
+  const std::string frame =
+      EncodeGoAway(StatusCode::kUnavailable, "draining");
+  decoder.Append(frame.data(), frame.size());
+  std::string payload, error;
+  ASSERT_EQ(decoder.Take(&payload, &error), FrameDecoder::Next::kFrame);
+  ASSERT_EQ(PayloadOpcode(payload), Opcode::kGoAway);
+  const Result<WireGoAway> decoded = ParseGoAway(payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().status, StatusCode::kUnavailable);
+  EXPECT_EQ(decoded.value().reason, "draining");
+}
+
+// --- Delivery patterns ---------------------------------------------------
+
+TEST(FrameDecoderTest, ByteAtATimeDelivery) {
+  // TCP may deliver any split; byte-at-a-time is the worst case and covers
+  // every boundary (inside the length, inside the checksum, inside the
+  // payload).
+  std::string stream;
+  for (uint64_t id = 0; id < 5; ++id) {
+    WireRequest request;
+    request.op = Opcode::kSkyline;
+    request.id = id;
+    request.subspace = id + 1;
+    stream += EncodeRequest(request);
+  }
+  FrameDecoder decoder;
+  std::vector<uint64_t> seen;
+  std::string payload, error;
+  for (char byte : stream) {
+    decoder.Append(&byte, 1);
+    for (;;) {
+      const FrameDecoder::Next next = decoder.Take(&payload, &error);
+      if (next == FrameDecoder::Next::kNeedMore) break;
+      ASSERT_EQ(next, FrameDecoder::Next::kFrame) << error;
+      const Result<WireRequest> decoded = ParseRequest(payload);
+      ASSERT_TRUE(decoded.ok());
+      seen.push_back(decoded.value().id);
+    }
+  }
+  EXPECT_EQ(seen, (std::vector<uint64_t>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(FrameDecoderTest, CoalescedDelivery) {
+  // Many frames in one Append drain with successive Takes.
+  std::string stream;
+  for (uint64_t id = 0; id < 100; ++id) {
+    WireRequest request;
+    request.op = Opcode::kPing;
+    request.id = id;
+    stream += EncodeRequest(request);
+  }
+  FrameDecoder decoder;
+  decoder.Append(stream.data(), stream.size());
+  std::string payload, error;
+  for (uint64_t id = 0; id < 100; ++id) {
+    ASSERT_EQ(decoder.Take(&payload, &error), FrameDecoder::Next::kFrame);
+    EXPECT_EQ(ParseRequest(payload).value().id, id);
+  }
+  EXPECT_EQ(decoder.Take(&payload, &error), FrameDecoder::Next::kNeedMore);
+}
+
+// --- Malformed-input matrix ----------------------------------------------
+
+TEST(FrameDecoderMalformed, TruncatedLengthPrefix) {
+  // Fewer bytes than the 12-byte header is not an error — the rest may
+  // still arrive. The decoder must simply wait.
+  const std::string frame = EncodeRequest(WireRequest{});
+  for (size_t cut = 0; cut < kFrameHeaderBytes; ++cut) {
+    FrameDecoder decoder;
+    decoder.Append(frame.data(), cut);
+    std::string payload, error;
+    EXPECT_EQ(decoder.Take(&payload, &error), FrameDecoder::Next::kNeedMore)
+        << "cut at " << cut;
+  }
+}
+
+TEST(FrameDecoderMalformed, TruncatedPayloadWaits) {
+  const std::string frame = EncodeRequest(MakeInsert(1, {1.0, 2.0, 3.0}));
+  FrameDecoder decoder;
+  decoder.Append(frame.data(), frame.size() - 1);
+  std::string payload, error;
+  EXPECT_EQ(decoder.Take(&payload, &error), FrameDecoder::Next::kNeedMore);
+  decoder.Append(frame.data() + frame.size() - 1, 1);
+  EXPECT_EQ(decoder.Take(&payload, &error), FrameDecoder::Next::kFrame);
+}
+
+TEST(FrameDecoderMalformed, OversizedDeclaredLength) {
+  // A declared length beyond the limit is rejected from the header alone —
+  // before any allocation and before the bytes arrive.
+  FrameDecoder decoder(/*max_payload=*/1024);
+  std::string header(kFrameHeaderBytes, '\0');
+  const uint32_t declared = 1025;
+  std::memcpy(header.data(), &declared, sizeof(declared));
+  decoder.Append(header.data(), header.size());
+  std::string payload, error;
+  EXPECT_EQ(decoder.Take(&payload, &error), FrameDecoder::Next::kError);
+  EXPECT_NE(error.find("length"), std::string::npos) << error;
+}
+
+TEST(FrameDecoderMalformed, ZeroDeclaredLength) {
+  // N == 0 can never hold an opcode; it marks a desynchronized stream.
+  FrameDecoder decoder;
+  const std::string header(kFrameHeaderBytes, '\0');
+  decoder.Append(header.data(), header.size());
+  std::string payload, error;
+  EXPECT_EQ(decoder.Take(&payload, &error), FrameDecoder::Next::kError);
+}
+
+TEST(FrameDecoderMalformed, ChecksumBitFlipAtEveryPosition) {
+  // Flip one bit at every byte position of a full frame: every corruption
+  // must be detected (FNV-1a's xor/multiply steps are bijections, so any
+  // single-byte change alters the digest). Flips inside the length prefix
+  // may instead yield kNeedMore (a larger declared frame) or an oversize
+  // error — but never a silently accepted wrong frame.
+  WireRequest request;
+  request.op = Opcode::kMembership;
+  request.id = 99;
+  request.subspace = 0b111;
+  request.object = 12345;
+  const std::string pristine = EncodeRequest(request);
+  for (size_t i = 0; i < pristine.size(); ++i) {
+    std::string corrupted = pristine;
+    corrupted[i] = static_cast<char>(corrupted[i] ^ 0x20);
+    FrameDecoder decoder(/*max_payload=*/1 << 16);
+    decoder.Append(corrupted.data(), corrupted.size());
+    std::string payload, error;
+    const FrameDecoder::Next next = decoder.Take(&payload, &error);
+    if (next == FrameDecoder::Next::kFrame) {
+      ADD_FAILURE() << "corruption at byte " << i << " went undetected";
+    }
+  }
+}
+
+TEST(FrameDecoderMalformed, ErrorPoisonsDecoder) {
+  // After one framing error the stream is untrustworthy; even pristine
+  // bytes appended later must keep reporting the error (the server closes
+  // the connection — there is nothing to resynchronize on).
+  FrameDecoder decoder;
+  std::string bad = EncodeRequest(WireRequest{});
+  bad[4] = static_cast<char>(bad[4] ^ 0xFF);  // corrupt the checksum
+  decoder.Append(bad.data(), bad.size());
+  std::string payload, error;
+  ASSERT_EQ(decoder.Take(&payload, &error), FrameDecoder::Next::kError);
+  const std::string good = EncodeRequest(WireRequest{});
+  decoder.Append(good.data(), good.size());
+  EXPECT_EQ(decoder.Take(&payload, &error), FrameDecoder::Next::kError);
+}
+
+TEST(ParseRequestMalformed, GarbageOpcode) {
+  for (uint8_t op : {uint8_t{0}, uint8_t{10}, uint8_t{63}, uint8_t{64},
+                     uint8_t{65}, uint8_t{255}}) {
+    std::string payload(9, '\0');
+    payload[0] = static_cast<char>(op);
+    const Result<WireRequest> decoded = ParseRequest(payload);
+    EXPECT_FALSE(decoded.ok()) << "opcode " << int{op};
+    EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(ParseRequestMalformed, TruncatedBody) {
+  // Every prefix of every valid request must parse-fail cleanly, not read
+  // out of bounds. (ASan/UBSan builds make this a hard memory check.)
+  const std::vector<WireRequest> requests = {
+      [] {
+        WireRequest r;
+        r.op = Opcode::kSkyline;
+        r.id = 1;
+        r.subspace = 3;
+        return r;
+      }(),
+      [] {
+        WireRequest r;
+        r.op = Opcode::kMembership;
+        r.id = 2;
+        r.subspace = 1;
+        r.object = 7;
+        return r;
+      }(),
+      MakeInsert(3, {1.0, 2.0}),
+  };
+  for (const WireRequest& request : requests) {
+    const std::string frame = EncodeRequest(request);
+    const std::string payload = frame.substr(kFrameHeaderBytes);
+    for (size_t cut = 1; cut < payload.size(); ++cut) {
+      const Result<WireRequest> decoded =
+          ParseRequest(std::string_view(payload).substr(0, cut));
+      EXPECT_FALSE(decoded.ok())
+          << OpcodeName(request.op) << " cut at " << cut;
+    }
+  }
+}
+
+TEST(ParseRequestMalformed, TrailingBytesRejected) {
+  // Extra bytes after a well-formed body indicate an encoder/decoder
+  // disagreement; accepting them would mask protocol drift.
+  std::string payload = EncodeRequest(WireRequest{
+                            Opcode::kPing, 1, 0, 0, {}})
+                            .substr(kFrameHeaderBytes);
+  payload += '\0';
+  EXPECT_FALSE(ParseRequest(payload).ok());
+}
+
+TEST(ParseRequestMalformed, InsertWiderThanLimitRejected) {
+  // The declared value count is validated against max_values before any
+  // allocation — a hostile u32 count cannot force a huge vector.
+  const std::string frame = EncodeRequest(MakeInsert(1, {1.0, 2.0, 3.0}));
+  const std::string payload = frame.substr(kFrameHeaderBytes);
+  EXPECT_TRUE(ParseRequest(payload, /*max_values=*/3).ok());
+  const Result<WireRequest> rejected = ParseRequest(payload, /*max_values=*/2);
+  EXPECT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ParseRequestMalformed, InsertCountBeyondPayloadRejected) {
+  // count claims more doubles than the payload holds.
+  std::string payload;
+  payload.push_back(static_cast<char>(Opcode::kInsert));
+  payload.append(8, '\0');  // id
+  const uint32_t claimed = 1000;
+  payload.append(reinterpret_cast<const char*>(&claimed), 4);
+  payload.append(8, '\0');  // only one double present
+  EXPECT_FALSE(ParseRequest(payload, /*max_values=*/4096).ok());
+}
+
+// --- Service bridging ----------------------------------------------------
+
+TEST(ProtocolBridge, ToQueryRequestMapsEveryQueryOpcode) {
+  WireRequest wire;
+  wire.op = Opcode::kMembership;
+  wire.id = 5;
+  wire.subspace = 0b110;
+  wire.object = 31;
+  const QueryRequest request = ToQueryRequest(wire);
+  EXPECT_EQ(request.kind, QueryKind::kMembership);
+  EXPECT_EQ(request.subspace, wire.subspace);
+  EXPECT_EQ(request.object, wire.object);
+
+  const QueryRequest insert = ToQueryRequest(MakeInsert(6, {4.0, 2.0}));
+  EXPECT_EQ(insert.kind, QueryKind::kInsert);
+  EXPECT_EQ(insert.values, (std::vector<double>{4.0, 2.0}));
+}
+
+TEST(ProtocolBridge, OpcodeForKindRoundTrips) {
+  for (int kind = 0; kind < kNumQueryKinds; ++kind) {
+    const Opcode op = OpcodeForKind(static_cast<QueryKind>(kind));
+    EXPECT_TRUE(IsQueryOpcode(op)) << OpcodeName(op);
+    WireRequest wire;
+    wire.op = op;
+    if (op == Opcode::kInsert) wire.values = {1.0};
+    EXPECT_EQ(ToQueryRequest(wire).kind, static_cast<QueryKind>(kind));
+  }
+}
+
+TEST(ProtocolBridge, FromQueryResponseCarriesErrorStatus) {
+  WireRequest wire;
+  wire.op = Opcode::kSkyline;
+  wire.id = 11;
+  QueryResponse response;
+  response.kind = QueryKind::kSubspaceSkyline;
+  response.ok = false;
+  response.code = StatusCode::kDeadlineExceeded;
+  response.error = "deadline exceeded before admission";
+  const WireResponse out = FromQueryResponse(wire, response);
+  EXPECT_EQ(out.id, 11u);
+  EXPECT_EQ(out.status, StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(out.text, response.error);
+}
+
+TEST(ProtocolBridge, ErrorWireResponseIsParseable) {
+  WireRequest wire;
+  wire.op = Opcode::kCardinality;
+  wire.id = 3;
+  const WireResponse shed =
+      ErrorWireResponse(wire, StatusCode::kResourceExhausted, "queue full");
+  FrameDecoder decoder;
+  const std::string frame = EncodeResponse(shed);
+  decoder.Append(frame.data(), frame.size());
+  std::string payload, error;
+  ASSERT_EQ(decoder.Take(&payload, &error), FrameDecoder::Next::kFrame);
+  const Result<WireResponse> decoded = ParseResponse(payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().id, 3u);
+  EXPECT_EQ(decoded.value().status, StatusCode::kResourceExhausted);
+  EXPECT_EQ(decoded.value().text, "queue full");
+}
+
+}  // namespace
+}  // namespace skycube::net

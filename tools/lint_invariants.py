@@ -9,10 +9,14 @@ and as a required CI job):
       either wired in src/ or test-local (contains "test" in its prefix,
       e.g. "deadline_test.slow") — catching both copy-pasted point names
       and tests arming a typo that can never fire.
-  R2  raw-I/O confinement: naked open/fsync/fdatasync/fcntl calls live only
-      in src/storage/ — everything else goes through the storage layer, so
-      durability decisions stay in one reviewable place. Waive a justified
-      site with a "lint:allow-raw-io" comment on the same line.
+  R2  raw-I/O confinement, two sanctioned zones: naked file-I/O calls
+      (open/openat/fsync/fdatasync/fcntl) live only in src/storage/, and
+      naked socket/epoll syscalls (socket/bind/listen/accept/recv/send/
+      epoll_*/eventfd/...) live only in src/net/ — durability decisions
+      and wire-I/O decisions each stay in one reviewable place. The socket
+      rule binds src/ only: tests, tools, and bench harnesses legitimately
+      open *client* sockets to drive the server from outside. Waive a
+      justified site with a "lint:allow-raw-io" comment on the same line.
   R3  no silently dropped Status: a bare statement-position call to one of
       the known Status/Result-returning mutators is an error; discard
       deliberately with `(void)call(...)` (plus a why-comment) instead.
@@ -25,6 +29,10 @@ and as a required CI job):
       carry no thread-safety annotations, so Clang's analysis is blind to
       them. (std::once_flag/std::call_once are fine: there is no annotated
       equivalent and no guarded state.)
+  R7  no blocking file I/O on the event-loop thread: src/net/ must never
+      call open/fopen/fsync/fdatasync or touch fstream/getline — one
+      stalled syscall on the loop thread stalls every connection. File
+      work belongs in src/storage/, reached from dispatch-pool threads.
 
 Exit status 0 = clean; 1 = findings (one per line: path:line: rule: what).
 """
@@ -48,6 +56,18 @@ ARMED_RE = re.compile(r'(?:ArmFailure|ArmDelay|Disarm|HitCount)\("([^"]+)"')
 # standalone identifiers — not RotateSegment(, fopen(, or .open( members.
 RAW_IO_RE = re.compile(r'(?<![\w.:>])(?:::)?\b(open|openat|fsync|fdatasync|'
                        r'fcntl)\s*\(')
+
+# R2 (socket family): wire/event syscalls, confined to src/net/ within
+# src/. The lookbehind keeps std::bind / member .send( / .connect( out.
+SOCKET_IO_RE = re.compile(
+    r'(?<![\w.:>])(?:::)?\b(socket|accept4?|bind|listen|connect|'
+    r'setsockopt|getsockopt|getsockname|recv|recvfrom|send|sendto|'
+    r'shutdown|epoll_create1|epoll_ctl|epoll_wait|eventfd)\s*\(')
+
+# R7: blocking file I/O that must never run on the event-loop thread.
+BLOCKING_FILE_IO_RE = re.compile(
+    r'(?<![\w.:>])(?:::)?\b(open|openat|fopen|freopen|fsync|fdatasync|'
+    r'fread|fwrite|fgetc|fgets)\s*\(|std::[io]?fstream\b')
 
 # R3: Status/Result-returning mutators of the storage/ingest/service layers.
 # A line that *starts* with one of these calls (optionally through obj./->)
@@ -112,6 +132,22 @@ def main() -> int:
                     f"{site}: R2: raw file-I/O call outside src/storage/ "
                     "(route through the storage layer, or waive with a "
                     "'lint:allow-raw-io' comment)")
+
+            if (rel.startswith("src/") and not rel.startswith("src/net/")
+                    and SOCKET_IO_RE.search(line)
+                    and "lint:allow-raw-io" not in raw_line):
+                findings.append(
+                    f"{site}: R2: raw socket/epoll call in src/ outside "
+                    "src/net/ (route through the net layer, or waive with "
+                    "a 'lint:allow-raw-io' comment)")
+
+            if (rel.startswith("src/net/")
+                    and BLOCKING_FILE_IO_RE.search(line)
+                    and "lint:allow-raw-io" not in raw_line):
+                findings.append(
+                    f"{site}: R7: blocking file I/O in src/net/ runs on "
+                    "the event-loop thread and stalls every connection "
+                    "(move it to src/storage/ behind a pool thread)")
 
             if not rel.startswith("tests/"):
                 match = DROPPED_STATUS_RE.match(line)

@@ -1,0 +1,422 @@
+// skycube_nettest — end-to-end harness for the socket mode of
+// skycube_serve (docs/NET.md). Forks a real server child, scrapes the
+// "listening on HOST:PORT" line from its stderr, and drives the binary
+// protocol over genuine loopback TCP:
+//
+//   round 1  pipeline: N mixed Q1/Q2/Q3 + insert requests in one burst;
+//            every response arrives, in request order, with correct
+//            version bumps across the inserts; health/stats opcodes answer
+//            the serve-tool text lines over the wire;
+//   round 2  malformed bytes: a corrupted frame is answered with one
+//            kGoAway(kInvalidArgument) and a close — the server stays up
+//            and keeps serving other connections;
+//   round 3  SIGTERM drain: responses to a just-sent burst still arrive in
+//            order (in-flight requests complete), a post-signal connection
+//            is refused (kUnavailable goaway, or the closed listener's
+//            ECONNREFUSED once the drain finished), the old connection
+//            ends in clean EOF, and the child exits 0.
+//
+// Usage (registered as a ctest test):
+//   skycube_nettest --serve=PATH [--tuples=N] [--dims=D] [--seed=S]
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "net/protocol.h"
+
+namespace skycube {
+namespace {
+
+int g_failures = 0;
+
+#define CHECK_NET(cond, ...)                      \
+  do {                                            \
+    if (!(cond)) {                                \
+      std::fprintf(stderr, "FAIL ");              \
+      std::fprintf(stderr, __VA_ARGS__);          \
+      std::fprintf(stderr, "\n");                 \
+      ++g_failures;                               \
+      return false;                               \
+    }                                             \
+  } while (0)
+
+struct Server {
+  pid_t pid = -1;
+  FILE* stderr_from = nullptr;
+  uint16_t port = 0;
+};
+
+/// Forks + execs skycube_serve in socket mode on an ephemeral port and
+/// scrapes the bound port from its stderr.
+Server SpawnServer(const std::string& serve,
+                   const std::vector<std::string>& args) {
+  int err_pipe[2];
+  if (pipe(err_pipe) != 0) {
+    std::perror("pipe");
+    std::exit(1);
+  }
+  const pid_t pid = fork();
+  if (pid < 0) {
+    std::perror("fork");
+    std::exit(1);
+  }
+  if (pid == 0) {
+    dup2(err_pipe[1], STDERR_FILENO);
+    close(err_pipe[0]);
+    close(err_pipe[1]);
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 2);
+    argv.push_back(const_cast<char*>(serve.c_str()));
+    for (const std::string& arg : args) {
+      argv.push_back(const_cast<char*>(arg.c_str()));
+    }
+    argv.push_back(nullptr);
+    execv(serve.c_str(), argv.data());
+    _exit(127);
+  }
+  close(err_pipe[1]);
+  Server server;
+  server.pid = pid;
+  server.stderr_from = fdopen(err_pipe[0], "r");
+
+  // The listen line is the first thing socket mode prints.
+  std::string line;
+  int c;
+  while ((c = std::fgetc(server.stderr_from)) != EOF && c != '\n') {
+    line.push_back(static_cast<char>(c));
+  }
+  const size_t colon = line.rfind(':');
+  if (line.rfind("listening on ", 0) != 0 || colon == std::string::npos) {
+    std::fprintf(stderr, "no listen line from server (got: '%s')\n",
+                 line.c_str());
+    kill(pid, SIGKILL);
+    std::exit(1);
+  }
+  server.port = static_cast<uint16_t>(
+      std::strtoul(line.c_str() + colon + 1, nullptr, 10));
+  return server;
+}
+
+/// Waits for the child; >=0 exit status, or -SIG when signal-terminated.
+int WaitServer(Server* server) {
+  int status = 0;
+  waitpid(server->pid, &status, 0);
+  if (server->stderr_from != nullptr) fclose(server->stderr_from);
+  server->stderr_from = nullptr;
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  if (WIFSIGNALED(status)) return -WTERMSIG(status);
+  return -1000;
+}
+
+/// Minimal blocking protocol client (recv timeout: a hung server fails the
+/// harness instead of wedging ctest).
+class Client {
+ public:
+  explicit Client(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return;
+    struct timeval timeout = {};
+    timeout.tv_sec = 30;
+    (void)::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &timeout,
+                       sizeof(timeout));
+    struct sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  bool connected() const { return fd_ >= 0; }
+
+  bool Send(const std::string& bytes) {
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n =
+          ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      sent += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  enum class Got { kPayload, kEof, kError };
+  Got Read(std::string* payload) {
+    std::string error;
+    for (;;) {
+      const auto next = decoder_.Take(payload, &error);
+      if (next == net::FrameDecoder::Next::kFrame) return Got::kPayload;
+      if (next == net::FrameDecoder::Next::kError) {
+        std::fprintf(stderr, "client framing error: %s\n", error.c_str());
+        return Got::kError;
+      }
+      char buffer[1 << 16];
+      const ssize_t n = ::recv(fd_, buffer, sizeof(buffer), 0);
+      if (n == 0) return Got::kEof;
+      if (n < 0) {
+        std::fprintf(stderr, "recv: %s\n", std::strerror(errno));
+        return Got::kError;
+      }
+      decoder_.Append(buffer, static_cast<size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  net::FrameDecoder decoder_;
+};
+
+net::WireRequest Request(net::Opcode op, uint64_t id) {
+  net::WireRequest request;
+  request.op = op;
+  request.id = id;
+  return request;
+}
+
+/// Builds the mixed pipeline burst: requests with ids 0..count-1 cycling
+/// through every query opcode plus periodic inserts.
+std::string MixedBurst(uint64_t count, int dims, uint64_t first_id = 0) {
+  std::string burst;
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint64_t id = first_id + i;
+    net::WireRequest request;
+    switch (i % 6) {
+      case 0:
+        request = Request(net::Opcode::kSkyline, id);
+        request.subspace = 0b11;
+        break;
+      case 1:
+        request = Request(net::Opcode::kCardinality, id);
+        request.subspace = (1u << dims) - 1;
+        break;
+      case 2:
+        request = Request(net::Opcode::kMembership, id);
+        request.subspace = 0b101;
+        request.object = static_cast<ObjectId>(id % 50);
+        break;
+      case 3:
+        request = Request(net::Opcode::kMembershipCount, id);
+        request.object = static_cast<ObjectId>(id % 50);
+        break;
+      case 4:
+        request = Request(net::Opcode::kSkycubeSize, id);
+        break;
+      default:
+        request = Request(net::Opcode::kInsert, id);
+        for (int d = 0; d < dims; ++d) {
+          request.values.push_back(0.9 - 0.001 * static_cast<double>(id));
+        }
+        break;
+    }
+    burst += EncodeRequest(request);
+  }
+  return burst;
+}
+
+bool RunPipelineRound(uint16_t port, int dims) {
+  Client client(port);
+  CHECK_NET(client.connected(), "pipeline: connect failed");
+
+  constexpr uint64_t kRequests = 120;
+  CHECK_NET(client.Send(MixedBurst(kRequests, dims)),
+            "pipeline: send failed");
+
+  uint64_t last_version = 0;
+  for (uint64_t id = 0; id < kRequests; ++id) {
+    std::string payload;
+    CHECK_NET(client.Read(&payload) == Client::Got::kPayload,
+              "pipeline: stream ended at response %llu",
+              static_cast<unsigned long long>(id));
+    CHECK_NET(net::PayloadOpcode(payload) == net::Opcode::kResponse,
+              "pipeline: unexpected opcode at response %llu",
+              static_cast<unsigned long long>(id));
+    Result<net::WireResponse> decoded = net::ParseResponse(payload);
+    CHECK_NET(decoded.ok(), "pipeline: bad response: %s",
+              decoded.status().ToString().c_str());
+    const net::WireResponse& response = decoded.value();
+    CHECK_NET(response.id == id,
+              "pipeline: out of order: got id %llu at position %llu",
+              static_cast<unsigned long long>(response.id),
+              static_cast<unsigned long long>(id));
+    CHECK_NET(response.status == StatusCode::kOk,
+              "pipeline: request %llu failed: %s",
+              static_cast<unsigned long long>(id), response.text.c_str());
+    // Inserts swap the snapshot: versions must be non-decreasing and grow
+    // by exactly one across each insert acknowledgement.
+    CHECK_NET(response.snapshot_version >= last_version,
+              "pipeline: version went backwards at %llu",
+              static_cast<unsigned long long>(id));
+    if (response.request_op == net::Opcode::kInsert) {
+      last_version = response.snapshot_version;
+    }
+  }
+  CHECK_NET(last_version >= 2, "pipeline: inserts never bumped the version");
+
+  // Introspection over the wire: the serve-tool health and stats lines.
+  CHECK_NET(client.Send(EncodeRequest(Request(net::Opcode::kHealth, 1000)) +
+                        EncodeRequest(Request(net::Opcode::kStats, 1001))),
+            "pipeline: introspection send failed");
+  std::string payload;
+  CHECK_NET(client.Read(&payload) == Client::Got::kPayload,
+            "pipeline: no health response");
+  Result<net::WireResponse> health = net::ParseResponse(payload);
+  CHECK_NET(health.ok(), "pipeline: bad health response");
+  CHECK_NET(health.value().text.find("status=ready") != std::string::npos,
+            "pipeline: bad health line: '%s'", health.value().text.c_str());
+  CHECK_NET(client.Read(&payload) == Client::Got::kPayload,
+            "pipeline: no stats response");
+  Result<net::WireResponse> stats = net::ParseResponse(payload);
+  CHECK_NET(stats.ok(), "pipeline: bad stats response");
+  CHECK_NET(stats.value().text.find("queries=") != std::string::npos,
+            "pipeline: bad stats line: '%s'", stats.value().text.c_str());
+  return true;
+}
+
+bool RunMalformedRound(uint16_t port) {
+  Client victim(port);
+  CHECK_NET(victim.connected(), "malformed: connect failed");
+  std::string bad = EncodeRequest(Request(net::Opcode::kPing, 1));
+  bad[bad.size() - 1] = static_cast<char>(bad[bad.size() - 1] ^ 0x01);
+  CHECK_NET(victim.Send(bad), "malformed: send failed");
+
+  std::string payload;
+  CHECK_NET(victim.Read(&payload) == Client::Got::kPayload,
+            "malformed: expected a goaway frame");
+  CHECK_NET(net::PayloadOpcode(payload) == net::Opcode::kGoAway,
+            "malformed: expected kGoAway, got opcode %d", int(payload[0]));
+  Result<net::WireGoAway> goaway = net::ParseGoAway(payload);
+  CHECK_NET(goaway.ok(), "malformed: unparseable goaway");
+  CHECK_NET(goaway.value().status == StatusCode::kInvalidArgument,
+            "malformed: wrong goaway status");
+  CHECK_NET(victim.Read(&payload) == Client::Got::kEof,
+            "malformed: server did not close the broken stream");
+
+  // The server survives: a fresh connection still answers.
+  Client fresh(port);
+  CHECK_NET(fresh.connected(), "malformed: reconnect failed");
+  CHECK_NET(fresh.Send(EncodeRequest(Request(net::Opcode::kPing, 2))),
+            "malformed: ping send failed");
+  CHECK_NET(fresh.Read(&payload) == Client::Got::kPayload,
+            "malformed: server stopped answering after a protocol error");
+  return true;
+}
+
+bool RunDrainRound(Server* server, int dims) {
+  Client inflight(server->port);
+  CHECK_NET(inflight.connected(), "drain: connect failed");
+  // A burst is on the wire (and mostly decoded) when the signal lands.
+  constexpr uint64_t kRequests = 48;
+  CHECK_NET(inflight.Send(MixedBurst(kRequests, dims)),
+            "drain: send failed");
+  CHECK_NET(kill(server->pid, SIGTERM) == 0, "drain: kill failed");
+
+  // Every response that arrives must still be in order; the connection
+  // must end in clean EOF (requests not yet decoded when the drain began
+  // are dropped with the connection, never answered out of order).
+  uint64_t next_id = 0;
+  for (;;) {
+    std::string payload;
+    const Client::Got got = inflight.Read(&payload);
+    if (got == Client::Got::kEof) break;
+    CHECK_NET(got == Client::Got::kPayload, "drain: broken stream");
+    if (net::PayloadOpcode(payload) == net::Opcode::kGoAway) continue;
+    Result<net::WireResponse> decoded = net::ParseResponse(payload);
+    CHECK_NET(decoded.ok(), "drain: bad response");
+    CHECK_NET(decoded.value().id == next_id,
+              "drain: out of order after SIGTERM (got %llu, want %llu)",
+              static_cast<unsigned long long>(decoded.value().id),
+              static_cast<unsigned long long>(next_id));
+    ++next_id;
+  }
+
+  // A post-signal connection is refused: with the drain still open, an
+  // explicit kUnavailable goaway; once the listener is closed,
+  // ECONNREFUSED. Either way it must never be served.
+  Client late(server->port);
+  if (late.connected()) {
+    std::string payload;
+    const Client::Got got = late.Read(&payload);
+    if (got == Client::Got::kPayload) {
+      CHECK_NET(net::PayloadOpcode(payload) == net::Opcode::kGoAway,
+                "drain: late connection was served instead of refused");
+      Result<net::WireGoAway> goaway = net::ParseGoAway(payload);
+      CHECK_NET(goaway.ok(), "drain: unparseable goaway");
+      CHECK_NET(goaway.value().status == StatusCode::kUnavailable,
+                "drain: late connection refused with the wrong status");
+      CHECK_NET(late.Read(&payload) == Client::Got::kEof,
+                "drain: refused connection not closed");
+    } else {
+      CHECK_NET(got == Client::Got::kEof, "drain: broken late stream");
+    }
+  }
+
+  const int exit_code = WaitServer(server);
+  CHECK_NET(exit_code == 0, "drain: server exited %d after SIGTERM",
+            exit_code);
+  return true;
+}
+
+int Main(int argc, char** argv) {
+  const FlagParser flags(argc, argv);
+  const std::string serve = flags.GetString("serve", "");
+  if (serve.empty()) {
+    std::fprintf(stderr, "usage: skycube_nettest --serve=PATH\n");
+    return 2;
+  }
+  const int tuples = static_cast<int>(flags.GetInt("tuples", 400));
+  const int dims = static_cast<int>(flags.GetInt("dims", 4));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 17));
+
+  const std::vector<std::string> args = {
+      "--synthetic",
+      "--tuples=" + std::to_string(tuples),
+      "--dims=" + std::to_string(dims),
+      "--seed=" + std::to_string(seed),
+      "--port=0",
+  };
+  Server server = SpawnServer(serve, args);
+  std::fprintf(stderr, "server pid %d on port %u\n", int(server.pid),
+               unsigned(server.port));
+
+  if (RunPipelineRound(server.port, dims)) {
+    std::fprintf(stderr, "PASS pipeline round\n");
+  }
+  if (RunMalformedRound(server.port)) {
+    std::fprintf(stderr, "PASS malformed round\n");
+  }
+  if (RunDrainRound(&server, dims)) {
+    std::fprintf(stderr, "PASS drain round\n");
+  }
+  if (server.stderr_from != nullptr) {
+    kill(server.pid, SIGKILL);  // only reached when the drain round failed
+    WaitServer(&server);
+  }
+
+  if (g_failures > 0) {
+    std::fprintf(stderr, "skycube_nettest: %d failure(s)\n", g_failures);
+    return 1;
+  }
+  std::fprintf(stderr, "skycube_nettest: all rounds passed\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace skycube
+
+int main(int argc, char** argv) { return skycube::Main(argc, argv); }

@@ -1,8 +1,13 @@
-// skycube_serve — long-lived line-protocol front end to SkycubeService.
+// skycube_serve — long-lived front end to SkycubeService, in two modes:
 //
-// Reads one query per line on stdin, writes exactly one answer line on
-// stdout (prefix "ok" or "err"), so it is scriptable from tests and shell
-// pipelines. Backed by either a saved cube file (read-only) or a CSV /
+//  - REPL (default): one query per line on stdin, one answer line on
+//    stdout (prefix "ok" or "err"), scriptable from tests and pipelines;
+//  - socket (--port / --listen): the src/net/ binary-protocol server —
+//    epoll event loop, length-prefixed checksummed frames, pipelined
+//    requests, explicit kResourceExhausted overload shedding, and the
+//    same health/stats lines served as protocol messages (docs/NET.md).
+//
+// Both modes are backed by either a saved cube file (read-only) or a CSV /
 // synthetic dataset (insert-capable: each insert runs the incremental
 // maintainer and hot-swaps the service snapshot).
 //
@@ -28,6 +33,17 @@
 //   --max-in-flight=N    admission-control slots, 0 = off   (default 0)
 //   --queue-wait-ms=N    shed after waiting N ms for a slot (default 0)
 //   --deadline-ms=N      per-request deadline, 0 = none     (default 0)
+// Socket mode (binary wire protocol, docs/NET.md) — either flag selects it:
+//   --port=N             listen on 127.0.0.1:N; 0 binds an ephemeral port.
+//                        The final address is printed to stderr as
+//                        "listening on HOST:PORT" (tests scrape this line)
+//   --listen=HOST        bind address                    (default 127.0.0.1)
+//   --net-threads=N      dispatch workers, 0 = hardware     (default 0)
+//   --net-queue=N        bounded dispatch queue; overflow answers
+//                        kResourceExhausted frames          (default 4096)
+//   --max-pipeline=N     unanswered requests per connection before the
+//                        server stops reading that socket   (default 1024)
+//   --max-connections=N  open-connection cap, 0 = none      (default 0)
 //
 // Protocol (case-insensitive command word; subspaces as letters, "ACD"):
 //   skyline SUBSPACE      Q1  -> ok n=3 v=1 hit=0 ids=0 4 17
@@ -71,7 +87,9 @@
 #include "core/stellar.h"
 #include "datagen/synthetic.h"
 #include "dataset/dataset.h"
+#include "net/server.h"
 #include "service/service.h"
+#include "service/text_format.h"
 #include "storage/durable_ingest.h"
 
 namespace skycube {
@@ -202,83 +220,12 @@ std::optional<QueryRequest> ParseQuery(const std::string& line, int num_dims,
   return std::nullopt;
 }
 
-std::string FormatResponse(const QueryResponse& response) {
-  if (!response.ok) {
-    return std::string("err [") + StatusCodeName(response.code) + "] " +
-           response.error;
-  }
-  if (response.kind == QueryKind::kInsert) {
-    std::ostringstream out;
-    out << "ok path=" << response.insert_path
-        << " version=" << response.snapshot_version
-        << " objects=" << response.count;
-    if (response.lsn > 0) out << " lsn=" << response.lsn;
-    return out.str();
-  }
-  std::ostringstream out;
-  out << "ok ";
-  switch (response.kind) {
-    case QueryKind::kSubspaceSkyline:
-      out << "n=" << response.count;
-      break;
-    case QueryKind::kSkylineCardinality:
-    case QueryKind::kMembershipCount:
-    case QueryKind::kSkycubeSize:
-      out << "count=" << response.count;
-      break;
-    case QueryKind::kMembership:
-      out << "member=" << (response.member ? "yes" : "no");
-      break;
-    case QueryKind::kInsert:
-      break;  // handled above
-  }
-  out << " v=" << response.snapshot_version
-      << " hit=" << (response.cache_hit ? 1 : 0);
-  if (response.ids) {
-    out << " ids=";
-    for (size_t i = 0; i < response.ids->size(); ++i) {
-      out << (i == 0 ? "" : " ") << (*response.ids)[i];
-    }
-  }
-  return out.str();
-}
-
-std::string FormatStats(const SkycubeService& service) {
-  const ServiceStats stats = service.stats();
-  std::ostringstream out;
-  out << "ok queries=" << stats.queries_total;
-  for (int kind = 0; kind < kNumQueryKinds; ++kind) {
-    out << " " << QueryKindName(static_cast<QueryKind>(kind)) << "="
-        << stats.queries_by_kind[kind];
-  }
-  out << " invalid=" << stats.invalid_requests
-      << " batches=" << stats.batches << " cache_hits=" << stats.cache_hits
-      << " cache_misses=" << stats.cache_misses
-      << " cache_evictions=" << stats.cache_evictions
-      << " cache_entries=" << stats.cache_entries << " version="
-      << stats.snapshot_version << " swaps=" << stats.snapshot_swaps
-      << " queue_hwm=" << stats.queue_depth_high_water << " p50_us="
-      << static_cast<double>(stats.latency_p50_nanos) / 1e3 << " p99_us="
-      << static_cast<double>(stats.latency_p99_nanos) / 1e3
-      // Robustness counters ride at the end so older scripts matching the
-      // field order above keep working.
-      << " shed=" << stats.shed_total
-      << " deadline_exceeded=" << stats.deadline_exceeded
-      << " internal_errors=" << stats.internal_errors
-      << " admission_waits=" << stats.admission_waits
-      << " in_flight_hwm=" << stats.in_flight_high_water
-      << " inserts=" << stats.inserts_applied
-      << " insert_failures=" << stats.insert_failures
-      << " unavailable=" << stats.drained_rejects
-      << " draining=" << (stats.draining ? 1 : 0);
-  return out.str();
-}
-
 /// Readiness plus durability/recovery counters — what an orchestrator polls.
+/// Wraps the shared FormatHealthLine (REPL and wire answer identically) and
+/// appends the DurableIngest counters only this process can see.
 std::string FormatHealth(const ServeSession& session) {
   std::ostringstream out;
-  out << "ok status=" << (session.service->draining() ? "draining" : "ready")
-      << " version=" << session.service->snapshot_version()
+  out << FormatHealthLine(*session.service)
       << " durable=" << (session.durable ? 1 : 0);
   if (session.durable) {
     const DurableIngestStats stats = session.durable->stats();
@@ -319,7 +266,7 @@ std::string HandleInsert(ServeSession& session, const std::string& args) {
   // Through the service like any other request: the service serializes
   // writers, applies via the attached handler (durable or volatile), swaps
   // the snapshot, and only then builds the acknowledgement.
-  return FormatResponse(
+  return FormatResponseLine(
       session.service->Execute(QueryRequest::Insert(std::move(values))));
 }
 
@@ -345,7 +292,7 @@ std::string HandleBatch(ServeSession& session, const std::string& args) {
       session.service->ExecuteBatch(requests);
   std::ostringstream out;
   for (size_t i = 0; i < responses.size(); ++i) {
-    out << (i == 0 ? "" : " ; ") << FormatResponse(responses[i]);
+    out << (i == 0 ? "" : " ; ") << FormatResponseLine(responses[i]);
   }
   return out.str();
 }
@@ -375,6 +322,68 @@ Result<Dataset> LoadSourceDataset(const FlagParser& flags) {
   spec.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
   spec.truncate_decimals = static_cast<int>(flags.GetInt("truncate", 4));
   return GenerateSynthetic(spec);
+}
+
+/// Socket mode: the src/net/ binary-protocol server in front of the same
+/// session. SIGTERM/SIGINT begin the network drain (in-flight requests
+/// complete, connections flush and close); once Run() returns, the service
+/// and durable layers drain exactly as the REPL's exit path does.
+int ServeSocket(const FlagParser& flags, ServeSession& session) {
+  net::NetServerOptions net_options;
+  net_options.host = flags.GetString("listen", "127.0.0.1");
+  net_options.port = static_cast<uint16_t>(flags.GetInt("port", 0));
+  net_options.dispatch_threads =
+      static_cast<int>(flags.GetInt("net-threads", 0));
+  net_options.dispatch_queue_capacity =
+      static_cast<size_t>(flags.GetInt("net-queue", 4096));
+  net_options.max_pipeline =
+      static_cast<size_t>(flags.GetInt("max-pipeline", 1024));
+  net_options.max_connections =
+      static_cast<size_t>(flags.GetInt("max-connections", 0));
+  net_options.deadline_millis = session.deadline_millis;
+  // The wire's health/stats opcodes answer with the same lines the REPL
+  // prints — including the durability counters only this tool can see.
+  net_options.health_text = [&session] { return FormatHealth(session); };
+  net_options.stats_text = [&session] {
+    return FormatStatsLine(*session.service);
+  };
+
+  net::NetServer server(session.service.get(), net_options);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "%s\n", started.ToString().c_str());
+    return 1;
+  }
+  InstallShutdownHandlers();
+  std::fprintf(stderr, "listening on %s:%u (%d-dim cube, version %llu)\n",
+               net_options.host.c_str(), static_cast<unsigned>(server.port()),
+               session.num_dims,
+               static_cast<unsigned long long>(
+                   session.service->snapshot_version()));
+  std::fflush(stderr);
+  server.Run(
+      [&server] {
+        if (g_shutdown_signal != 0) server.BeginDrain();
+      },
+      /*tick_millis=*/100);
+
+  // The network layer has flushed and closed every connection; now drain
+  // the layers beneath it (same as the REPL's quit path).
+  session.service->BeginDrain();
+  if (session.durable) {
+    Status drained = session.durable->Drain();
+    if (!drained.ok()) {
+      std::fprintf(stderr, "drain failed: %s\n", drained.ToString().c_str());
+      return 1;
+    }
+  }
+  if (g_shutdown_signal != 0) {
+    std::fprintf(stderr, "signal %d: drained%s, exiting\n",
+                 static_cast<int>(g_shutdown_signal),
+                 session.durable ? " (wal flushed, final checkpoint written)"
+                                 : "");
+  }
+  return 0;
 }
 
 int Serve(const FlagParser& flags) {
@@ -496,6 +505,10 @@ int Serve(const FlagParser& flags) {
     return Usage();
   }
 
+  if (flags.Has("port") || flags.Has("listen")) {
+    return ServeSocket(flags, session);
+  }
+
   std::fprintf(stderr,
                "serving %d-dim cube, version %llu (one query per line; "
                "'help' lists commands)\n",
@@ -519,7 +532,7 @@ int Serve(const FlagParser& flags) {
           "total | batch Q; Q; ... | insert V1,V2,... | health | stats | "
           "quit\n");
     } else if (command == "stats") {
-      std::printf("%s\n", FormatStats(*session.service).c_str());
+      std::printf("%s\n", FormatStatsLine(*session.service).c_str());
     } else if (command == "health") {
       std::printf("%s\n", FormatHealth(session).c_str());
     } else if (command == "insert") {
@@ -533,7 +546,7 @@ int Serve(const FlagParser& flags) {
         std::printf("err %s\n", error.c_str());
       } else {
         std::printf("%s\n",
-                    FormatResponse(session.service->Execute(
+                    FormatResponseLine(session.service->Execute(
                                        session.WithDeadline(*request)))
                         .c_str());
       }
