@@ -1,0 +1,191 @@
+// Shard-scaling study for the sharded serving tier (docs/SHARDING.md):
+// uncached Q1 (subspace skyline) and Q3 (membership count) throughput and
+// insert rate through ShardedSkycubeService at 1/2/4/8 shards, against a
+// plain single-node SkycubeService baseline over the same rows. Result
+// caches are disabled throughout — the study measures the partition win
+// (smaller per-shard populations, smaller per-shard cubes) plus the
+// scatter–gather overhead (fan-out, id translation, merge refilter), not
+// memoization.
+//
+// Honesty note: shards here are in-process backends executed by the wave
+// sequentially, so on a single-core host the numbers show the *overhead*
+// side of sharding (a speedup needs real parallel hardware or separate
+// shard processes — see tools/skycube_router). The per-shard compute drop
+// is still visible: per-shard skylines are cheaper than the global one,
+// and the merge refilter touches only skyline-sized candidate sets.
+//
+// Flags:
+//   --tuples=N --dims=D --dist=NAME --seed=S   dataset (4000×6 independent)
+//   --queries=N        measured queries per cell         (default 400)
+//   --inserts=N        measured inserts per cell         (default 300)
+//   --full             paper-sized: 20000×8, 1000 queries, 1000 inserts
+//   --json[=PATH]      machine-readable BENCH_shard_scaling.json
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/rng.h"
+#include "common/subspace.h"
+#include "common/table_printer.h"
+#include "core/maintenance.h"
+#include "router/sharded_service.h"
+#include "service/ingest.h"
+#include "service/request.h"
+#include "service/service.h"
+
+namespace skycube::bench {
+namespace {
+
+struct Workload {
+  std::vector<DimMask> subspaces;  // Q1 stream
+  std::vector<ObjectId> objects;   // Q3 stream
+  std::vector<std::vector<double>> rows;  // insert stream
+};
+
+Workload MakeWorkload(size_t queries, size_t inserts, int dims,
+                      size_t num_objects, uint64_t seed) {
+  Workload workload;
+  Rng rng(seed);
+  const DimMask full = FullMask(dims);
+  workload.subspaces.reserve(queries);
+  workload.objects.reserve(queries);
+  for (size_t i = 0; i < queries; ++i) {
+    workload.subspaces.push_back(
+        1 + static_cast<DimMask>(rng.NextUint64() % full));
+    workload.objects.push_back(
+        static_cast<ObjectId>(rng.NextUint64() % num_objects));
+  }
+  workload.rows.reserve(inserts);
+  for (size_t i = 0; i < inserts; ++i) {
+    std::vector<double> row(static_cast<size_t>(dims));
+    for (double& value : row) value = rng.NextDouble();
+    workload.rows.push_back(std::move(row));
+  }
+  return workload;
+}
+
+struct Cell {
+  double q1_qps = 0;
+  double q3_qps = 0;
+  double insert_rate = 0;
+};
+
+/// Runs the three streams against any QueryExecutor-shaped service.
+template <typename Service>
+Cell Measure(Service& service, const Workload& workload) {
+  Cell cell;
+  uint64_t ok = 0;
+  double elapsed = TimeIt([&] {
+    for (const DimMask mask : workload.subspaces) {
+      ok += service.Execute(QueryRequest::SubspaceSkyline(mask)).ok;
+    }
+  });
+  cell.q1_qps = static_cast<double>(workload.subspaces.size()) / elapsed;
+  elapsed = TimeIt([&] {
+    for (const ObjectId object : workload.objects) {
+      ok += service.Execute(QueryRequest::MembershipCount(object)).ok;
+    }
+  });
+  cell.q3_qps = static_cast<double>(workload.objects.size()) / elapsed;
+  elapsed = TimeIt([&] {
+    for (const std::vector<double>& row : workload.rows) {
+      ok += service.Execute(QueryRequest::Insert(row)).ok;
+    }
+  });
+  cell.insert_rate = static_cast<double>(workload.rows.size()) / elapsed;
+  if (ok != workload.subspaces.size() + workload.objects.size() +
+                workload.rows.size()) {
+    std::fprintf(stderr, "bench: %llu requests failed\n",
+                 static_cast<unsigned long long>(
+                     workload.subspaces.size() + workload.objects.size() +
+                     workload.rows.size() - ok));
+  }
+  return cell;
+}
+
+int Run(const FlagParser& flags) {
+  const bool full = flags.GetBool("full", false);
+  const size_t tuples = static_cast<size_t>(
+      flags.GetInt("tuples", full ? 20000 : 4000));
+  const int dims = static_cast<int>(flags.GetInt("dims", full ? 8 : 6));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  const size_t queries = static_cast<size_t>(
+      flags.GetInt("queries", full ? 1000 : 400));
+  const size_t inserts = static_cast<size_t>(
+      flags.GetInt("inserts", full ? 1000 : 300));
+  const Distribution distribution =
+      DistributionFromName(flags.GetString("dist", "independent"));
+
+  PrintHeader("shard scaling: uncached Q1/Q3 throughput and insert rate",
+              full);
+  std::printf("dataset: %zu x %d (%s), %zu queries, %zu inserts per cell; "
+              "result caches OFF\n\n",
+              tuples, dims, flags.GetString("dist", "independent").c_str(),
+              queries, inserts);
+
+  BenchJson json(flags, "shard_scaling");
+  json.AddScalar("tuples", static_cast<int64_t>(tuples));
+  json.AddScalar("dims", static_cast<int64_t>(dims));
+  json.AddScalar("queries", static_cast<int64_t>(queries));
+  json.AddScalar("inserts", static_cast<int64_t>(inserts));
+
+  const Workload workload =
+      MakeWorkload(queries, inserts, dims, tuples, seed ^ 0xBE9C);
+
+  TablePrinter table(
+      {"tier", "shards", "q1_qps", "q1_vs_single", "q3_qps", "insert_per_s"});
+
+  // Baseline: one plain SkycubeService, cache off, maintainer inserts.
+  double single_q1 = 0;
+  {
+    SkycubeServiceOptions options;
+    options.cache.capacity = 0;
+    IncrementalCubeMaintainer maintainer(
+        PaperSynthetic(distribution, tuples, dims, seed));
+    MaintainerInsertHandler handler(&maintainer);
+    SkycubeService service(std::make_shared<const CompressedSkylineCube>(
+                               maintainer.MakeCube()),
+                           options);
+    service.AttachInsertHandler(&handler);
+    const Cell cell = Measure(service, workload);
+    single_q1 = cell.q1_qps;
+    table.NewRow()
+        .AddCell("single-node")
+        .AddCell("-")
+        .AddDouble(cell.q1_qps, 1)
+        .AddDouble(1.0, 2)
+        .AddDouble(cell.q3_qps, 1)
+        .AddDouble(cell.insert_rate, 1);
+  }
+
+  for (const size_t num_shards : {1u, 2u, 4u, 8u}) {
+    router::ShardedServiceOptions options;
+    options.num_shards = num_shards;
+    options.service.cache.capacity = 0;
+    router::ShardedSkycubeService service(
+        PaperSynthetic(distribution, tuples, dims, seed), options);
+    const Cell cell = Measure(service, workload);
+    table.NewRow()
+        .AddCell("sharded")
+        .AddInt(static_cast<int64_t>(num_shards))
+        .AddDouble(cell.q1_qps, 1)
+        .AddDouble(cell.q1_qps / single_q1, 2)
+        .AddDouble(cell.q3_qps, 1)
+        .AddDouble(cell.insert_rate, 1);
+  }
+
+  EmitTable(table);
+  json.AddTable("shard_scaling", table);
+  return 0;
+}
+
+}  // namespace
+}  // namespace skycube::bench
+
+int main(int argc, char** argv) {
+  const skycube::FlagParser flags(argc, argv);
+  return skycube::bench::Run(flags);
+}

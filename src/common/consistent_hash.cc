@@ -1,0 +1,58 @@
+#include "common/consistent_hash.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace skycube {
+namespace {
+
+/// Stronger point mixer than one HashCombine round: consecutive (shard,
+/// vnode) pairs must land far apart or low-vnode rings clump. The seed
+/// goes through HashCombine's *value* side (the avalanched one) — as the
+/// seed argument it is only weakly perturbed, and nearby seeds would
+/// build near-identical rings.
+uint64_t MixPoint(uint64_t seed, uint64_t shard, uint64_t vnode) {
+  uint64_t h = HashCombine(0x53484152444B4559ULL, seed);  // "SHARDKEY"
+  h = HashCombine(h, shard + 1);
+  h = HashCombine(h, vnode + 1);
+  return h;
+}
+
+}  // namespace
+
+HashRing::HashRing(size_t num_shards, uint64_t seed, int vnodes)
+    : num_shards_(std::max<size_t>(num_shards, 1)),
+      seed_(seed),
+      vnodes_(std::max(vnodes, 1)),
+      // Avalanche the seed once (value side of HashCombine) so key hashes
+      // of nearby seeds diverge; the per-key round alone barely moves them.
+      key_salt_(HashCombine(0x4B45590000000000ULL, seed)) {
+  points_.reserve(num_shards_ * static_cast<size_t>(vnodes_));
+  for (size_t shard = 0; shard < num_shards_; ++shard) {
+    for (int v = 0; v < vnodes_; ++v) {
+      points_.push_back(Point{
+          MixPoint(seed_, static_cast<uint64_t>(shard),
+                   static_cast<uint64_t>(v)),
+          static_cast<uint32_t>(shard)});
+    }
+  }
+  std::sort(points_.begin(), points_.end(),
+            [](const Point& a, const Point& b) {
+              return a.position != b.position ? a.position < b.position
+                                              : a.shard < b.shard;
+            });
+}
+
+size_t HashRing::OwnerOf(uint64_t key) const {
+  if (num_shards_ == 1) return 0;
+  const uint64_t h = HashCombine(key_salt_, key);
+  // First point at or after h, wrapping to the ring's start.
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), h,
+      [](const Point& p, uint64_t value) { return p.position < value; });
+  if (it == points_.end()) it = points_.begin();
+  return it->shard;
+}
+
+}  // namespace skycube

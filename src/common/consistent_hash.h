@@ -1,0 +1,56 @@
+// Consistent-hash ring over a fixed set of shards.
+//
+// Each shard owns `vnodes` pseudo-random points on a 64-bit ring; a key is
+// owned by the shard whose point follows the key's hash clockwise. Two
+// properties matter to the callers (the sharded result cache and the
+// scatter–gather router, docs/SHARDING.md):
+//
+//  - determinism across processes: every hash is built from the explicit
+//    seed via the repo's own mixers (common/hash.h), never std::hash — a
+//    router and its shard backends construct identical rings from
+//    (num_shards, seed, vnodes) alone, so they agree on row ownership
+//    without exchanging any state;
+//  - smoothness: with v virtual nodes per shard, shard loads concentrate
+//    around 1/n (the ring test asserts the spread), and changing the shard
+//    count moves only the keys whose arc changed owner — unlike the ad-hoc
+//    `hash % n` mapping this replaces, which reshuffles almost everything.
+#ifndef SKYCUBE_COMMON_CONSISTENT_HASH_H_
+#define SKYCUBE_COMMON_CONSISTENT_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace skycube {
+
+class HashRing {
+ public:
+  /// Builds the ring for shards [0, num_shards) with `vnodes` points per
+  /// shard, all derived from `seed`. num_shards >= 1, vnodes >= 1 (both
+  /// clamped).
+  explicit HashRing(size_t num_shards, uint64_t seed = 0, int vnodes = 64);
+
+  /// The shard owning `key`. Keys are mixed before the ring lookup, so raw
+  /// sequential ids spread evenly.
+  size_t OwnerOf(uint64_t key) const;
+
+  size_t num_shards() const { return num_shards_; }
+  uint64_t seed() const { return seed_; }
+  int vnodes() const { return vnodes_; }
+
+ private:
+  struct Point {
+    uint64_t position;
+    uint32_t shard;
+  };
+
+  size_t num_shards_;
+  uint64_t seed_;
+  int vnodes_;
+  uint64_t key_salt_;  // seed avalanched once for the per-key hash
+  std::vector<Point> points_;  // sorted by (position, shard)
+};
+
+}  // namespace skycube
+
+#endif  // SKYCUBE_COMMON_CONSISTENT_HASH_H_

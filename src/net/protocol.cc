@@ -211,7 +211,9 @@ std::string EncodeResponse(const WireResponse& response) {
   PutU64(&payload, response.id);
   PutU8(&payload, static_cast<uint8_t>(response.request_op));
   PutU8(&payload, static_cast<uint8_t>(response.status));
-  PutU8(&payload, response.cache_hit ? 1 : 0);
+  const uint8_t flags = static_cast<uint8_t>((response.cache_hit ? 1 : 0) |
+                                             (response.partial ? 2 : 0));
+  PutU8(&payload, flags);
   PutU64(&payload, response.snapshot_version);
   if (response.status != StatusCode::kOk) {
     PutString(&payload, response.text);
@@ -334,6 +336,7 @@ Result<WireResponse> ParseResponse(std::string_view payload) {
   response.request_op = static_cast<Opcode>(request_op);
   response.status = static_cast<StatusCode>(status);
   response.cache_hit = (flags & 1) != 0;
+  response.partial = (flags & 2) != 0;
   if (response.status != StatusCode::kOk) {
     if (!reader.ReadString(&response.text)) {
       return Status::InvalidArgument("truncated error text");
@@ -480,6 +483,7 @@ WireResponse FromQueryResponse(const WireRequest& request,
   wire.request_op = request.op;
   wire.status = response.code;
   wire.cache_hit = response.cache_hit;
+  wire.partial = response.partial;
   wire.snapshot_version = response.snapshot_version;
   if (!response.ok) {
     wire.text = response.error;
@@ -507,6 +511,61 @@ WireResponse FromQueryResponse(const WireRequest& request,
       break;
   }
   return wire;
+}
+
+QueryResponse ToQueryResponse(const WireResponse& response) {
+  QueryResponse out;
+  switch (response.request_op) {
+    case Opcode::kSkyline:
+      out.kind = QueryKind::kSubspaceSkyline;
+      break;
+    case Opcode::kCardinality:
+      out.kind = QueryKind::kSkylineCardinality;
+      break;
+    case Opcode::kMembership:
+      out.kind = QueryKind::kMembership;
+      break;
+    case Opcode::kMembershipCount:
+      out.kind = QueryKind::kMembershipCount;
+      break;
+    case Opcode::kInsert:
+      out.kind = QueryKind::kInsert;
+      break;
+    default:
+      out.kind = QueryKind::kSkycubeSize;
+      break;
+  }
+  out.cache_hit = response.cache_hit;
+  out.partial = response.partial;
+  out.snapshot_version = response.snapshot_version;
+  if (response.status != StatusCode::kOk) {
+    out.ok = false;
+    out.code = response.status;
+    out.error = response.text;
+    return out;
+  }
+  switch (response.request_op) {
+    case Opcode::kSkyline:
+      out.ids = std::make_shared<const std::vector<ObjectId>>(response.ids);
+      out.count = response.ids.size();
+      break;
+    case Opcode::kCardinality:
+    case Opcode::kMembershipCount:
+    case Opcode::kSkycubeSize:
+      out.count = response.count;
+      break;
+    case Opcode::kMembership:
+      out.member = response.member;
+      break;
+    case Opcode::kInsert:
+      out.lsn = response.lsn;
+      out.count = response.count;
+      out.insert_path = response.text;
+      break;
+    default:
+      break;
+  }
+  return out;
 }
 
 WireResponse ErrorWireResponse(const WireRequest& request, StatusCode status,

@@ -90,13 +90,17 @@ struct WireRequest {
 /// A decoded kResponse frame. Exactly one per request, in request order.
 /// Body layout after the opcode byte:
 ///   u64 request id, u8 request opcode, u8 status code, u8 flags
-///   (bit 0 = cache hit), u64 snapshot version, then the status/opcode
-///   specific payload (see docs/NET.md).
+///   (bit 0 = cache hit, bit 1 = partial answer), u64 snapshot version,
+///   then the status/opcode specific payload (see docs/NET.md).
 struct WireResponse {
   uint64_t id = 0;
   Opcode request_op = Opcode::kPing;
   StatusCode status = StatusCode::kOk;
   bool cache_hit = false;
+  /// Flags bit 1: the answer covers only the reachable shards (set by the
+  /// scatter–gather router under degradation, docs/SHARDING.md). Unknown
+  /// flag bits are reserved and ignored by decoders.
+  bool partial = false;
   uint64_t snapshot_version = 0;
 
   /// kSkyline payload (ascending object ids).
@@ -196,6 +200,11 @@ WireResponse FromQueryResponse(const WireRequest& request,
 /// Builds an error response frame (shed, drain, internal) for `request`.
 WireResponse ErrorWireResponse(const WireRequest& request, StatusCode status,
                                std::string_view reason);
+
+/// Converts a decoded query response back into the service vocabulary —
+/// the inverse of FromQueryResponse, used by clients that layer service
+/// logic over the wire (the scatter–gather router's remote shard backend).
+QueryResponse ToQueryResponse(const WireResponse& response);
 
 }  // namespace skycube::net
 

@@ -11,7 +11,6 @@
 #include <cstring>
 
 #include "common/deadline.h"
-#include "service/text_format.h"
 
 namespace skycube::net {
 namespace {
@@ -26,7 +25,7 @@ constexpr size_t kReadBudgetBytes = 256 * 1024;
 
 }  // namespace
 
-NetServer::NetServer(SkycubeService* service, NetServerOptions options)
+NetServer::NetServer(QueryExecutor* service, NetServerOptions options)
     : service_(service), options_(std::move(options)) {
   if (!options_.health_text) {
     options_.health_text = [this] { return DefaultHealthText(); };
@@ -44,8 +43,7 @@ Status NetServer::Start() {
   if (started_.exchange(true)) {
     return Status::Internal("NetServer started twice");
   }
-  max_insert_values_ =
-      static_cast<size_t>(service_->snapshot()->num_dims());
+  max_insert_values_ = static_cast<size_t>(service_->num_dims());
   Status loop_ok = loop_.Init();
   if (!loop_ok.ok()) return loop_ok;
 
@@ -409,11 +407,11 @@ void NetServer::MaybeFinishDrain() {
 }
 
 std::string NetServer::DefaultHealthText() const {
-  return FormatHealthLine(*service_);
+  return service_->HealthLine();
 }
 
 std::string NetServer::DefaultStatsText() const {
-  return FormatStatsLine(*service_);
+  return service_->StatsLine();
 }
 
 }  // namespace skycube::net

@@ -1,4 +1,6 @@
-// NetServer: the socket front end of SkycubeService (docs/NET.md).
+// NetServer: the socket front end of a QueryExecutor (docs/NET.md) —
+// usually a SkycubeService, but the scatter–gather router serves through
+// the same class (docs/SHARDING.md).
 //
 // Architecture — one epoll loop thread plus a bounded dispatch pool:
 //
@@ -42,7 +44,7 @@
 #include "net/connection.h"
 #include "net/event_loop.h"
 #include "net/protocol.h"
-#include "service/service.h"
+#include "service/executor.h"
 
 namespace skycube::net {
 
@@ -97,8 +99,10 @@ struct NetServerStats {
 
 class NetServer {
  public:
-  /// `service` is not owned and must outlive the server.
-  NetServer(SkycubeService* service, NetServerOptions options = {});
+  /// `service` is not owned and must outlive the server. Any QueryExecutor
+  /// works: a single-node SkycubeService, the in-process sharded wrapper,
+  /// or the scatter–gather router (docs/SHARDING.md).
+  NetServer(QueryExecutor* service, NetServerOptions options = {});
   ~NetServer();
 
   NetServer(const NetServer&) = delete;
@@ -163,7 +167,7 @@ class NetServer {
   std::string DefaultHealthText() const;
   std::string DefaultStatsText() const;
 
-  SkycubeService* service_;
+  QueryExecutor* service_;
   NetServerOptions options_;
   size_t max_insert_values_ = 4096;
 

@@ -1,0 +1,124 @@
+#include "router/partition.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/macros.h"
+
+namespace skycube::router {
+
+RowStore::RowStore(int num_dims)
+    : num_dims_(num_dims),
+      chunks_(new std::atomic<double*>[kMaxChunks]) {
+  for (size_t i = 0; i < kMaxChunks; ++i) {
+    chunks_[i].store(nullptr, std::memory_order_relaxed);
+  }
+}
+
+RowStore::~RowStore() {
+  for (size_t i = 0; i < kMaxChunks; ++i) {
+    delete[] chunks_[i].load(std::memory_order_relaxed);
+  }
+}
+
+ObjectId RowStore::Append(const double* values) {
+  const ObjectId gid = size_.load(std::memory_order_relaxed);
+  const size_t chunk = gid / kRowsPerChunk;
+  SKYCUBE_CHECK_MSG(chunk < kMaxChunks, "RowStore capacity exceeded");
+  double* rows = chunks_[chunk].load(std::memory_order_relaxed);
+  if (rows == nullptr) {
+    rows = new double[kRowsPerChunk * static_cast<size_t>(num_dims_)];
+    chunks_[chunk].store(rows, std::memory_order_release);
+  }
+  const size_t offset =
+      (gid % kRowsPerChunk) * static_cast<size_t>(num_dims_);
+  std::copy(values, values + num_dims_, rows + offset);
+  // The release store publishes the row data and (if new) the chunk
+  // pointer: a reader that acquires size > gid sees both.
+  size_.store(gid + 1, std::memory_order_release);
+  return gid;
+}
+
+const double* RowStore::Row(ObjectId gid) const {
+  const size_t chunk = gid / kRowsPerChunk;
+  const double* rows = chunks_[chunk].load(std::memory_order_acquire);
+  return rows + (gid % kRowsPerChunk) * static_cast<size_t>(num_dims_);
+}
+
+AppendOnlyIds::AppendOnlyIds()
+    : chunks_(new std::atomic<ObjectId*>[kMaxChunks]) {
+  for (size_t i = 0; i < kMaxChunks; ++i) {
+    chunks_[i].store(nullptr, std::memory_order_relaxed);
+  }
+}
+
+AppendOnlyIds::~AppendOnlyIds() {
+  for (size_t i = 0; i < kMaxChunks; ++i) {
+    delete[] chunks_[i].load(std::memory_order_relaxed);
+  }
+}
+
+void AppendOnlyIds::Append(ObjectId id) {
+  const size_t index = size_.load(std::memory_order_relaxed);
+  const size_t chunk = index / kIdsPerChunk;
+  SKYCUBE_CHECK_MSG(chunk < kMaxChunks, "AppendOnlyIds capacity exceeded");
+  ObjectId* ids = chunks_[chunk].load(std::memory_order_relaxed);
+  if (ids == nullptr) {
+    ids = new ObjectId[kIdsPerChunk];
+    chunks_[chunk].store(ids, std::memory_order_release);
+  }
+  ids[index % kIdsPerChunk] = id;
+  size_.store(index + 1, std::memory_order_release);
+}
+
+ObjectId AppendOnlyIds::At(size_t index) const {
+  const ObjectId* ids =
+      chunks_[index / kIdsPerChunk].load(std::memory_order_acquire);
+  return ids[index % kIdsPerChunk];
+}
+
+int64_t AppendOnlyIds::IndexOf(ObjectId id) const {
+  // Binary search over the ascending prefix this reader can see.
+  size_t lo = 0, hi = size();
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    const ObjectId at = At(mid);
+    if (at == id) return static_cast<int64_t>(mid);
+    if (at < id) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return -1;
+}
+
+RouterTopology::RouterTopology(int num_dims, size_t num_shards,
+                               uint64_t ring_seed, int ring_vnodes)
+    : ring_(num_shards, ring_seed, ring_vnodes), rows_(num_dims) {
+  shard_ids_.reserve(ring_.num_shards());
+  for (size_t i = 0; i < ring_.num_shards(); ++i) {
+    shard_ids_.push_back(std::make_unique<AppendOnlyIds>());
+  }
+}
+
+ObjectId RouterTopology::AppendRow(const double* values) {
+  const ObjectId gid = rows_.Append(values);
+  shard_ids_[ring_.OwnerOf(gid)]->Append(gid);
+  return gid;
+}
+
+bool RouterTopology::WaitForLocal(size_t shard, ObjectId local,
+                                  Deadline deadline) const {
+  const AppendOnlyIds& ids = *shard_ids_[shard];
+  if (local < ids.size()) return true;
+  // Rare: a shard answer referenced a row whose ingest-side append is
+  // still in flight on another thread. It lands within microseconds.
+  while (!deadline.expired()) {
+    std::this_thread::yield();
+    if (local < ids.size()) return true;
+  }
+  return local < ids.size();
+}
+
+}  // namespace skycube::router

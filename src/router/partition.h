@@ -1,0 +1,142 @@
+// Row-ownership bookkeeping of the scatter–gather router
+// (docs/SHARDING.md).
+//
+// The router keeps its own append-only copy of every row value: it
+// bootstraps each shard's partition deterministically from the shared data
+// source and sees every insert, so shards never need to ship row values
+// back — a shard answers a subspace-skyline request with *local* row ids
+// only, and the RouterTopology translates local <-> global and feeds the
+// merge pass (router/merge.h) the actual values.
+//
+// Concurrency model: appends are serialized by the router's ingest mutex
+// (single writer); readers are lock-free and concurrent. Both RowStore and
+// the per-shard id lists store their elements in fixed-size chunks behind a
+// preallocated atomic slot array and publish growth with a release store of
+// the size counter — a reader that acquires size N may touch any element
+// below N without ever racing a reallocation (there are none) or a
+// half-written row (ordered before the size store).
+#ifndef SKYCUBE_ROUTER_PARTITION_H_
+#define SKYCUBE_ROUTER_PARTITION_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/consistent_hash.h"
+#include "common/deadline.h"
+#include "dataset/dataset.h"
+
+namespace skycube::router {
+
+/// Append-only chunked array of rows (num_dims doubles each). Single
+/// writer, lock-free concurrent readers; see file comment.
+class RowStore {
+ public:
+  explicit RowStore(int num_dims);
+  ~RowStore();
+
+  RowStore(const RowStore&) = delete;
+  RowStore& operator=(const RowStore&) = delete;
+
+  /// Appends one row (exactly num_dims values); returns its global id.
+  /// Caller serializes appends.
+  ObjectId Append(const double* values);
+
+  /// Rows visible to this reader (acquire).
+  ObjectId size() const { return size_.load(std::memory_order_acquire); }
+
+  /// Values of row `gid`; gid must be below a size() this thread observed.
+  const double* Row(ObjectId gid) const;
+
+  int num_dims() const { return num_dims_; }
+
+ private:
+  static constexpr size_t kRowsPerChunk = 4096;
+  static constexpr size_t kMaxChunks = 1 << 16;  // 268M rows
+
+  int num_dims_;
+  std::unique_ptr<std::atomic<double*>[]> chunks_;
+  std::atomic<ObjectId> size_{0};
+};
+
+/// Append-only chunked array of object ids with the same single-writer /
+/// lock-free-reader contract as RowStore. Ids are appended in ascending
+/// order (global ids grow monotonically), so IndexOf is a binary search.
+class AppendOnlyIds {
+ public:
+  AppendOnlyIds();
+  ~AppendOnlyIds();
+
+  AppendOnlyIds(const AppendOnlyIds&) = delete;
+  AppendOnlyIds& operator=(const AppendOnlyIds&) = delete;
+
+  void Append(ObjectId id);
+  size_t size() const { return size_.load(std::memory_order_acquire); }
+  ObjectId At(size_t index) const;
+
+  /// Index of `id` in [0, size()), or -1 when absent.
+  int64_t IndexOf(ObjectId id) const;
+
+ private:
+  static constexpr size_t kIdsPerChunk = 8192;
+  static constexpr size_t kMaxChunks = 1 << 16;
+
+  std::unique_ptr<std::atomic<ObjectId*>[]> chunks_;
+  std::atomic<size_t> size_{0};
+};
+
+/// The router's view of the sharded row population: the consistent-hash
+/// ring assigning every global row id an owner shard, the full row values,
+/// and per-shard ascending global-id lists giving the local <-> global
+/// translation (a shard's local id L is position L in its list — shards
+/// load their partition in the same ascending-gid order, see
+/// skycube_serve --shard-index).
+class RouterTopology {
+ public:
+  RouterTopology(int num_dims, size_t num_shards, uint64_t ring_seed = 0,
+                 int ring_vnodes = 64);
+
+  int num_dims() const { return rows_.num_dims(); }
+  size_t num_shards() const { return ring_.num_shards(); }
+  const HashRing& ring() const { return ring_; }
+
+  /// The shard owning global row `gid`.
+  size_t OwnerOf(ObjectId gid) const { return ring_.OwnerOf(gid); }
+
+  /// Appends one row to the store and its owner's id list; returns the
+  /// global id. Caller serializes (router ingest mutex) and must have
+  /// confirmed the owner shard applied the row first.
+  ObjectId AppendRow(const double* values);
+
+  ObjectId total_rows() const { return rows_.size(); }
+  const RowStore& rows() const { return rows_; }
+
+  size_t ShardSize(size_t shard) const { return shard_ids_[shard]->size(); }
+
+  /// Global id of `shard`'s local row `local`; local must be below a
+  /// ShardSize(shard) this thread observed.
+  ObjectId GlobalId(size_t shard, ObjectId local) const {
+    return shard_ids_[shard]->At(local);
+  }
+
+  /// Local id of `gid` on its owner shard, or -1 when not yet appended.
+  int64_t LocalId(size_t shard, ObjectId gid) const {
+    return shard_ids_[shard]->IndexOf(gid);
+  }
+
+  /// Waits until shard's id list covers `local` (it can lag a shard answer
+  /// by the microseconds between the shard applying an insert and the
+  /// router's ingest thread appending it here). False on deadline expiry.
+  bool WaitForLocal(size_t shard, ObjectId local, Deadline deadline) const;
+
+ private:
+  HashRing ring_;
+  RowStore rows_;
+  std::vector<std::unique_ptr<AppendOnlyIds>> shard_ids_;
+};
+
+}  // namespace skycube::router
+
+#endif  // SKYCUBE_ROUTER_PARTITION_H_

@@ -1,0 +1,85 @@
+#include "router/router.h"
+
+#include <sstream>
+#include <utility>
+
+namespace skycube::router {
+
+RouterExecutor::RouterExecutor(int num_dims,
+                               const std::vector<ShardEndpoint>& endpoints,
+                               RouterOptions options)
+    : topology_(num_dims, endpoints.empty() ? 1 : endpoints.size(),
+                options.ring_seed, options.ring_vnodes) {
+  backends_.reserve(endpoints.size());
+  std::vector<ShardBackend*> backend_ptrs;
+  backend_ptrs.reserve(endpoints.size());
+  for (const ShardEndpoint& endpoint : endpoints) {
+    RemoteShardOptions shard_options = options.shard;
+    shard_options.host = endpoint.host;
+    shard_options.port = endpoint.port;
+    backends_.push_back(
+        std::make_unique<RemoteShardBackend>(std::move(shard_options)));
+    backend_ptrs.push_back(backends_.back().get());
+  }
+  scatter_ = std::make_unique<ScatterGather>(&topology_,
+                                             std::move(backend_ptrs),
+                                             options.scatter);
+}
+
+RouterExecutor::~RouterExecutor() = default;
+
+QueryResponse RouterExecutor::Execute(const QueryRequest& request) {
+  if (draining()) {
+    drained_rejects_.fetch_add(1, std::memory_order_relaxed);
+    QueryResponse response;
+    response.kind = request.kind;
+    response.ok = false;
+    response.code = StatusCode::kUnavailable;
+    response.error = "router is draining";
+    response.snapshot_version = snapshot_version();
+    return response;
+  }
+  return scatter_->Execute(request);
+}
+
+std::string RouterExecutor::HealthLine() const {
+  size_t down = 0;
+  for (const auto& backend : backends_) {
+    if (backend->stats().down) ++down;
+  }
+  std::ostringstream out;
+  out << "ok status=" << (draining() ? "draining" : "ready")
+      << " version=" << snapshot_version()
+      << " shards=" << num_shards() << " shards_down=" << down
+      << " rows=" << topology_.total_rows();
+  return out.str();
+}
+
+std::string RouterExecutor::StatsLine() const {
+  const ScatterGatherStats stats = scatter_->stats();
+  uint64_t hedges = 0;
+  uint64_t hedge_wins = 0;
+  uint64_t shard_failures = 0;
+  for (const auto& backend : backends_) {
+    const RemoteShardStats shard = backend->stats();
+    hedges += shard.hedges;
+    hedge_wins += shard.hedge_wins;
+    shard_failures += shard.failures;
+  }
+  std::ostringstream out;
+  out << "ok queries=" << stats.queries
+      << " shard_calls=" << stats.shard_calls
+      << " shard_losses=" << stats.shard_losses
+      << " shard_failures=" << shard_failures
+      << " partial_answers=" << stats.partial_answers
+      << " merge_candidates=" << stats.merge_candidates
+      << " hedges=" << hedges << " hedge_wins=" << hedge_wins
+      << " inserts=" << stats.inserts_routed
+      << " drained_rejects="
+      << drained_rejects_.load(std::memory_order_relaxed)
+      << " version=" << snapshot_version()
+      << " draining=" << (draining() ? 1 : 0);
+  return out.str();
+}
+
+}  // namespace skycube::router

@@ -1,0 +1,89 @@
+// RouterExecutor: the scatter–gather router as a QueryExecutor
+// (docs/SHARDING.md).
+//
+// Ties a RouterTopology (full row copy + ring), one RemoteShardBackend per
+// shard endpoint, and a ScatterGather engine into the same interface
+// NetServer serves — so tools/skycube_router is just a NetServer over a
+// RouterExecutor, speaking the identical wire protocol clients already
+// use against a single node.
+//
+// Bootstrap contract: every row appended through BootstrapRow before
+// serving must be the same row, in the same order, that the shard
+// processes loaded (tools/skycube_serve --shard-index filters the shared
+// data source by the same ring) — global id = load order, owner = ring.
+#ifndef SKYCUBE_ROUTER_ROUTER_H_
+#define SKYCUBE_ROUTER_ROUTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "router/partition.h"
+#include "router/remote_backend.h"
+#include "router/scatter_gather.h"
+#include "service/executor.h"
+
+namespace skycube::router {
+
+/// One shard server address.
+struct ShardEndpoint {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+};
+
+struct RouterOptions {
+  uint64_t ring_seed = 0;
+  int ring_vnodes = 64;
+  ScatterGatherOptions scatter;
+  /// Hedging / down-marking knobs applied to every shard backend (host and
+  /// port are taken from the endpoint list).
+  RemoteShardOptions shard;
+};
+
+class RouterExecutor : public QueryExecutor {
+ public:
+  RouterExecutor(int num_dims, const std::vector<ShardEndpoint>& endpoints,
+                 RouterOptions options = {});
+  ~RouterExecutor() override;
+
+  RouterExecutor(const RouterExecutor&) = delete;
+  RouterExecutor& operator=(const RouterExecutor&) = delete;
+
+  /// Registers one bootstrap row (call before serving; not thread-safe
+  /// against Execute). Rows must arrive in global-id order.
+  void BootstrapRow(const double* values) { topology_.AppendRow(values); }
+
+  QueryResponse Execute(const QueryRequest& request) override;
+  uint64_t snapshot_version() const override {
+    return scatter_->known_version();
+  }
+  int num_dims() const override { return topology_.num_dims(); }
+  void BeginDrain() override {
+    draining_.store(true, std::memory_order_release);
+  }
+  bool draining() const override {
+    return draining_.load(std::memory_order_acquire);
+  }
+  std::string HealthLine() const override;
+  std::string StatsLine() const override;
+
+  size_t num_shards() const { return topology_.num_shards(); }
+  const RouterTopology& topology() const { return topology_; }
+  ScatterGatherStats scatter_stats() const { return scatter_->stats(); }
+  RemoteShardStats shard_stats(size_t shard) const {
+    return backends_[shard]->stats();
+  }
+
+ private:
+  RouterTopology topology_;
+  std::vector<std::unique_ptr<RemoteShardBackend>> backends_;
+  std::unique_ptr<ScatterGather> scatter_;
+  std::atomic<bool> draining_{false};
+  std::atomic<uint64_t> drained_rejects_{0};
+};
+
+}  // namespace skycube::router
+
+#endif  // SKYCUBE_ROUTER_ROUTER_H_

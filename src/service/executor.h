@@ -1,0 +1,48 @@
+// Abstract query-execution seam between front ends and backing engines.
+//
+// The network server (net/server.h) and the text REPL speak QueryRequest /
+// QueryResponse; what answers them varies: a single-node SkycubeService, an
+// in-process sharded wrapper (router/sharded_service.h), or the TCP
+// scatter–gather router (router/router.h). QueryExecutor is the minimal
+// surface a front end needs — execute, drain, and the three introspection
+// hooks the serve loop exposes (version, dimensionality, health/stats
+// lines). Implementations must be safe to call from many threads.
+#ifndef SKYCUBE_SERVICE_EXECUTOR_H_
+#define SKYCUBE_SERVICE_EXECUTOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "service/request.h"
+
+namespace skycube {
+
+class QueryExecutor {
+ public:
+  virtual ~QueryExecutor() = default;
+
+  /// Answers one request. Never throws; failures come back as !ok
+  /// responses with a StatusCode.
+  virtual QueryResponse Execute(const QueryRequest& request) = 0;
+
+  /// Version of the data snapshot the next Execute would see. Monotonic;
+  /// used by front ends for introspection headers only.
+  virtual uint64_t snapshot_version() const = 0;
+
+  /// Row width the executor accepts for kInsert.
+  virtual int num_dims() const = 0;
+
+  /// Stops admitting new work; in-flight requests finish, later ones get
+  /// kUnavailable. Idempotent.
+  virtual void BeginDrain() = 0;
+  virtual bool draining() const = 0;
+
+  /// One-line human-readable health / stats summaries (the `health` and
+  /// `stats` verbs of the serve tool and the kHealth/kStats opcodes).
+  virtual std::string HealthLine() const = 0;
+  virtual std::string StatsLine() const = 0;
+};
+
+}  // namespace skycube
+
+#endif  // SKYCUBE_SERVICE_EXECUTOR_H_

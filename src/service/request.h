@@ -117,8 +117,16 @@ struct QueryResponse {
   /// kInsert answer this is the *post-insert* version — the proof that the
   /// result cache can no longer serve pre-insert answers.
   uint64_t snapshot_version = 0;
-  /// True iff the answer came from the result cache.
+  /// True iff the answer came from the result cache. For a router-merged
+  /// answer: true iff every contributing shard answered from its cache.
   bool cache_hit = false;
+  /// True iff the answer covers only part of the row population — the
+  /// scatter–gather router sets this when a shard was down or missed its
+  /// deadline budget and the query was answered over the survivors
+  /// (docs/SHARDING.md). Single-node answers never set it. A partial answer
+  /// is still internally consistent (a correct skyline of the rows that
+  /// were reachable); it may merely omit rows owned by the lost shard.
+  bool partial = false;
 };
 
 }  // namespace skycube

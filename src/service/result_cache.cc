@@ -1,7 +1,6 @@
 #include "service/result_cache.h"
 
 #include <algorithm>
-#include <bit>
 #include <utility>
 
 #include "common/fault_injection.h"
@@ -9,6 +8,18 @@
 #include "common/macros.h"
 
 namespace skycube {
+namespace {
+
+size_t CacheShardCount(const ResultCacheOptions& options) {
+  // No point in more shards than capacity slots.
+  size_t shards = std::max<size_t>(options.num_shards, 1);
+  if (options.capacity > 0 && shards > options.capacity) {
+    shards = options.capacity;
+  }
+  return shards;
+}
+
+}  // namespace
 
 size_t ResultCache::KeyHash::operator()(const Key& key) const {
   uint64_t h = HashCombine(0x5C7BE5ULL, static_cast<uint64_t>(key.kind));
@@ -19,13 +30,8 @@ size_t ResultCache::KeyHash::operator()(const Key& key) const {
 }
 
 ResultCache::ResultCache(ResultCacheOptions options)
-    : capacity_(options.capacity) {
-  size_t shards = std::bit_ceil(std::max<size_t>(options.num_shards, 1));
-  // No point in more shards than capacity slots.
-  if (capacity_ > 0 && shards > capacity_) {
-    shards = std::bit_floor(capacity_);
-  }
-  shard_mask_ = shards - 1;
+    : capacity_(options.capacity), ring_(CacheShardCount(options)) {
+  const size_t shards = ring_.num_shards();
   per_shard_capacity_ = capacity_ == 0 ? 0 : (capacity_ + shards - 1) / shards;
   shards_.reserve(shards);
   for (size_t i = 0; i < shards; ++i) {
@@ -34,7 +40,7 @@ ResultCache::ResultCache(ResultCacheOptions options)
 }
 
 ResultCache::Shard& ResultCache::ShardFor(const Key& key) {
-  return *shards_[KeyHash{}(key) & shard_mask_];
+  return *shards_[ring_.OwnerOf(KeyHash{}(key))];
 }
 
 bool ResultCache::Lookup(const Key& key, QueryResponse* response) {

@@ -17,6 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/consistent_hash.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 #include "service/request.h"
@@ -45,7 +46,7 @@ struct ResultCacheOptions {
   /// Total entries across all shards; 0 disables the cache entirely
   /// (lookups always miss, inserts are dropped).
   size_t capacity = 1 << 16;
-  /// Number of independent LRU shards (rounded up to a power of two).
+  /// Number of independent LRU shards (capped at the capacity).
   size_t num_shards = 8;
 };
 
@@ -108,7 +109,11 @@ class ResultCache {
 
   size_t capacity_ = 0;
   size_t per_shard_capacity_ = 0;
-  size_t shard_mask_ = 0;  // num_shards - 1 (power of two)
+  /// Key-hash -> shard placement. The same ring abstraction the
+  /// scatter–gather tier uses for row ownership (common/consistent_hash.h),
+  /// replacing the ad-hoc power-of-two mask: shard counts no longer need
+  /// rounding, and placement stays deterministic across processes.
+  HashRing ring_;
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 

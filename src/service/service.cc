@@ -10,6 +10,7 @@
 #include "common/fault_injection.h"
 #include "common/macros.h"
 #include "common/mutex.h"
+#include "service/text_format.h"
 
 namespace skycube {
 
@@ -385,6 +386,18 @@ std::shared_ptr<const CompressedSkylineCube> SkycubeService::snapshot()
 
 uint64_t SkycubeService::snapshot_version() const {
   return LoadSnapshot()->version;
+}
+
+int SkycubeService::num_dims() const {
+  return LoadSnapshot()->cube->num_dims();
+}
+
+std::string SkycubeService::HealthLine() const {
+  return FormatHealthLine(*this);
+}
+
+std::string SkycubeService::StatsLine() const {
+  return FormatStatsLine(*this);
 }
 
 ThreadPool& SkycubeService::BatchPool() {

@@ -34,6 +34,7 @@
 #include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "core/cube.h"
+#include "service/executor.h"
 #include "service/ingest.h"
 #include "service/request.h"
 #include "service/result_cache.h"
@@ -59,7 +60,7 @@ struct SkycubeServiceOptions {
   std::chrono::milliseconds queue_wait_timeout{0};
 };
 
-class SkycubeService {
+class SkycubeService : public QueryExecutor {
  public:
   /// Starts serving `cube` as snapshot version 1.
   SkycubeService(std::shared_ptr<const CompressedSkylineCube> cube,
@@ -75,7 +76,7 @@ class SkycubeService {
   /// the query's own compute time; requests carrying an expired deadline
   /// (before or during compute) answer kDeadlineExceeded, shed requests
   /// kResourceExhausted.
-  QueryResponse Execute(const QueryRequest& request);
+  QueryResponse Execute(const QueryRequest& request) override;
 
   /// Answers a batch, fanning the requests out across the service pool;
   /// responses[i] answers requests[i]. The calling thread participates, so
@@ -100,15 +101,23 @@ class SkycubeService {
   /// Graceful-shutdown gate: after this, every new Execute/ExecuteBatch
   /// answers kUnavailable without touching cache or cube; in-flight work
   /// finishes normally. Irreversible.
-  void BeginDrain();
-  bool draining() const {
+  void BeginDrain() override;
+  bool draining() const override {
     return draining_.load(std::memory_order_acquire);
   }
 
   /// The currently served cube (shared ownership keeps it valid even if a
   /// Reload lands immediately after).
   std::shared_ptr<const CompressedSkylineCube> snapshot() const;
-  uint64_t snapshot_version() const;
+  uint64_t snapshot_version() const override;
+
+  /// Row width of the served cube (QueryExecutor introspection).
+  int num_dims() const override;
+
+  /// Default serve-tool health/stats renderings (text_format.h). Tools that
+  /// add suffixes (durable ingest counters) format their own lines instead.
+  std::string HealthLine() const override;
+  std::string StatsLine() const override;
 
   ServiceStats stats() const EXCLUDES(admission_mu_);
 

@@ -39,6 +39,10 @@ std::string FormatResponseLine(const QueryResponse& response) {
   }
   out << " v=" << response.snapshot_version
       << " hit=" << (response.cache_hit ? 1 : 0);
+  // Emitted only when set so pre-sharding scripts scraping the field
+  // layout keep matching; a partial answer is a router degradation signal
+  // (docs/SHARDING.md).
+  if (response.partial) out << " partial=1";
   if (response.ids) {
     out << " ids=";
     for (size_t i = 0; i < response.ids->size(); ++i) {

@@ -1,0 +1,96 @@
+// HashRing tests: cross-instance determinism (a router and a shard built
+// from the same (num_shards, seed, vnodes) triple must agree on every
+// key's owner — that is the whole sharding contract), load spread across
+// shards, remap locality when the shard count changes, and parameter
+// clamping.
+#include "common/consistent_hash.h"
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace skycube {
+namespace {
+
+constexpr uint64_t kKeys = 20000;
+
+TEST(HashRing, DeterministicAcrossInstances) {
+  const HashRing a(5, /*seed=*/17, /*vnodes=*/64);
+  const HashRing b(5, /*seed=*/17, /*vnodes=*/64);
+  for (uint64_t key = 0; key < kKeys; ++key) {
+    ASSERT_EQ(a.OwnerOf(key), b.OwnerOf(key)) << "key " << key;
+  }
+}
+
+TEST(HashRing, SeedChangesTheMapping) {
+  const HashRing a(5, /*seed=*/17);
+  const HashRing b(5, /*seed=*/18);
+  uint64_t moved = 0;
+  for (uint64_t key = 0; key < kKeys; ++key) {
+    if (a.OwnerOf(key) != b.OwnerOf(key)) ++moved;
+  }
+  // Different seeds build unrelated rings; most keys land elsewhere.
+  EXPECT_GT(moved, kKeys / 2);
+}
+
+TEST(HashRing, OwnersAreInRange) {
+  for (size_t shards : {1u, 2u, 3u, 7u, 16u}) {
+    const HashRing ring(shards, /*seed=*/3);
+    for (uint64_t key = 0; key < 1000; ++key) {
+      ASSERT_LT(ring.OwnerOf(key), shards);
+    }
+  }
+}
+
+TEST(HashRing, SpreadsSequentialIdsEvenly) {
+  // Sequential row ids are the real workload (global ids count up from 0);
+  // the key mixing must keep every shard near 1/n even so.
+  for (size_t shards : {2u, 3u, 8u}) {
+    const HashRing ring(shards, /*seed=*/0, /*vnodes=*/64);
+    std::map<size_t, uint64_t> load;
+    for (uint64_t key = 0; key < kKeys; ++key) {
+      ++load[ring.OwnerOf(key)];
+    }
+    ASSERT_EQ(load.size(), shards);  // nobody starves
+    const double expected = static_cast<double>(kKeys) / shards;
+    for (const auto& [shard, count] : load) {
+      EXPECT_GT(count, expected * 0.5) << "shard " << shard << " underfull";
+      EXPECT_LT(count, expected * 1.6) << "shard " << shard << " overfull";
+    }
+  }
+}
+
+TEST(HashRing, GrowingTheRingMovesOnlyArcsOfTheNewShard) {
+  // Consistent hashing's defining property: adding shard n leaves every
+  // key either with its old owner or on the new shard — no key moves
+  // between two pre-existing shards.
+  const size_t n = 4;
+  const HashRing before(n, /*seed=*/9);
+  const HashRing after(n + 1, /*seed=*/9);
+  uint64_t moved = 0;
+  for (uint64_t key = 0; key < kKeys; ++key) {
+    const size_t old_owner = before.OwnerOf(key);
+    const size_t new_owner = after.OwnerOf(key);
+    if (new_owner == old_owner) continue;
+    ASSERT_EQ(new_owner, n) << "key " << key << " moved between "
+                            << old_owner << " and " << new_owner;
+    ++moved;
+  }
+  // The new shard claims about 1/(n+1) of the keyspace, not most of it
+  // (the `hash % n` mapping this replaced reshuffled nearly everything).
+  EXPECT_GT(moved, kKeys / 20);
+  EXPECT_LT(moved, kKeys / 2);
+}
+
+TEST(HashRing, ClampsDegenerateParameters) {
+  const HashRing ring(0, /*seed=*/1, /*vnodes=*/0);
+  EXPECT_EQ(ring.num_shards(), 1u);
+  for (uint64_t key = 0; key < 100; ++key) {
+    EXPECT_EQ(ring.OwnerOf(key), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace skycube

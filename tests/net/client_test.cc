@@ -1,0 +1,239 @@
+// NetClient tests over a real in-process NetServer: request/response and
+// pipelined bursts through the shared client (the one the nettest harness,
+// the shard-scaling bench, and the router's remote backend all use),
+// client-side kGoAway handling when the server abandons the stream, and
+// the partial-flag round trip — wire encode/decode, service bridging, and
+// the text format — including checksum bit-flips at every byte position of
+// a flagged response frame.
+#include "net/client.h"
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/deadline.h"
+#include "core/cube.h"
+#include "core/maintenance.h"
+#include "datagen/synthetic.h"
+#include "dataset/dataset.h"
+#include "net/protocol.h"
+#include "net/server.h"
+#include "service/ingest.h"
+#include "service/service.h"
+#include "service/text_format.h"
+
+namespace skycube::net {
+namespace {
+
+constexpr int64_t kReadMillis = 30000;
+
+Dataset MakeData(size_t objects, int dims, uint64_t seed) {
+  SyntheticSpec spec;
+  spec.distribution = Distribution::kIndependent;
+  spec.num_dims = dims;
+  spec.num_objects = objects;
+  spec.seed = seed;
+  spec.truncate_decimals = 2;
+  return GenerateSynthetic(spec);
+}
+
+class NetClientTest : public ::testing::Test {
+ protected:
+  void StartServer() {
+    maintainer_ = std::make_unique<IncrementalCubeMaintainer>(
+        MakeData(200, 4, 11));
+    handler_ = std::make_unique<MaintainerInsertHandler>(maintainer_.get());
+    cube_ = std::make_shared<const CompressedSkylineCube>(
+        maintainer_->MakeCube());
+    service_ = std::make_unique<SkycubeService>(cube_);
+    service_->AttachInsertHandler(handler_.get());
+    NetServerOptions options;
+    options.port = 0;
+    server_ = std::make_unique<NetServer>(service_.get(), options);
+    ASSERT_TRUE(server_->Start().ok());
+    serve_thread_ = std::thread([this] { server_->Run(); });
+  }
+
+  void TearDown() override {
+    if (server_) server_->Stop();
+    if (serve_thread_.joinable()) serve_thread_.join();
+  }
+
+  std::unique_ptr<IncrementalCubeMaintainer> maintainer_;
+  std::unique_ptr<MaintainerInsertHandler> handler_;
+  std::shared_ptr<const CompressedSkylineCube> cube_;
+  std::unique_ptr<SkycubeService> service_;
+  std::unique_ptr<NetServer> server_;
+  std::thread serve_thread_;
+};
+
+WireRequest Skyline(uint64_t id, DimMask subspace) {
+  WireRequest request;
+  request.op = Opcode::kSkyline;
+  request.id = id;
+  request.subspace = subspace;
+  return request;
+}
+
+TEST_F(NetClientTest, RequestResponseRoundTrip) {
+  StartServer();
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+  ASSERT_TRUE(client.connected());
+
+  ASSERT_TRUE(client.SendRequest(Skyline(7, 0b1011)).ok());
+  WireResponse response;
+  std::string error;
+  ASSERT_EQ(client.ReadResponse(&response, Deadline::AfterMillis(kReadMillis),
+                                &error),
+            NetClient::Got::kFrame)
+      << error;
+  EXPECT_EQ(response.id, 7u);
+  EXPECT_EQ(response.status, StatusCode::kOk);
+  EXPECT_FALSE(response.partial);
+  EXPECT_EQ(response.ids, cube_->SubspaceSkyline(0b1011));
+}
+
+TEST_F(NetClientTest, PipelinedBurstAnswersInOrder) {
+  StartServer();
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+
+  std::string burst;
+  constexpr uint64_t kCount = 16;
+  for (uint64_t i = 0; i < kCount; ++i) {
+    burst += EncodeRequest(Skyline(i, 1 + (i % 15)));
+  }
+  ASSERT_TRUE(client.Send(burst).ok());
+  for (uint64_t i = 0; i < kCount; ++i) {
+    WireResponse response;
+    std::string error;
+    ASSERT_EQ(client.ReadResponse(&response,
+                                  Deadline::AfterMillis(kReadMillis), &error),
+              NetClient::Got::kFrame)
+        << error;
+    EXPECT_EQ(response.id, i);
+    EXPECT_EQ(response.ids, cube_->SubspaceSkyline(1 + (i % 15)));
+  }
+}
+
+TEST_F(NetClientTest, GoAwayOnCorruptFrameReachesTheCaller) {
+  StartServer();
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+
+  // Flip one checksum byte: the server must abandon the stream with a
+  // kGoAway frame (never a response, never silence), and ReadResponse must
+  // surface it as Got::kGoAway with the decoded reason.
+  std::string frame = EncodeRequest(Skyline(1, 0b1));
+  frame[5] = static_cast<char>(frame[5] ^ 0x40);
+  ASSERT_TRUE(client.Send(frame).ok());
+
+  WireResponse response;
+  WireGoAway goaway;
+  std::string error;
+  ASSERT_EQ(client.ReadResponse(&response, Deadline::AfterMillis(kReadMillis),
+                                &error, &goaway),
+            NetClient::Got::kGoAway);
+  EXPECT_NE(goaway.status, StatusCode::kOk);
+  EXPECT_FALSE(goaway.reason.empty());
+  EXPECT_FALSE(error.empty());
+
+  // The stream is dead after goaway: the server closes, the client sees a
+  // clean EOF (not a hang, not garbage).
+  EXPECT_EQ(client.ReadResponse(&response, Deadline::AfterMillis(kReadMillis),
+                                &error),
+            NetClient::Got::kEof);
+}
+
+// --- Partial-flag round trips (no server needed) -------------------------
+
+WireResponse FlaggedResponse() {
+  WireResponse response;
+  response.id = 42;
+  response.request_op = Opcode::kSkyline;
+  response.status = StatusCode::kOk;
+  response.cache_hit = true;
+  response.partial = true;
+  response.snapshot_version = 9;
+  response.ids = {1, 5, 8};
+  return response;
+}
+
+TEST(PartialFlag, SurvivesEncodeParse) {
+  for (const bool partial : {false, true}) {
+    for (const bool hit : {false, true}) {
+      WireResponse response = FlaggedResponse();
+      response.partial = partial;
+      response.cache_hit = hit;
+      const std::string frame = EncodeResponse(response);
+      FrameDecoder decoder;
+      decoder.Append(frame.data(), frame.size());
+      std::string payload, error;
+      ASSERT_EQ(decoder.Take(&payload, &error), FrameDecoder::Next::kFrame)
+          << error;
+      const Result<WireResponse> decoded = ParseResponse(payload);
+      ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+      EXPECT_EQ(decoded.value().partial, partial);
+      EXPECT_EQ(decoded.value().cache_hit, hit);
+      EXPECT_EQ(decoded.value().ids, response.ids);
+    }
+  }
+}
+
+TEST(PartialFlag, SurvivesServiceBridging) {
+  const QueryResponse bridged = ToQueryResponse(FlaggedResponse());
+  EXPECT_TRUE(bridged.ok);
+  EXPECT_TRUE(bridged.partial);
+  EXPECT_TRUE(bridged.cache_hit);
+  ASSERT_NE(bridged.ids, nullptr);
+  EXPECT_EQ(*bridged.ids, std::vector<ObjectId>({1, 5, 8}));
+
+  // And back out through the wire encoder the router's server side uses.
+  WireRequest request = Skyline(42, 0b11);
+  const WireResponse rewired = FromQueryResponse(request, bridged);
+  EXPECT_TRUE(rewired.partial);
+  EXPECT_TRUE(rewired.cache_hit);
+}
+
+TEST(PartialFlag, TextFormatMarksOnlyPartialAnswers) {
+  QueryResponse partial = ToQueryResponse(FlaggedResponse());
+  const std::string flagged = FormatResponseLine(partial);
+  EXPECT_NE(flagged.find(" partial=1"), std::string::npos) << flagged;
+
+  partial.partial = false;
+  const std::string plain = FormatResponseLine(partial);
+  EXPECT_EQ(plain.find("partial"), std::string::npos) << plain;
+}
+
+TEST(PartialFlag, ChecksumFlipAtEveryByteIsAFramingError) {
+  // A flagged response must be protected by the frame checksum like any
+  // other payload: flipping one bit anywhere (header length, checksum, or
+  // payload — flag byte included) must yield a clean framing error, never
+  // a silently unflagged answer.
+  const std::string frame = EncodeResponse(FlaggedResponse());
+  for (size_t byte = 0; byte < frame.size(); ++byte) {
+    std::string bad = frame;
+    bad[byte] = static_cast<char>(bad[byte] ^ 0x10);
+    FrameDecoder decoder;
+    decoder.Append(bad.data(), bad.size());
+    std::string payload, error;
+    const FrameDecoder::Next next = decoder.Take(&payload, &error);
+    if (next == FrameDecoder::Next::kFrame) {
+      ADD_FAILURE() << "corruption at byte " << byte << " went undetected";
+    } else if (next == FrameDecoder::Next::kError) {
+      EXPECT_FALSE(error.empty());
+      // Poisoned: the same error repeats, the stream never resynchronizes.
+      std::string again;
+      EXPECT_EQ(decoder.Take(&payload, &again), FrameDecoder::Next::kError);
+    }
+    // kNeedMore is legal only for corrupted length bytes that enlarge the
+    // declared frame; the decoder is still waiting, not fooled.
+  }
+}
+
+}  // namespace
+}  // namespace skycube::net

@@ -1,0 +1,229 @@
+// ShardedSkycubeService oracle tests: the in-process sharded tier against
+// a single-node SkycubeService over the same rows. Merged answers must be
+// byte-identical for every query kind at 1/2/4/8 shards, before and after
+// inserts, with caches hot and cold. Degradation (SetShardDown) must set
+// the partial flag, never produce an unflagged wrong answer, answer
+// partial queries with exactly the survivor skyline, and reject inserts
+// whose owner shard is down.
+#include "router/sharded_service.h"
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/subspace.h"
+#include "core/cube.h"
+#include "core/maintenance.h"
+#include "datagen/synthetic.h"
+#include "dataset/dataset.h"
+#include "service/ingest.h"
+#include "service/request.h"
+#include "service/service.h"
+
+namespace skycube::router {
+namespace {
+
+Dataset MakeData(size_t objects, int dims, uint64_t seed) {
+  SyntheticSpec spec;
+  spec.distribution = Distribution::kIndependent;
+  spec.num_dims = dims;
+  spec.num_objects = objects;
+  spec.seed = seed;
+  spec.truncate_decimals = 2;
+  return GenerateSynthetic(spec);
+}
+
+/// Single-node ground truth with the same maintainer-backed insert path.
+struct SingleNode {
+  explicit SingleNode(Dataset data)
+      : maintainer(std::make_unique<IncrementalCubeMaintainer>(
+            std::move(data))),
+        handler(std::make_unique<MaintainerInsertHandler>(maintainer.get())),
+        service(std::make_unique<SkycubeService>(
+            std::make_shared<const CompressedSkylineCube>(
+                maintainer->MakeCube()))) {
+    service->AttachInsertHandler(handler.get());
+  }
+
+  std::unique_ptr<IncrementalCubeMaintainer> maintainer;
+  std::unique_ptr<MaintainerInsertHandler> handler;
+  std::unique_ptr<SkycubeService> service;
+};
+
+/// Asserts every query kind answers identically through both tiers.
+void ExpectOracleIdentical(ShardedSkycubeService& sharded,
+                           SkycubeService& single, int dims) {
+  const DimMask full = FullMask(dims);
+  for (DimMask mask = 1; mask <= full; ++mask) {
+    const QueryResponse got =
+        sharded.Execute(QueryRequest::SubspaceSkyline(mask));
+    const QueryResponse want =
+        single.Execute(QueryRequest::SubspaceSkyline(mask));
+    ASSERT_TRUE(got.ok) << got.error;
+    ASSERT_TRUE(want.ok) << want.error;
+    EXPECT_FALSE(got.partial);
+    ASSERT_NE(got.ids, nullptr);
+    ASSERT_NE(want.ids, nullptr);
+    ASSERT_EQ(*got.ids, *want.ids) << "skyline mask " << mask;
+
+    const QueryResponse got_card =
+        sharded.Execute(QueryRequest::SkylineCardinality(mask));
+    ASSERT_TRUE(got_card.ok) << got_card.error;
+    EXPECT_EQ(got_card.count, want.ids->size()) << "cardinality " << mask;
+  }
+  const ObjectId total = sharded.topology().total_rows();
+  for (ObjectId object = 0; object < total; object += 7) {
+    const QueryResponse got =
+        sharded.Execute(QueryRequest::Membership(object, full));
+    const QueryResponse want =
+        single.Execute(QueryRequest::Membership(object, full));
+    ASSERT_TRUE(got.ok) << got.error;
+    ASSERT_EQ(got.member, want.member) << "membership " << object;
+  }
+  for (ObjectId object = 0; object < total; object += 41) {
+    const QueryResponse got =
+        sharded.Execute(QueryRequest::MembershipCount(object));
+    const QueryResponse want =
+        single.Execute(QueryRequest::MembershipCount(object));
+    ASSERT_TRUE(got.ok) << got.error;
+    ASSERT_EQ(got.count, want.count) << "membership count " << object;
+  }
+  const QueryResponse got_size = sharded.Execute(QueryRequest::SkycubeSize());
+  const QueryResponse want_size = single.Execute(QueryRequest::SkycubeSize());
+  ASSERT_TRUE(got_size.ok) << got_size.error;
+  EXPECT_EQ(got_size.count, want_size.count);
+}
+
+TEST(ShardedSkycubeService, OracleIdenticalAcrossShardCounts) {
+  const int dims = 4;
+  for (const size_t num_shards : {1u, 2u, 4u, 8u}) {
+    SingleNode single(MakeData(300, dims, 13));
+    ShardedServiceOptions options;
+    options.num_shards = num_shards;
+    ShardedSkycubeService sharded(MakeData(300, dims, 13), options);
+    ASSERT_EQ(sharded.num_shards(), num_shards);
+    ExpectOracleIdentical(sharded, *single.service, dims);
+  }
+}
+
+TEST(ShardedSkycubeService, InsertsStayOracleIdentical) {
+  const int dims = 4;
+  SingleNode single(MakeData(200, dims, 21));
+  ShardedServiceOptions options;
+  options.num_shards = 3;
+  ShardedSkycubeService sharded(MakeData(200, dims, 21), options);
+
+  for (int i = 0; i < 20; ++i) {
+    std::vector<double> values;
+    for (int d = 0; d < dims; ++d) {
+      values.push_back(0.27 + 0.013 * i + 0.005 * d);
+    }
+    const QueryResponse got = sharded.Execute(QueryRequest::Insert(values));
+    const QueryResponse want =
+        single.service->Execute(QueryRequest::Insert(values));
+    ASSERT_TRUE(got.ok) << got.error;
+    ASSERT_TRUE(want.ok) << want.error;
+    EXPECT_EQ(got.count, static_cast<uint64_t>(200 + i + 1));
+  }
+  ASSERT_EQ(sharded.topology().total_rows(), 220u);
+  ExpectOracleIdentical(sharded, *single.service, dims);
+}
+
+TEST(ShardedSkycubeService, SecondPassRunsOnShardCaches) {
+  ShardedServiceOptions options;
+  options.num_shards = 2;
+  ShardedSkycubeService sharded(MakeData(150, 3, 5), options);
+  const QueryRequest request = QueryRequest::SubspaceSkyline(0b111);
+  const QueryResponse cold = sharded.Execute(request);
+  ASSERT_TRUE(cold.ok);
+  EXPECT_FALSE(cold.cache_hit);
+  const QueryResponse warm = sharded.Execute(request);
+  ASSERT_TRUE(warm.ok);
+  // A merged answer is a cache hit only when EVERY shard answered from its
+  // cache — the honest aggregate.
+  EXPECT_TRUE(warm.cache_hit);
+  ASSERT_NE(warm.ids, nullptr);
+  EXPECT_EQ(*warm.ids, *cold.ids);
+}
+
+TEST(ShardedSkycubeService, DownShardDegradesToFlaggedSurvivorAnswers) {
+  const int dims = 4;
+  const Dataset data = MakeData(260, dims, 31);
+  ShardedServiceOptions options;
+  options.num_shards = 3;
+  ShardedSkycubeService sharded(data, options);
+  const DimMask full = FullMask(dims);
+  const size_t down_shard = 1;
+
+  // Ground truth for the degraded answers: a single-node service over only
+  // the surviving shards' rows, ids translated back to global.
+  std::vector<ObjectId> survivors;
+  Dataset survivor_data(dims);
+  for (ObjectId gid = 0; gid < data.num_objects(); ++gid) {
+    if (sharded.topology().OwnerOf(gid) == down_shard) continue;
+    survivors.push_back(gid);
+    const double* row = data.Row(gid);
+    survivor_data.AddRow(std::vector<double>(row, row + dims));
+  }
+  SingleNode survivor_oracle(std::move(survivor_data));
+
+  sharded.SetShardDown(down_shard, true);
+  for (DimMask mask = 1; mask <= full; ++mask) {
+    const QueryResponse got =
+        sharded.Execute(QueryRequest::SubspaceSkyline(mask));
+    ASSERT_TRUE(got.ok) << got.error;
+    // Every answer with a shard down must carry the partial flag — an
+    // unflagged answer would be a silent wrong answer.
+    ASSERT_TRUE(got.partial) << "mask " << mask;
+    const QueryResponse want = survivor_oracle.service->Execute(
+        QueryRequest::SubspaceSkyline(mask));
+    ASSERT_TRUE(want.ok);
+    std::vector<ObjectId> expected;
+    expected.reserve(want.ids->size());
+    for (const ObjectId local : *want.ids) {
+      expected.push_back(survivors[local]);
+    }
+    ASSERT_EQ(*got.ids, expected) << "survivor skyline mask " << mask;
+  }
+
+  // Membership still answers for a row owned by the down shard (the
+  // topology holds its values); the answer is against the reachable rows.
+  ObjectId victim_row = 0;
+  while (sharded.topology().OwnerOf(victim_row) != down_shard) ++victim_row;
+  const QueryResponse member =
+      sharded.Execute(QueryRequest::Membership(victim_row, full));
+  ASSERT_TRUE(member.ok) << member.error;
+  EXPECT_TRUE(member.partial);
+
+  // An insert whose owner shard is down must be rejected loudly — never
+  // applied partially, never silently dropped. Mark exactly the owner of
+  // the next global id as down.
+  sharded.SetShardDown(down_shard, false);
+  const ObjectId next_gid = sharded.topology().total_rows();
+  const size_t owner = sharded.topology().OwnerOf(next_gid);
+  sharded.SetShardDown(owner, true);
+  const QueryResponse insert = sharded.Execute(
+      QueryRequest::Insert(std::vector<double>(dims, 0.5)));
+  EXPECT_FALSE(insert.ok);
+  EXPECT_EQ(insert.code, StatusCode::kUnavailable);
+  EXPECT_EQ(sharded.topology().total_rows(), next_gid);
+
+  // Revival: full, unflagged answers again.
+  sharded.SetShardDown(owner, false);
+  SingleNode single(MakeData(260, dims, 31));
+  ExpectOracleIdentical(sharded, *single.service, dims);
+}
+
+TEST(ShardedSkycubeService, DrainRejectsNewQueries) {
+  ShardedSkycubeService sharded(MakeData(80, 3, 2), {});
+  sharded.BeginDrain();
+  EXPECT_TRUE(sharded.draining());
+  const QueryResponse response =
+      sharded.Execute(QueryRequest::SubspaceSkyline(0b1));
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.code, StatusCode::kUnavailable);
+}
+
+}  // namespace
+}  // namespace skycube::router

@@ -15,8 +15,13 @@ and as a required CI job):
       epoll_*/eventfd/...) live only in src/net/ — durability decisions
       and wire-I/O decisions each stay in one reviewable place. The socket
       rule binds src/ only: tests, tools, and bench harnesses legitimately
-      open *client* sockets to drive the server from outside. Waive a
-      justified site with a "lint:allow-raw-io" comment on the same line.
+      open *client* sockets to drive the server from outside. The
+      scatter-gather router (src/router/) speaks TCP to its shard backends
+      but must do so exclusively through net/client.h — in addition to the
+      call-site scan, src/router/ may not even include the raw socket
+      headers (<sys/socket.h>, <netinet/...>, <arpa/inet.h>, <sys/epoll.h>,
+      <poll.h>). Waive a justified site with a "lint:allow-raw-io" comment
+      on the same line.
   R3  no silently dropped Status: a bare statement-position call to one of
       the known Status/Result-returning mutators is an error; discard
       deliberately with `(void)call(...)` (plus a why-comment) instead.
@@ -63,6 +68,14 @@ SOCKET_IO_RE = re.compile(
     r'(?<![\w.:>])(?:::)?\b(socket|accept4?|bind|listen|connect|'
     r'setsockopt|getsockopt|getsockname|recv|recvfrom|send|sendto|'
     r'shutdown|epoll_create1|epoll_ctl|epoll_wait|eventfd)\s*\(')
+
+# R2 (socket headers): wire-speaking layers outside src/net/ (today: the
+# scatter-gather router) must reach sockets through net/client.h, so they
+# have no business even including the raw socket/event headers — an
+# include is the first step toward reimplementing wire I/O inline.
+SOCKET_HEADER_RE = re.compile(
+    r'#\s*include\s*<(sys/socket\.h|netinet/|arpa/inet\.h|sys/epoll\.h|'
+    r'sys/eventfd\.h|sys/un\.h|netdb\.h|poll\.h)')
 
 # R7: blocking file I/O that must never run on the event-loop thread.
 BLOCKING_FILE_IO_RE = re.compile(
@@ -140,6 +153,14 @@ def main() -> int:
                     f"{site}: R2: raw socket/epoll call in src/ outside "
                     "src/net/ (route through the net layer, or waive with "
                     "a 'lint:allow-raw-io' comment)")
+
+            if (rel.startswith("src/") and not rel.startswith("src/net/")
+                    and SOCKET_HEADER_RE.search(raw_line)
+                    and "lint:allow-raw-io" not in raw_line):
+                findings.append(
+                    f"{site}: R2: raw socket header included in src/ "
+                    "outside src/net/ (speak the wire through net/client.h, "
+                    "or waive with a 'lint:allow-raw-io' comment)")
 
             if (rel.startswith("src/net/")
                     and BLOCKING_FILE_IO_RE.search(line)

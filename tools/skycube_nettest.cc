@@ -18,21 +18,18 @@
 //
 // Usage (registered as a ctest test):
 //   skycube_nettest --serve=PATH [--tuples=N] [--dims=D] [--seed=S]
-#include <arpa/inet.h>
-#include <netinet/in.h>
 #include <signal.h>
-#include <sys/socket.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
-#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/flags.h"
+#include "net/client.h"
 #include "net/protocol.h"
 
 namespace skycube {
@@ -119,68 +116,40 @@ int WaitServer(Server* server) {
   return -1000;
 }
 
-/// Minimal blocking protocol client (recv timeout: a hung server fails the
-/// harness instead of wedging ctest).
-class Client {
- public:
-  explicit Client(uint16_t port) {
-    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (fd_ < 0) return;
-    struct timeval timeout = {};
-    timeout.tv_sec = 30;
-    (void)::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &timeout,
-                       sizeof(timeout));
-    struct sockaddr_in addr = {};
-    addr.sin_family = AF_INET;
-    addr.sin_port = htons(port);
-    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
-    if (::connect(fd_, reinterpret_cast<struct sockaddr*>(&addr),
-                  sizeof(addr)) != 0) {
-      ::close(fd_);
-      fd_ = -1;
-    }
-  }
-  ~Client() {
-    if (fd_ >= 0) ::close(fd_);
-  }
-  bool connected() const { return fd_ >= 0; }
+/// The harness speaks the wire through the shared src/net client. A hung
+/// server fails the harness via the read deadline instead of wedging ctest.
+constexpr int64_t kReadTimeoutMillis = 30000;
 
-  bool Send(const std::string& bytes) {
-    size_t sent = 0;
-    while (sent < bytes.size()) {
-      const ssize_t n =
-          ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
-      if (n <= 0) return false;
-      sent += static_cast<size_t>(n);
-    }
-    return true;
+/// Connects to the server's loopback port; false (after logging) on refusal.
+bool Connect(net::NetClient* client, uint16_t port) {
+  const Status status = client->Connect("127.0.0.1", port);
+  if (!status.ok()) {
+    std::fprintf(stderr, "connect: %s\n", status.ToString().c_str());
   }
+  return status.ok();
+}
 
-  enum class Got { kPayload, kEof, kError };
-  Got Read(std::string* payload) {
-    std::string error;
-    for (;;) {
-      const auto next = decoder_.Take(payload, &error);
-      if (next == net::FrameDecoder::Next::kFrame) return Got::kPayload;
-      if (next == net::FrameDecoder::Next::kError) {
-        std::fprintf(stderr, "client framing error: %s\n", error.c_str());
-        return Got::kError;
-      }
-      char buffer[1 << 16];
-      const ssize_t n = ::recv(fd_, buffer, sizeof(buffer), 0);
-      if (n == 0) return Got::kEof;
-      if (n < 0) {
-        std::fprintf(stderr, "recv: %s\n", std::strerror(errno));
-        return Got::kError;
-      }
-      decoder_.Append(buffer, static_cast<size_t>(n));
-    }
+enum class Got { kPayload, kEof, kError };
+
+/// Next raw frame payload (any opcode — the rounds inspect goaways
+/// themselves). Timeouts and framing errors both report kError.
+Got ReadPayload(net::NetClient* client, std::string* payload) {
+  std::string error;
+  switch (client->ReadFrame(payload,
+                            Deadline::AfterMillis(kReadTimeoutMillis),
+                            &error)) {
+    case net::NetClient::Got::kFrame:
+      return Got::kPayload;
+    case net::NetClient::Got::kEof:
+      return Got::kEof;
+    case net::NetClient::Got::kTimeout:
+      std::fprintf(stderr, "client read timeout\n");
+      return Got::kError;
+    default:
+      std::fprintf(stderr, "client read error: %s\n", error.c_str());
+      return Got::kError;
   }
-
- private:
-  int fd_ = -1;
-  net::FrameDecoder decoder_;
-};
+}
 
 net::WireRequest Request(net::Opcode op, uint64_t id) {
   net::WireRequest request;
@@ -230,17 +199,17 @@ std::string MixedBurst(uint64_t count, int dims, uint64_t first_id = 0) {
 }
 
 bool RunPipelineRound(uint16_t port, int dims) {
-  Client client(port);
-  CHECK_NET(client.connected(), "pipeline: connect failed");
+  net::NetClient client;
+  CHECK_NET(Connect(&client, port), "pipeline: connect failed");
 
   constexpr uint64_t kRequests = 120;
-  CHECK_NET(client.Send(MixedBurst(kRequests, dims)),
+  CHECK_NET(client.Send(MixedBurst(kRequests, dims)).ok(),
             "pipeline: send failed");
 
   uint64_t last_version = 0;
   for (uint64_t id = 0; id < kRequests; ++id) {
     std::string payload;
-    CHECK_NET(client.Read(&payload) == Client::Got::kPayload,
+    CHECK_NET(ReadPayload(&client, &payload) == Got::kPayload,
               "pipeline: stream ended at response %llu",
               static_cast<unsigned long long>(id));
     CHECK_NET(net::PayloadOpcode(payload) == net::Opcode::kResponse,
@@ -269,17 +238,19 @@ bool RunPipelineRound(uint16_t port, int dims) {
   CHECK_NET(last_version >= 2, "pipeline: inserts never bumped the version");
 
   // Introspection over the wire: the serve-tool health and stats lines.
-  CHECK_NET(client.Send(EncodeRequest(Request(net::Opcode::kHealth, 1000)) +
-                        EncodeRequest(Request(net::Opcode::kStats, 1001))),
+  CHECK_NET(client
+                .Send(EncodeRequest(Request(net::Opcode::kHealth, 1000)) +
+                      EncodeRequest(Request(net::Opcode::kStats, 1001)))
+                .ok(),
             "pipeline: introspection send failed");
   std::string payload;
-  CHECK_NET(client.Read(&payload) == Client::Got::kPayload,
+  CHECK_NET(ReadPayload(&client, &payload) == Got::kPayload,
             "pipeline: no health response");
   Result<net::WireResponse> health = net::ParseResponse(payload);
   CHECK_NET(health.ok(), "pipeline: bad health response");
   CHECK_NET(health.value().text.find("status=ready") != std::string::npos,
             "pipeline: bad health line: '%s'", health.value().text.c_str());
-  CHECK_NET(client.Read(&payload) == Client::Got::kPayload,
+  CHECK_NET(ReadPayload(&client, &payload) == Got::kPayload,
             "pipeline: no stats response");
   Result<net::WireResponse> stats = net::ParseResponse(payload);
   CHECK_NET(stats.ok(), "pipeline: bad stats response");
@@ -289,14 +260,14 @@ bool RunPipelineRound(uint16_t port, int dims) {
 }
 
 bool RunMalformedRound(uint16_t port) {
-  Client victim(port);
-  CHECK_NET(victim.connected(), "malformed: connect failed");
+  net::NetClient victim;
+  CHECK_NET(Connect(&victim, port), "malformed: connect failed");
   std::string bad = EncodeRequest(Request(net::Opcode::kPing, 1));
   bad[bad.size() - 1] = static_cast<char>(bad[bad.size() - 1] ^ 0x01);
-  CHECK_NET(victim.Send(bad), "malformed: send failed");
+  CHECK_NET(victim.Send(bad).ok(), "malformed: send failed");
 
   std::string payload;
-  CHECK_NET(victim.Read(&payload) == Client::Got::kPayload,
+  CHECK_NET(ReadPayload(&victim, &payload) == Got::kPayload,
             "malformed: expected a goaway frame");
   CHECK_NET(net::PayloadOpcode(payload) == net::Opcode::kGoAway,
             "malformed: expected kGoAway, got opcode %d", int(payload[0]));
@@ -304,25 +275,25 @@ bool RunMalformedRound(uint16_t port) {
   CHECK_NET(goaway.ok(), "malformed: unparseable goaway");
   CHECK_NET(goaway.value().status == StatusCode::kInvalidArgument,
             "malformed: wrong goaway status");
-  CHECK_NET(victim.Read(&payload) == Client::Got::kEof,
+  CHECK_NET(ReadPayload(&victim, &payload) == Got::kEof,
             "malformed: server did not close the broken stream");
 
   // The server survives: a fresh connection still answers.
-  Client fresh(port);
-  CHECK_NET(fresh.connected(), "malformed: reconnect failed");
-  CHECK_NET(fresh.Send(EncodeRequest(Request(net::Opcode::kPing, 2))),
+  net::NetClient fresh;
+  CHECK_NET(Connect(&fresh, port), "malformed: reconnect failed");
+  CHECK_NET(fresh.Send(EncodeRequest(Request(net::Opcode::kPing, 2))).ok(),
             "malformed: ping send failed");
-  CHECK_NET(fresh.Read(&payload) == Client::Got::kPayload,
+  CHECK_NET(ReadPayload(&fresh, &payload) == Got::kPayload,
             "malformed: server stopped answering after a protocol error");
   return true;
 }
 
 bool RunDrainRound(Server* server, int dims) {
-  Client inflight(server->port);
-  CHECK_NET(inflight.connected(), "drain: connect failed");
+  net::NetClient inflight;
+  CHECK_NET(Connect(&inflight, server->port), "drain: connect failed");
   // A burst is on the wire (and mostly decoded) when the signal lands.
   constexpr uint64_t kRequests = 48;
-  CHECK_NET(inflight.Send(MixedBurst(kRequests, dims)),
+  CHECK_NET(inflight.Send(MixedBurst(kRequests, dims)).ok(),
             "drain: send failed");
   CHECK_NET(kill(server->pid, SIGTERM) == 0, "drain: kill failed");
 
@@ -332,9 +303,9 @@ bool RunDrainRound(Server* server, int dims) {
   uint64_t next_id = 0;
   for (;;) {
     std::string payload;
-    const Client::Got got = inflight.Read(&payload);
-    if (got == Client::Got::kEof) break;
-    CHECK_NET(got == Client::Got::kPayload, "drain: broken stream");
+    const Got got = ReadPayload(&inflight, &payload);
+    if (got == Got::kEof) break;
+    CHECK_NET(got == Got::kPayload, "drain: broken stream");
     if (net::PayloadOpcode(payload) == net::Opcode::kGoAway) continue;
     Result<net::WireResponse> decoded = net::ParseResponse(payload);
     CHECK_NET(decoded.ok(), "drain: bad response");
@@ -348,21 +319,21 @@ bool RunDrainRound(Server* server, int dims) {
   // A post-signal connection is refused: with the drain still open, an
   // explicit kUnavailable goaway; once the listener is closed,
   // ECONNREFUSED. Either way it must never be served.
-  Client late(server->port);
-  if (late.connected()) {
+  net::NetClient late;
+  if (late.Connect("127.0.0.1", server->port).ok()) {
     std::string payload;
-    const Client::Got got = late.Read(&payload);
-    if (got == Client::Got::kPayload) {
+    const Got got = ReadPayload(&late, &payload);
+    if (got == Got::kPayload) {
       CHECK_NET(net::PayloadOpcode(payload) == net::Opcode::kGoAway,
                 "drain: late connection was served instead of refused");
       Result<net::WireGoAway> goaway = net::ParseGoAway(payload);
       CHECK_NET(goaway.ok(), "drain: unparseable goaway");
       CHECK_NET(goaway.value().status == StatusCode::kUnavailable,
                 "drain: late connection refused with the wrong status");
-      CHECK_NET(late.Read(&payload) == Client::Got::kEof,
+      CHECK_NET(ReadPayload(&late, &payload) == Got::kEof,
                 "drain: refused connection not closed");
     } else {
-      CHECK_NET(got == Client::Got::kEof, "drain: broken late stream");
+      CHECK_NET(got == Got::kEof, "drain: broken late stream");
     }
   }
 

@@ -16,6 +16,13 @@
 //   --data=FILE.csv    dataset; cube built with Stellar  [--negate]
 //   --synthetic        generated dataset: --dist=independent|correlated|anti
 //                      --tuples=N --dims=D [--seed=S] [--truncate=K]
+// Shard partition (docs/SHARDING.md) — serve one shard of a dataset source:
+//   --shard-count=N      total shards; keep only rows the consistent-hash
+//                        ring assigns to this shard (row id = position in
+//                        the source, the router's global id)
+//   --shard-index=K      this shard's index in [0, N)
+//   --ring-seed=S        ring seed (must match the router)    (default 0)
+//   --ring-vnodes=V      virtual nodes per shard              (default 64)
 // Durability (docs/ROBUSTNESS.md, "Durability & recovery"):
 //   --data-dir=DIR       durable ingest: WAL + checkpoints live in DIR. If
 //                        DIR holds state it is recovered (crash-safe);
@@ -79,6 +86,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/consistent_hash.h"
 #include "common/fault_injection.h"
 #include "common/flags.h"
 #include "common/subspace.h"
@@ -305,14 +313,42 @@ int Usage() {
   return 2;
 }
 
-/// Loads --data or generates --synthetic (the two dataset-backed sources).
+/// --shard-count=N --shard-index=K: keeps only the rows the consistent-hash
+/// ring assigns to shard K, in ascending global-id (source-position) order —
+/// the exact partition the scatter–gather router expects this shard to own
+/// (docs/SHARDING.md).
+Result<Dataset> FilterShardRows(Dataset data, const FlagParser& flags) {
+  const long long shard_count = flags.GetInt("shard-count", 0);
+  if (shard_count <= 0) return data;
+  const long long shard_index = flags.GetInt("shard-index", -1);
+  if (shard_index < 0 || shard_index >= shard_count) {
+    return Status::InvalidArgument(
+        "--shard-index must be in [0, --shard-count)");
+  }
+  const HashRing ring(static_cast<size_t>(shard_count),
+                      static_cast<uint64_t>(flags.GetInt("ring-seed", 0)),
+                      static_cast<int>(flags.GetInt("ring-vnodes", 64)));
+  Dataset shard(data.num_dims(), data.dim_names());
+  const ObjectId num_rows = static_cast<ObjectId>(data.num_objects());
+  for (ObjectId gid = 0; gid < num_rows; ++gid) {
+    if (ring.OwnerOf(gid) != static_cast<size_t>(shard_index)) continue;
+    const double* row = data.Row(gid);
+    shard.AddRow(std::vector<double>(row, row + data.num_dims()));
+  }
+  std::fprintf(stderr, "shard %lld/%lld owns %zu of %zu rows\n", shard_index,
+               shard_count, shard.num_objects(), data.num_objects());
+  return shard;
+}
+
+/// Loads --data or generates --synthetic (the two dataset-backed sources),
+/// then applies the --shard-count/--shard-index partition filter.
 Result<Dataset> LoadSourceDataset(const FlagParser& flags) {
   if (flags.Has("data")) {
     Result<Dataset> loaded = Dataset::FromCsvFile(flags.GetString("data", ""));
     if (!loaded.ok()) return loaded.status();
     Dataset data = std::move(loaded).value();
     if (flags.GetBool("negate", false)) data = data.Negated();
-    return data;
+    return FilterShardRows(std::move(data), flags);
   }
   SyntheticSpec spec;
   spec.distribution =
@@ -321,7 +357,7 @@ Result<Dataset> LoadSourceDataset(const FlagParser& flags) {
   spec.num_dims = static_cast<int>(flags.GetInt("dims", 6));
   spec.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
   spec.truncate_decimals = static_cast<int>(flags.GetInt("truncate", 4));
-  return GenerateSynthetic(spec);
+  return FilterShardRows(GenerateSynthetic(spec), flags);
 }
 
 /// Socket mode: the src/net/ binary-protocol server in front of the same
