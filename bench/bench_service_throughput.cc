@@ -32,6 +32,11 @@
 //                      (always/every/timer). Reports read and ingest
 //                      latency separately plus WAL fsync counts — the cost
 //                      of the durability guarantee, by policy.
+//   --delete-ratio=P   with --write-ratio: P% of the write requests are
+//                      DELETEs of random bootstrap rows instead of
+//                      inserts, exercising the op-typed WAL delete path
+//                      and result-cache invalidation under the same
+//                      closed loop (streaming-ingest study)
 //   --data-dir=PATH    scratch root for the --write-ratio study
 //                      (default: system temp dir)
 #include <algorithm>
@@ -197,18 +202,21 @@ struct MixedResult {
   double seconds = 0;
   uint64_t reads = 0;
   uint64_t inserts = 0;
+  uint64_t deletes = 0;
   uint64_t read_p50 = 0, read_p99 = 0;
   uint64_t insert_p50 = 0, insert_p99 = 0;
+  uint64_t delete_p50 = 0, delete_p99 = 0;
   ServiceStats service;
 };
 
 MixedResult RunMixedClients(SkycubeService& service,
                             const Workload& workload, int threads,
-                            uint64_t requests, int write_pct, int dims,
-                            uint64_t seed) {
+                            uint64_t requests, int write_pct, int delete_pct,
+                            int dims, uint64_t seed) {
   MixedResult result;
   LatencyHistogram read_latency;
   LatencyHistogram insert_latency;
+  LatencyHistogram delete_latency;
   std::atomic<int> ready{0};
   std::atomic<bool> go{false};
   std::vector<std::thread> clients;
@@ -222,16 +230,26 @@ MixedResult RunMixedClients(SkycubeService& service,
       for (uint64_t i = 0; i < requests; ++i) {
         const bool write =
             rng.NextBounded(100) < static_cast<uint64_t>(write_pct);
-        QueryRequest request = write ? QueryRequest::Insert({})
-                                     : DrawRequest(workload, rng);
-        if (write) {
+        const bool erase =
+            write && rng.NextBounded(100) < static_cast<uint64_t>(delete_pct);
+        QueryRequest request;
+        if (erase) {
+          // Random bootstrap row: a few land on already-tombstoned ids
+          // (acked cheaply), most take a real WAL-logged delete path and
+          // invalidate the result cache.
+          request = QueryRequest::Delete(static_cast<ObjectId>(
+              rng.NextBounded(workload.num_objects)));
+        } else if (write) {
           // Coarse-grid rows away from the origin: mostly dominated
           // inserts (noop/extension paths), so ingest cost reflects the
           // WAL, not pathological recompute storms.
+          request = QueryRequest::Insert({});
           request.values.resize(static_cast<size_t>(dims));
           for (double& v : request.values) {
             v = 0.2 + static_cast<double>(rng.NextBounded(50)) / 50.0;
           }
+        } else {
+          request = DrawRequest(workload, rng);
         }
         const WallTimer request_timer;
         const QueryResponse response = service.Execute(request);
@@ -239,10 +257,12 @@ MixedResult RunMixedClients(SkycubeService& service,
             static_cast<uint64_t>(request_timer.ElapsedSeconds() * 1e9);
         if (!response.ok) {
           std::fprintf(stderr, "client %d: %s failed: %s\n", t,
-                       write ? "insert" : "read", response.error.c_str());
+                       erase ? "delete" : (write ? "insert" : "read"),
+                       response.error.c_str());
           std::abort();
         }
-        (write ? insert_latency : read_latency).Record(nanos);
+        (erase ? delete_latency : write ? insert_latency : read_latency)
+            .Record(nanos);
       }
     });
   }
@@ -253,10 +273,13 @@ MixedResult RunMixedClients(SkycubeService& service,
   result.seconds = timer.ElapsedSeconds();
   result.reads = read_latency.TotalCount();
   result.inserts = insert_latency.TotalCount();
+  result.deletes = delete_latency.TotalCount();
   result.read_p50 = read_latency.PercentileNanos(0.50);
   result.read_p99 = read_latency.PercentileNanos(0.99);
   result.insert_p50 = insert_latency.PercentileNanos(0.50);
   result.insert_p99 = insert_latency.PercentileNanos(0.99);
+  result.delete_p50 = delete_latency.PercentileNanos(0.50);
+  result.delete_p99 = delete_latency.PercentileNanos(0.99);
   result.service = service.stats();
   return result;
 }
@@ -313,17 +336,21 @@ int Run(int argc, char** argv) {
   }
 
   const int write_pct = static_cast<int>(flags.GetInt("write-ratio", 0));
+  const int delete_pct = static_cast<int>(flags.GetInt("delete-ratio", 0));
   if (write_pct > 0) {
     // Durability study: the same closed loop, but write_pct% of requests
-    // are INSERTs acked only after a WAL append. One run per fsync policy;
-    // the delta in insert p50/p99 is the price of each durability level.
+    // are mutations acked only after a WAL append — inserts, and with
+    // --delete-ratio, a slice of op-typed deletes. One run per fsync
+    // policy; the delta in mutation p50/p99 is the price of each
+    // durability level.
     const std::string data_root = flags.GetString(
         "data-dir", std::filesystem::temp_directory_path().string());
     const uint64_t mixed_requests =
         static_cast<uint64_t>(flags.GetInt("requests", full ? 4000 : 1000));
-    TablePrinter table({"policy", "reads", "inserts", "seconds", "qps",
-                        "read_p50_us", "read_p99_us", "ins_p50_us",
-                        "ins_p99_us", "fsyncs", "ckpts", "hit_rate"});
+    TablePrinter table({"policy", "reads", "inserts", "deletes", "seconds",
+                        "qps", "read_p50_us", "read_p99_us", "ins_p50_us",
+                        "ins_p99_us", "del_p50_us", "del_p99_us", "fsyncs",
+                        "ckpts", "hit_rate"});
     for (const char* policy_name : {"always", "every", "timer"}) {
       const std::string dir = data_root + "/bench_ingest_" + policy_name;
       std::filesystem::remove_all(dir);
@@ -348,21 +375,25 @@ int Run(int argc, char** argv) {
       SkycubeService service(cube, options);
       service.AttachInsertHandler(ingest.value().get());
       const MixedResult run = RunMixedClients(
-          service, workload, threads, mixed_requests, write_pct, dims,
-          seed + static_cast<uint64_t>(policy.value()));
+          service, workload, threads, mixed_requests, write_pct, delete_pct,
+          dims, seed + static_cast<uint64_t>(policy.value()));
       const DurableIngestStats stats = ingest.value()->stats();
       table.NewRow()
           .AddCell(policy_name)
           .AddInt(static_cast<int64_t>(run.reads))
           .AddInt(static_cast<int64_t>(run.inserts))
+          .AddInt(static_cast<int64_t>(run.deletes))
           .AddDouble(run.seconds, 3)
-          .AddDouble(static_cast<double>(run.reads + run.inserts) /
+          .AddDouble(static_cast<double>(run.reads + run.inserts +
+                                         run.deletes) /
                          run.seconds,
                      0)
           .AddDouble(static_cast<double>(run.read_p50) / 1e3, 2)
           .AddDouble(static_cast<double>(run.read_p99) / 1e3, 2)
           .AddDouble(static_cast<double>(run.insert_p50) / 1e3, 2)
           .AddDouble(static_cast<double>(run.insert_p99) / 1e3, 2)
+          .AddDouble(static_cast<double>(run.delete_p50) / 1e3, 2)
+          .AddDouble(static_cast<double>(run.delete_p99) / 1e3, 2)
           .AddInt(static_cast<int64_t>(stats.wal.fsyncs))
           .AddInt(static_cast<int64_t>(stats.checkpoints_written))
           .AddDouble(run.service.cache_hit_rate, 3);
@@ -373,12 +404,19 @@ int Run(int argc, char** argv) {
       std::filesystem::remove_all(dir);
     }
     EmitTable(table);
-    json.AddTable("ingest_durability", table);
+    json.AddTable(delete_pct > 0 ? "streaming_ingest" : "ingest_durability",
+                  table);
     json.AddScalar("write_ratio_pct", static_cast<int64_t>(write_pct));
+    json.AddScalar("delete_ratio_pct", static_cast<int64_t>(delete_pct));
     std::printf("expected shape: fsync=always pays per-record fsync cost "
-                "on every insert ack; every/timer amortize it, trading "
+                "on every mutation ack; every/timer amortize it, trading "
                 "bounded loss windows for ingest latency. Read "
-                "percentiles stay flat: reads never block on the WAL.\n");
+                "percentiles stay flat: reads never block on the WAL.%s\n",
+                delete_pct > 0
+                    ? " Deletes pay the same WAL ack plus cache "
+                      "invalidation, so the hit rate dips versus the "
+                      "insert-only run."
+                    : "");
     return 0;
   }
 

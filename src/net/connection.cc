@@ -14,7 +14,22 @@ Connection::Connection(uint64_t id, int fd, size_t max_payload)
     : id_(id), fd_(fd), decoder_(max_payload) {}
 
 Connection::~Connection() {
-  if (fd_ >= 0) ::close(fd_);
+  if (fd_ < 0) return;
+  // Graceful close. A draining server tears connections down with requests
+  // still undecoded in the kernel receive queue; a bare close() would then
+  // emit RST, and an RST discards the responses already queued on the peer
+  // side — breaking the drain contract that every answered request's
+  // response arrives. Send FIN first, then swallow the unread inbound
+  // bytes (bounded — recv never blocks on this non-blocking socket).
+  ::shutdown(fd_, SHUT_WR);
+  char discard[4096];
+  for (int i = 0; i < 64; ++i) {
+    const ssize_t n = ::recv(fd_, discard, sizeof(discard), 0);
+    if (n > 0) continue;
+    if (n < 0 && errno == EINTR) continue;
+    break;  // peer FIN, EAGAIN, or hard error: safe to close now
+  }
+  ::close(fd_);
 }
 
 uint64_t Connection::AddPending() {

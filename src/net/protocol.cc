@@ -113,6 +113,8 @@ bool IsQueryOpcode(Opcode op) {
     case Opcode::kMembershipCount:
     case Opcode::kSkycubeSize:
     case Opcode::kInsert:
+    case Opcode::kDelete:
+    case Opcode::kEpochDiff:
       return true;
     default:
       return false;
@@ -138,6 +140,10 @@ Opcode OpcodeForKind(QueryKind kind) {
       return Opcode::kSkycubeSize;
     case QueryKind::kInsert:
       return Opcode::kInsert;
+    case QueryKind::kDelete:
+      return Opcode::kDelete;
+    case QueryKind::kEpochDiff:
+      return Opcode::kEpochDiff;
   }
   return Opcode::kPing;
 }
@@ -156,6 +162,10 @@ const char* OpcodeName(Opcode op) {
       return "skycube_size";
     case Opcode::kInsert:
       return "insert";
+    case Opcode::kDelete:
+      return "delete";
+    case Opcode::kEpochDiff:
+      return "epoch_diff";
     case Opcode::kHealth:
       return "health";
     case Opcode::kStats:
@@ -196,6 +206,13 @@ std::string EncodeRequest(const WireRequest& request) {
       PutU32(&payload, static_cast<uint32_t>(request.values.size()));
       for (double v : request.values) PutDouble(&payload, v);
       break;
+    case Opcode::kDelete:
+      PutU32(&payload, request.object);
+      break;
+    case Opcode::kEpochDiff:
+      PutU64(&payload, request.subspace);
+      PutU64(&payload, request.since_version);
+      break;
     default:
       break;  // kSkycubeSize/kHealth/kStats/kPing carry no arguments
   }
@@ -232,9 +249,16 @@ std::string EncodeResponse(const WireResponse& response) {
         PutU8(&payload, response.member ? 1 : 0);
         break;
       case Opcode::kInsert:
+      case Opcode::kDelete:
         PutU64(&payload, response.lsn);
         PutU64(&payload, response.count);
         PutString(&payload, response.text);
+        break;
+      case Opcode::kEpochDiff:
+        PutU32(&payload, static_cast<uint32_t>(response.ids.size()));
+        for (ObjectId id : response.ids) PutU32(&payload, id);
+        PutU32(&payload, static_cast<uint32_t>(response.left_ids.size()));
+        for (ObjectId id : response.left_ids) PutU32(&payload, id);
         break;
       case Opcode::kHealth:
       case Opcode::kStats:
@@ -311,6 +335,17 @@ Result<WireRequest> ParseRequest(std::string_view payload,
       }
       break;
     }
+    case Opcode::kDelete:
+      if (!reader.ReadU32(&request.object)) {
+        return Malformed(request, "truncated object id");
+      }
+      break;
+    case Opcode::kEpochDiff:
+      if (!reader.ReadU64(&request.subspace) ||
+          !reader.ReadU64(&request.since_version)) {
+        return Malformed(request, "truncated subspace/since_version");
+      }
+      break;
     default:
       break;  // no arguments
   }
@@ -373,12 +408,37 @@ Result<WireResponse> ParseResponse(std::string_view payload) {
         break;
       }
       case Opcode::kInsert:
+      case Opcode::kDelete:
         if (!reader.ReadU64(&response.lsn) ||
             !reader.ReadU64(&response.count) ||
             !reader.ReadString(&response.text)) {
-          return Status::InvalidArgument("truncated insert ack");
+          return Status::InvalidArgument("truncated mutation ack");
         }
         break;
+      case Opcode::kEpochDiff: {
+        uint32_t n = 0;
+        if (!reader.ReadU32(&n) || n > payload.size() / 4) {
+          return Status::InvalidArgument("truncated entered ids");
+        }
+        response.ids.resize(n);
+        for (uint32_t i = 0; i < n; ++i) {
+          if (!reader.ReadU32(&response.ids[i])) {
+            return Status::InvalidArgument("truncated entered ids");
+          }
+        }
+        uint32_t m = 0;
+        if (!reader.ReadU32(&m) || m > payload.size() / 4) {
+          return Status::InvalidArgument("truncated left ids");
+        }
+        response.left_ids.resize(m);
+        for (uint32_t i = 0; i < m; ++i) {
+          if (!reader.ReadU32(&response.left_ids[i])) {
+            return Status::InvalidArgument("truncated left ids");
+          }
+        }
+        response.count = n + m;
+        break;
+      }
       case Opcode::kHealth:
       case Opcode::kStats:
         if (!reader.ReadString(&response.text)) {
@@ -471,6 +531,11 @@ QueryRequest ToQueryRequest(const WireRequest& request) {
       return QueryRequest::MembershipCount(request.object);
     case Opcode::kInsert:
       return QueryRequest::Insert(request.values);
+    case Opcode::kDelete:
+      return QueryRequest::Delete(request.object);
+    case Opcode::kEpochDiff:
+      return QueryRequest::EpochDiff(request.subspace,
+                                     request.since_version);
     default:
       return QueryRequest::SkycubeSize();
   }
@@ -503,9 +568,15 @@ WireResponse FromQueryResponse(const WireRequest& request,
       wire.member = response.member;
       break;
     case Opcode::kInsert:
+    case Opcode::kDelete:
       wire.lsn = response.lsn;
       wire.count = response.count;
       wire.text = response.insert_path;
+      break;
+    case Opcode::kEpochDiff:
+      if (response.ids != nullptr) wire.ids = *response.ids;
+      if (response.left_ids != nullptr) wire.left_ids = *response.left_ids;
+      wire.count = wire.ids.size() + wire.left_ids.size();
       break;
     default:
       break;
@@ -530,6 +601,12 @@ QueryResponse ToQueryResponse(const WireResponse& response) {
       break;
     case Opcode::kInsert:
       out.kind = QueryKind::kInsert;
+      break;
+    case Opcode::kDelete:
+      out.kind = QueryKind::kDelete;
+      break;
+    case Opcode::kEpochDiff:
+      out.kind = QueryKind::kEpochDiff;
       break;
     default:
       out.kind = QueryKind::kSkycubeSize;
@@ -558,9 +635,17 @@ QueryResponse ToQueryResponse(const WireResponse& response) {
       out.member = response.member;
       break;
     case Opcode::kInsert:
+    case Opcode::kDelete:
       out.lsn = response.lsn;
       out.count = response.count;
       out.insert_path = response.text;
+      break;
+    case Opcode::kEpochDiff:
+      out.ids =
+          std::make_shared<const std::vector<ObjectId>>(response.ids);
+      out.left_ids =
+          std::make_shared<const std::vector<ObjectId>>(response.left_ids);
+      out.count = response.ids.size() + response.left_ids.size();
       break;
     default:
       break;

@@ -57,6 +57,11 @@ enum class Opcode : uint8_t {
   kHealth = 7,  // answers the serve-tool health line as a string
   kStats = 8,   // answers the serve-tool stats line as a string
   kPing = 9,    // answers with an empty-bodied ok response
+  // Streaming mutations/queries (added with the delete-aware pipeline;
+  // older servers answer kGoAway "unknown request opcode" — clients that
+  // need them must talk to a current server).
+  kDelete = 10,     // u32 object id
+  kEpochDiff = 11,  // u64 subspace mask, u64 since_version
   // Server->client frames.
   kResponse = 64,
   kGoAway = 65,
@@ -82,9 +87,10 @@ struct WireRequest {
   /// server answers in request order regardless; ids exist so a pipelining
   /// client can match responses without counting.
   uint64_t id = 0;
-  DimMask subspace = 0;       // kSkyline/kCardinality/kMembership
-  ObjectId object = 0;        // kMembership/kMembershipCount
+  DimMask subspace = 0;       // kSkyline/kCardinality/kMembership/kEpochDiff
+  ObjectId object = 0;        // kMembership/kMembershipCount/kDelete
   std::vector<double> values;  // kInsert
+  uint64_t since_version = 0;  // kEpochDiff
 };
 
 /// A decoded kResponse frame. Exactly one per request, in request order.
@@ -103,16 +109,20 @@ struct WireResponse {
   bool partial = false;
   uint64_t snapshot_version = 0;
 
-  /// kSkyline payload (ascending object ids).
+  /// kSkyline payload (ascending object ids). For kEpochDiff: the ids that
+  /// entered the subspace skyline since since_version.
   std::vector<ObjectId> ids;
-  /// kCardinality / kMembershipCount / kSkycubeSize / kInsert object total.
+  /// kEpochDiff payload: the ids that left the subspace skyline.
+  std::vector<ObjectId> left_ids;
+  /// kCardinality / kMembershipCount / kSkycubeSize / kInsert object total
+  /// (kDelete: the post-delete live-row count).
   uint64_t count = 0;
   /// kMembership payload.
   bool member = false;
-  /// kInsert WAL sequence number (0 when not durable).
+  /// kInsert/kDelete WAL sequence number (0 when not durable).
   uint64_t lsn = 0;
-  /// Error text when status != kOk; insert path / health line / stats line
-  /// otherwise.
+  /// Error text when status != kOk; insert/delete path / health line /
+  /// stats line otherwise.
   std::string text;
 };
 

@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/epoll.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -22,6 +23,29 @@ Status Errno(const char* what) {
 /// Read budget per epoll event: large enough to drain a deep pipeline in
 /// few syscalls, small enough not to starve other connections.
 constexpr size_t kReadBudgetBytes = 256 * 1024;
+
+/// Closes a refused socket after its goaway was sent. The peer may already
+/// have written requests (connect + send races the refusal decision); a
+/// bare close() with those bytes unread — or still in flight — makes the
+/// kernel answer RST, which destroys the goaway before the peer reads it.
+/// FIN first, then swallow inbound bytes until the peer's own FIN (the
+/// goaway reader closing) or a short quiet period. Refusals are rare, so a
+/// bounded wait on the accept path is acceptable.
+void CloseRefused(int fd) {
+  ::shutdown(fd, SHUT_WR);
+  char discard[4096];
+  for (int i = 0; i < 64; ++i) {
+    const ssize_t n = ::recv(fd, discard, sizeof(discard), 0);
+    if (n > 0) continue;
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      struct pollfd waiter = {fd, POLLIN, 0};
+      if (::poll(&waiter, 1, 20) > 0) continue;  // trailing bytes or FIN
+    }
+    break;  // peer FIN, quiet timeout, or hard error
+  }
+  ::close(fd);
+}
 
 }  // namespace
 
@@ -144,7 +168,7 @@ void NetServer::OnListenReadable() {
       const std::string frame = EncodeGoAway(
           StatusCode::kUnavailable, "server is draining for shutdown");
       (void)::send(fd, frame.data(), frame.size(), MSG_NOSIGNAL);
-      ::close(fd);
+      CloseRefused(fd);
       continue;
     }
     if (options_.max_connections > 0 &&
@@ -153,7 +177,7 @@ void NetServer::OnListenReadable() {
       const std::string frame = EncodeGoAway(
           StatusCode::kResourceExhausted, "connection limit reached");
       (void)::send(fd, frame.data(), frame.size(), MSG_NOSIGNAL);
-      ::close(fd);
+      CloseRefused(fd);
       continue;
     }
     const uint64_t id = next_conn_id_++;

@@ -93,6 +93,44 @@ int64_t AppendOnlyIds::IndexOf(ObjectId id) const {
   return -1;
 }
 
+AppendOnlyU64::AppendOnlyU64()
+    : chunks_(new std::atomic<std::atomic<uint64_t>*>[kMaxChunks]) {
+  for (size_t i = 0; i < kMaxChunks; ++i) {
+    chunks_[i].store(nullptr, std::memory_order_relaxed);
+  }
+}
+
+AppendOnlyU64::~AppendOnlyU64() {
+  for (size_t i = 0; i < kMaxChunks; ++i) {
+    delete[] chunks_[i].load(std::memory_order_relaxed);
+  }
+}
+
+void AppendOnlyU64::Append(uint64_t v) {
+  const size_t index = size_.load(std::memory_order_relaxed);
+  const size_t chunk = index / kPerChunk;
+  SKYCUBE_CHECK_MSG(chunk < kMaxChunks, "AppendOnlyU64 capacity exceeded");
+  std::atomic<uint64_t>* slots = chunks_[chunk].load(std::memory_order_relaxed);
+  if (slots == nullptr) {
+    slots = new std::atomic<uint64_t>[kPerChunk]();
+    chunks_[chunk].store(slots, std::memory_order_release);
+  }
+  slots[index % kPerChunk].store(v, std::memory_order_relaxed);
+  size_.store(index + 1, std::memory_order_release);
+}
+
+uint64_t AppendOnlyU64::At(size_t index) const {
+  const std::atomic<uint64_t>* slots =
+      chunks_[index / kPerChunk].load(std::memory_order_acquire);
+  return slots[index % kPerChunk].load(std::memory_order_acquire);
+}
+
+void AppendOnlyU64::Set(size_t index, uint64_t v) {
+  std::atomic<uint64_t>* slots =
+      chunks_[index / kPerChunk].load(std::memory_order_acquire);
+  slots[index % kPerChunk].store(v, std::memory_order_release);
+}
+
 RouterTopology::RouterTopology(int num_dims, size_t num_shards,
                                uint64_t ring_seed, int ring_vnodes)
     : ring_(num_shards, ring_seed, ring_vnodes), rows_(num_dims) {
@@ -105,7 +143,17 @@ RouterTopology::RouterTopology(int num_dims, size_t num_shards,
 ObjectId RouterTopology::AppendRow(const double* values) {
   const ObjectId gid = rows_.Append(values);
   shard_ids_[ring_.OwnerOf(gid)]->Append(gid);
+  insert_epochs_.Append(epoch());
+  delete_epochs_.Append(0);
   return gid;
+}
+
+void RouterTopology::MarkDeleted(ObjectId gid, uint64_t epoch) {
+  SKYCUBE_CHECK_MSG(gid < total_rows(), "MarkDeleted: gid out of range");
+  SKYCUBE_CHECK_MSG(delete_epochs_.At(gid) == 0,
+                    "MarkDeleted: row already deleted");
+  delete_epochs_.Set(gid, epoch);
+  num_deleted_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 bool RouterTopology::WaitForLocal(size_t shard, ObjectId local,

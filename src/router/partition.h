@@ -87,12 +87,47 @@ class AppendOnlyIds {
   std::atomic<size_t> size_{0};
 };
 
+/// Append-only chunked array of u64 epoch stamps with the same
+/// single-writer / lock-free-reader append contract as AppendOnlyIds, plus
+/// in-place atomic element updates — a row's delete epoch is stamped long
+/// after its insert append, so elements are atomics (Set publishes with a
+/// release store, At acquires).
+class AppendOnlyU64 {
+ public:
+  AppendOnlyU64();
+  ~AppendOnlyU64();
+
+  AppendOnlyU64(const AppendOnlyU64&) = delete;
+  AppendOnlyU64& operator=(const AppendOnlyU64&) = delete;
+
+  void Append(uint64_t v);
+  size_t size() const { return size_.load(std::memory_order_acquire); }
+  uint64_t At(size_t index) const;
+  /// Updates an existing element; index must be below a size() this thread
+  /// observed.
+  void Set(size_t index, uint64_t v);
+
+ private:
+  static constexpr size_t kPerChunk = 8192;
+  static constexpr size_t kMaxChunks = 1 << 16;
+
+  std::unique_ptr<std::atomic<std::atomic<uint64_t>*>[]> chunks_;
+  std::atomic<size_t> size_{0};
+};
+
 /// The router's view of the sharded row population: the consistent-hash
 /// ring assigning every global row id an owner shard, the full row values,
 /// and per-shard ascending global-id lists giving the local <-> global
 /// translation (a shard's local id L is position L in its list — shards
 /// load their partition in the same ascending-gid order, see
 /// skycube_serve --shard-index).
+///
+/// Epoch model (kEpochDiff): the topology carries a mutation epoch,
+/// starting at 1 (the bootstrap state); every routed mutation advances it.
+/// Each row remembers the epoch it appeared at (bootstrap rows: 1) and, if
+/// deleted, the epoch its delete landed at — so "the rows live at epoch e"
+/// is reconstructible for any past e without retaining snapshots, and the
+/// router answers epoch-diff queries of any depth.
 class RouterTopology {
  public:
   RouterTopology(int num_dims, size_t num_shards, uint64_t ring_seed = 0,
@@ -131,10 +166,45 @@ class RouterTopology {
   /// router's ingest thread appending it here). False on deadline expiry.
   bool WaitForLocal(size_t shard, ObjectId local, Deadline deadline) const;
 
+  // --- Mutation epochs and liveness (kDelete / kEpochDiff) ---------------
+
+  /// Current mutation epoch (starts at 1: the bootstrap state).
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  /// Advances the epoch by one mutation; returns the new epoch. Caller
+  /// serializes (router ingest mutex).
+  uint64_t AdvanceEpoch() {
+    return epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  }
+
+  /// Stamps `gid` deleted as of `epoch`. Caller serializes and must have
+  /// confirmed the owner shard tombstoned the row first.
+  void MarkDeleted(ObjectId gid, uint64_t epoch);
+
+  /// True while `gid` has no delete stamp.
+  bool IsLive(ObjectId gid) const { return delete_epochs_.At(gid) == 0; }
+
+  /// True iff `gid` existed and was not yet deleted at `at_epoch`.
+  bool LiveAt(ObjectId gid, uint64_t at_epoch) const {
+    if (insert_epochs_.At(gid) > at_epoch) return false;
+    const uint64_t deleted = delete_epochs_.At(gid);
+    return deleted == 0 || deleted > at_epoch;
+  }
+
+  /// Rows appended minus rows deleted.
+  ObjectId num_live() const {
+    return total_rows() -
+           num_deleted_.load(std::memory_order_acquire);
+  }
+
  private:
   HashRing ring_;
   RowStore rows_;
   std::vector<std::unique_ptr<AppendOnlyIds>> shard_ids_;
+  AppendOnlyU64 insert_epochs_;
+  AppendOnlyU64 delete_epochs_;
+  std::atomic<uint64_t> epoch_{1};
+  std::atomic<ObjectId> num_deleted_{0};
 };
 
 }  // namespace skycube::router

@@ -1,6 +1,7 @@
 #include "router/scatter_gather.h"
 
 #include <algorithm>
+#include <iterator>
 #include <utility>
 
 #include "router/merge.h"
@@ -75,6 +76,19 @@ const char* ScatterGather::ValidationError(
       if (static_cast<int>(request.values.size()) !=
           topology_->num_dims()) {
         return "insert row width does not match the cube";
+      }
+      break;
+    case QueryKind::kDelete:
+      // Any object id is acceptable: deletes are idempotent, and an
+      // unknown or already-dead target answers the "dead" path.
+      break;
+    case QueryKind::kEpochDiff:
+      if (request.subspace == 0) return "empty subspace";
+      if ((request.subspace & ~full) != 0) {
+        return "subspace uses dimensions beyond the cube";
+      }
+      if (request.since_version == 0) {
+        return "epoch diff needs a since_version";
       }
       break;
   }
@@ -342,13 +356,185 @@ QueryResponse ScatterGather::ExecuteInsert(const QueryRequest& request) {
   QueryResponse response = std::move(responses[0]);
   response.kind = QueryKind::kInsert;
   if (!response.ok) return response;  // shard-side rejection, not applied
-  // Acknowledged by the owner: make the row visible to the merge path.
+  // Acknowledged by the owner: advance the mutation epoch, then make the
+  // row visible to the merge path (AppendRow stamps it with the new epoch,
+  // so the row is live from this epoch onward).
+  topology_->AdvanceEpoch();
   topology_->AppendRow(request.values.data());
   NoteVersion(response.snapshot_version);
   inserts_routed_.fetch_add(1, std::memory_order_relaxed);
   response.count = topology_->total_rows();
   response.cache_hit = false;
   response.partial = false;
+  return response;
+}
+
+QueryResponse ScatterGather::ExecuteDelete(const QueryRequest& request) {
+  // Serialize with inserts: the topology delete stamp must pair with
+  // exactly one shard acknowledgement, in epoch order.
+  MutexLock lock(&ingest_mu_);
+  const ObjectId gid = request.object;
+  if (gid >= topology_->total_rows() || !topology_->IsLive(gid)) {
+    // Idempotent: an unknown or already-dead target succeeds without
+    // contacting any shard (and without advancing the epoch — nothing
+    // changed).
+    QueryResponse response;
+    response.kind = QueryKind::kDelete;
+    response.insert_path = "dead";
+    response.count = topology_->num_live();
+    response.snapshot_version = known_version();
+    return response;
+  }
+  const size_t owner = topology_->OwnerOf(gid);
+  const int64_t local = topology_->LocalId(owner, gid);
+  if (local < 0) {
+    return ErrorResponse(request, StatusCode::kInternal,
+                         "row " + std::to_string(gid) +
+                             " missing from its owner shard's id list");
+  }
+  const Deadline budget = request.deadline.infinite()
+                              ? Deadline::AfterMillis(
+                                    options_.default_budget_millis)
+                              : request.deadline;
+  QueryRequest forward =
+      QueryRequest::Delete(static_cast<ObjectId>(local));
+  forward.deadline = budget;
+  std::unique_ptr<ShardCall> call;
+  if (!backends_[owner]->down()) {
+    call = backends_[owner]->Start({forward}, budget);
+  }
+  if (call == nullptr) {
+    shard_losses_.fetch_add(1, std::memory_order_relaxed);
+    return ErrorResponse(request, StatusCode::kUnavailable,
+                         "owner shard " + std::to_string(owner) +
+                             " unreachable; delete not applied");
+  }
+  shard_calls_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<QueryResponse> responses;
+  std::string error;
+  if (!call->Collect(&responses, &error) || responses.empty()) {
+    shard_losses_.fetch_add(1, std::memory_order_relaxed);
+    return ErrorResponse(request, StatusCode::kUnavailable,
+                         "owner shard " + std::to_string(owner) +
+                             " failed mid-delete: " + error);
+  }
+  QueryResponse response = std::move(responses[0]);
+  response.kind = QueryKind::kDelete;
+  if (!response.ok) return response;  // shard-side rejection, not applied
+  // Acknowledged by the owner: stamp the row dead at the new epoch.
+  topology_->MarkDeleted(gid, topology_->AdvanceEpoch());
+  NoteVersion(response.snapshot_version);
+  deletes_routed_.fetch_add(1, std::memory_order_relaxed);
+  response.count = topology_->num_live();
+  response.cache_hit = false;
+  response.partial = false;
+  return response;
+}
+
+QueryResponse ScatterGather::ExecuteEpochDiff(const QueryRequest& request) {
+  const uint64_t since = request.since_version;
+  if (since > topology_->epoch()) {
+    return ErrorResponse(request, StatusCode::kNotFound,
+                         "since_version " + std::to_string(since) +
+                             " is ahead of the router epoch");
+  }
+  const Deadline budget = WaveBudget(request.deadline);
+  std::vector<QueryRequest> batch = {
+      QueryRequest::SubspaceSkyline(request.subspace).WithDeadline(budget)};
+  Wave wave = RunWave(batch, budget);
+  if (wave.live == 0) {
+    return ErrorResponse(request, StatusCode::kUnavailable,
+                         "no shard reachable");
+  }
+  // Current side: the shard wave, tracking exactly which shards
+  // contributed — the historical side below is restricted to the same
+  // shards so the diff never mistakes shard loss for row churn.
+  std::vector<uint8_t> contributing(backends_.size(), 0);
+  std::vector<ObjectId> candidates;
+  uint64_t version = 0;
+  bool all_hit = true;
+  bool partial = false;
+  size_t contributors = 0;
+  for (size_t s = 0; s < wave.responses.size(); ++s) {
+    if (wave.responses[s].empty()) {
+      partial = true;
+      continue;
+    }
+    const QueryResponse& item = wave.responses[s][0];
+    if (!item.ok || item.ids == nullptr) {
+      partial = true;
+      shard_losses_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    std::vector<ObjectId> globals;
+    globals.reserve(item.ids->size());
+    bool translated = true;
+    for (ObjectId local : *item.ids) {
+      if (!topology_->WaitForLocal(s, local, Deadline::AfterMillis(1000))) {
+        translated = false;
+        break;
+      }
+      globals.push_back(topology_->GlobalId(s, local));
+    }
+    if (!translated) {
+      partial = true;
+      shard_losses_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    candidates.insert(candidates.end(), globals.begin(), globals.end());
+    version = std::max(version, item.snapshot_version);
+    all_hit = all_hit && item.cache_hit;
+    contributing[s] = 1;
+    ++contributors;
+  }
+  if (contributors == 0) {
+    return ErrorResponse(request, StatusCode::kUnavailable,
+                         "no shard contributed a skyline");
+  }
+  NoteVersion(version);
+  merge_candidates_.fetch_add(candidates.size(), std::memory_order_relaxed);
+  const std::vector<ObjectId> current = MergeSkylineCandidates(
+      topology_->rows(), request.subspace, std::move(candidates));
+  if (request.deadline.expired()) {
+    return ErrorResponse(request, StatusCode::kDeadlineExceeded,
+                         "deadline expired during merge");
+  }
+  // Historical side: reconstruct the rows live at epoch `since` (owned by
+  // a contributing shard) from the per-row epoch stamps and take their
+  // skyline locally — the router holds every row value.
+  const ObjectId known_rows = topology_->total_rows();
+  std::vector<ObjectId> hist_candidates;
+  for (ObjectId gid = 0; gid < known_rows; ++gid) {
+    if (!contributing[topology_->OwnerOf(gid)]) continue;
+    if (!topology_->LiveAt(gid, since)) continue;
+    hist_candidates.push_back(gid);
+  }
+  merge_candidates_.fetch_add(hist_candidates.size(),
+                              std::memory_order_relaxed);
+  const std::vector<ObjectId> historical = MergeSkylineCandidates(
+      topology_->rows(), request.subspace, std::move(hist_candidates));
+  if (request.deadline.expired()) {
+    return ErrorResponse(request, StatusCode::kDeadlineExceeded,
+                         "deadline expired during historical merge");
+  }
+  auto entered = std::make_shared<std::vector<ObjectId>>();
+  auto left = std::make_shared<std::vector<ObjectId>>();
+  std::set_difference(current.begin(), current.end(), historical.begin(),
+                      historical.end(), std::back_inserter(*entered));
+  std::set_difference(historical.begin(), historical.end(), current.begin(),
+                      current.end(), std::back_inserter(*left));
+  QueryResponse response;
+  response.kind = QueryKind::kEpochDiff;
+  response.count = entered->size() + left->size();
+  response.ids = std::move(entered);
+  response.left_ids = std::move(left);
+  response.snapshot_version = version;
+  response.cache_hit = all_hit;
+  response.partial = partial || wave.partial;
+  if (response.partial) {
+    partial_answers_.fetch_add(1, std::memory_order_relaxed);
+  }
+  epoch_diffs_.fetch_add(1, std::memory_order_relaxed);
   return response;
 }
 
@@ -373,6 +559,10 @@ QueryResponse ScatterGather::Execute(const QueryRequest& request) {
       return ExecuteEnumeration(request);
     case QueryKind::kInsert:
       return ExecuteInsert(request);
+    case QueryKind::kDelete:
+      return ExecuteDelete(request);
+    case QueryKind::kEpochDiff:
+      return ExecuteEpochDiff(request);
   }
   return ErrorResponse(request, StatusCode::kInvalidArgument,
                        "unknown query kind");
@@ -387,6 +577,8 @@ ScatterGatherStats ScatterGather::stats() const {
   stats.merge_candidates =
       merge_candidates_.load(std::memory_order_relaxed);
   stats.inserts_routed = inserts_routed_.load(std::memory_order_relaxed);
+  stats.deletes_routed = deletes_routed_.load(std::memory_order_relaxed);
+  stats.epoch_diffs = epoch_diffs_.load(std::memory_order_relaxed);
   return stats;
 }
 

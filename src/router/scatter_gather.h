@@ -24,6 +24,17 @@
 //    global id), serialized under the router ingest mutex, appended to the
 //    topology only after the shard acknowledged. Inserts are never partial
 //    and never hedged: an unreachable owner is kUnavailable.
+//  - delete: routed to the owning shard only (global id translated to the
+//    shard-local id), serialized like inserts; the topology marks the row
+//    deleted only after the shard acknowledged the tombstone. An
+//    already-dead (or never-existing) target answers the "dead" path
+//    without contacting any shard — deletes are idempotent.
+//  - epoch_diff(B, since): the *current* Sky(B) comes from a shard wave
+//    (merged as usual); the *historical* Sky(B) at router epoch `since` is
+//    computed locally from the topology's per-row insert/delete epoch
+//    stamps — no snapshot retention, any depth. Both sides are restricted
+//    to the shards that contributed to the wave, so under degradation the
+//    diff reflects real row churn, never shard loss (flagged partial).
 //
 // Merged-answer metadata: snapshot_version is the max over contributing
 // shards, cache_hit is true iff every contributing shard answered from its
@@ -94,6 +105,8 @@ struct ScatterGatherStats {
   uint64_t partial_answers = 0;  // responses flagged partial
   uint64_t merge_candidates = 0;  // rows entering refilter passes
   uint64_t inserts_routed = 0;
+  uint64_t deletes_routed = 0;   // deletes acknowledged by an owner shard
+  uint64_t epoch_diffs = 0;      // kEpochDiff queries answered ok
 };
 
 class ScatterGather {
@@ -145,6 +158,9 @@ class ScatterGather {
   QueryResponse ExecuteEnumeration(const QueryRequest& request);
   QueryResponse ExecuteInsert(const QueryRequest& request)
       EXCLUDES(ingest_mu_);
+  QueryResponse ExecuteDelete(const QueryRequest& request)
+      EXCLUDES(ingest_mu_);
+  QueryResponse ExecuteEpochDiff(const QueryRequest& request);
 
   /// nullptr if well-formed, else the error text.
   const char* ValidationError(const QueryRequest& request) const;
@@ -167,6 +183,8 @@ class ScatterGather {
   std::atomic<uint64_t> partial_answers_{0};
   std::atomic<uint64_t> merge_candidates_{0};
   std::atomic<uint64_t> inserts_routed_{0};
+  std::atomic<uint64_t> deletes_routed_{0};
+  std::atomic<uint64_t> epoch_diffs_{0};
 };
 
 }  // namespace skycube::router

@@ -10,16 +10,39 @@
 
 namespace skycube {
 
-CubeRebuilder::CubeRebuilder(SkycubeService* service, Builder builder,
-                             CubeRebuilderOptions options)
-    : service_(service),
-      builder_(std::move(builder)),
+namespace {
+
+/// The classic rebuild job: produce the next cube, swap it into the
+/// service. A null cube inside an OK result is a failure — it must never
+/// reach Reload.
+CubeRebuilder::Job MakeReloadJob(SkycubeService* service,
+                                 CubeRebuilder::Builder builder) {
+  SKYCUBE_CHECK_MSG(service != nullptr, "CubeRebuilder needs a service");
+  SKYCUBE_CHECK_MSG(builder != nullptr, "CubeRebuilder needs a builder");
+  return [service, builder = std::move(builder)]() -> Status {
+    auto result = builder();
+    if (!result.ok()) return result.status();
+    if (result.value() == nullptr) {
+      return Status::Internal("builder returned a null cube");
+    }
+    service->Reload(std::move(result).value());
+    return Status::Ok();
+  };
+}
+
+}  // namespace
+
+CubeRebuilder::CubeRebuilder(Job job, CubeRebuilderOptions options)
+    : job_(std::move(job)),
       options_(options),
       jitter_state_(options.jitter_seed) {
-  SKYCUBE_CHECK_MSG(service_ != nullptr, "CubeRebuilder needs a service");
-  SKYCUBE_CHECK_MSG(builder_ != nullptr, "CubeRebuilder needs a builder");
+  SKYCUBE_CHECK_MSG(job_ != nullptr, "CubeRebuilder needs a job");
   worker_ = std::thread([this] { WorkerLoop(); });
 }
+
+CubeRebuilder::CubeRebuilder(SkycubeService* service, Builder builder,
+                             CubeRebuilderOptions options)
+    : CubeRebuilder(MakeReloadJob(service, std::move(builder)), options) {}
 
 CubeRebuilder::~CubeRebuilder() {
   {
@@ -56,23 +79,18 @@ CubeRebuilderStats CubeRebuilder::stats() const {
   return stats_;
 }
 
-Result<std::shared_ptr<const CompressedSkylineCube>>
-CubeRebuilder::RunBuilder() {
+Status CubeRebuilder::RunJob() {
   if (SKYCUBE_FAULT_POINT("rebuilder.build")) {
     return Status::Unavailable("fault injection: rebuilder.build");
   }
-  // Builders load files and allocate large structures — contain anything
-  // they throw so a bad refresh can never unwind through the worker thread.
+  // Jobs load files and allocate large structures — contain anything they
+  // throw so a bad refresh can never unwind through the worker thread.
   try {
-    auto result = builder_();
-    if (result.ok() && result.value() == nullptr) {
-      return Status::Internal("builder returned a null cube");
-    }
-    return result;
+    return job_();
   } catch (const std::exception& e) {
-    return Status::Internal(std::string("builder threw: ") + e.what());
+    return Status::Internal(std::string("job threw: ") + e.what());
   } catch (...) {
-    return Status::Internal("builder threw an unknown exception");
+    return Status::Internal("job threw an unknown exception");
   }
 }
 
@@ -104,17 +122,15 @@ void CubeRebuilder::WorkerLoop() {
     for (;;) {
       ++stats_.builds_attempted;
       mu_.Unlock();
-      // The build (and a successful swap) runs unlocked: TriggerRebuild and
-      // stats() must never block behind a slow builder.
-      auto result = RunBuilder();
-      if (result.ok()) {
-        service_->Reload(std::move(result).value());
-        mu_.Lock();
+      // The job (build + swap) runs unlocked: TriggerRebuild and stats()
+      // must never block behind a slow builder.
+      const Status status = RunJob();
+      mu_.Lock();
+      if (status.ok()) {
         ++stats_.builds_succeeded;
         stats_.last_backoff_millis = 0;
         break;
       }
-      mu_.Lock();
       ++stats_.builds_failed;
       ++consecutive_failures;
       if (options_.max_attempts > 0 &&

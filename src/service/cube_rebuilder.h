@@ -1,14 +1,20 @@
-// CubeRebuilder: resilient background refresh of a SkycubeService snapshot.
+// CubeRebuilder: resilient background execution of snapshot-refresh work.
 //
-// The service keeps answering from its last good snapshot while a rebuild
-// runs off-thread. A rebuild that fails (error Status, null cube, or a
-// throwing builder) is retried with exponential backoff plus jitter, and a
-// broken cube is never swapped in — the failure mode of a bad data refresh
-// is "stale answers", never "no answers" and never "corrupt answers".
+// The general shape is a Job — any Status-returning unit of work (a cube
+// rebuild + Reload, a window-expiry pass, ...) — run on a dedicated worker
+// with coalescing triggers and exponential-backoff retries. The service
+// keeps answering from its last good snapshot while a job runs off-thread.
+// A job that fails (error Status or a thrown exception) is retried with
+// backoff plus jitter, and a broken result is never published — the failure
+// mode of a bad refresh is "stale answers", never "no answers" and never
+// "corrupt answers".
+//
+// The original cube-builder form is a convenience constructor that wraps a
+// Builder (produce the next cube) and the service Reload into one Job.
 //
 // Threading: one worker thread owned by the rebuilder. TriggerRebuild() is
-// safe from any thread and coalesces — triggers arriving while a build is
-// in progress fold into a single follow-up build (the next build always
+// safe from any thread and coalesces — triggers arriving while a job is
+// in progress fold into a single follow-up run (the next run always
 // observes the freshest trigger, so nothing is lost by folding).
 #ifndef SKYCUBE_SERVICE_CUBE_REBUILDER_H_
 #define SKYCUBE_SERVICE_CUBE_REBUILDER_H_
@@ -60,14 +66,23 @@ struct CubeRebuilderStats {
 
 class CubeRebuilder {
  public:
+  /// One unit of background work, retried on failure. An error Status (or
+  /// a thrown exception, converted internally) marks the run failed and
+  /// schedules a backoff retry.
+  using Job = std::function<Status()>;
+
   /// Produces the next cube snapshot. An error Status (or a thrown
   /// exception, converted internally) marks the build failed; returning a
   /// null pointer inside an OK result is also treated as a failure.
   using Builder =
       std::function<Result<std::shared_ptr<const CompressedSkylineCube>>()>;
 
-  /// `service` must outlive the rebuilder. The worker thread starts
+  /// General form: runs `job` on every trigger. The worker thread starts
   /// immediately but sleeps until the first TriggerRebuild().
+  explicit CubeRebuilder(Job job, CubeRebuilderOptions options = {});
+
+  /// Cube-builder form: the job runs `builder` and, on success, swaps the
+  /// produced cube into `service` (which must outlive the rebuilder).
   CubeRebuilder(SkycubeService* service, Builder builder,
                 CubeRebuilderOptions options = {});
 
@@ -90,15 +105,14 @@ class CubeRebuilder {
 
  private:
   void WorkerLoop() EXCLUDES(mu_);
-  /// One builder invocation with exception containment.
-  Result<std::shared_ptr<const CompressedSkylineCube>> RunBuilder();
+  /// One job invocation with exception containment.
+  Status RunJob();
   /// The post-failure sleep for `consecutive_failures` failures so far
   /// (advances the jitter RNG state, hence the lock).
   std::chrono::milliseconds NextBackoffLocked(int consecutive_failures)
       REQUIRES(mu_);
 
-  SkycubeService* service_;
-  Builder builder_;
+  Job job_;
   CubeRebuilderOptions options_;
 
   mutable Mutex mu_;

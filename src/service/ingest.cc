@@ -12,15 +12,42 @@ MaintainerInsertHandler::MaintainerInsertHandler(
 }
 
 Result<InsertHandler::Applied> MaintainerInsertHandler::ApplyInsert(
-    const std::vector<double>& values) {
+    const std::vector<double>& values, uint64_t timestamp_ms) {
   if (static_cast<int>(values.size()) != maintainer_->data().num_dims()) {
     return Status::InvalidArgument("insert width must equal num_dims");
   }
   Applied applied;
-  applied.path = maintainer_->Insert(values);
+  applied.path = maintainer_->Insert(values, timestamp_ms);
   applied.num_objects = maintainer_->data().num_objects();
+  applied.num_live = maintainer_->num_live();
   applied.cube = std::make_shared<const CompressedSkylineCube>(
       maintainer_->MakeCube());
+  return applied;
+}
+
+Result<InsertHandler::Applied> MaintainerInsertHandler::ApplyDelete(
+    ObjectId id) {
+  Applied applied;
+  applied.delete_path = maintainer_->Remove(id);
+  applied.num_objects = maintainer_->data().num_objects();
+  applied.num_live = maintainer_->num_live();
+  if (applied.delete_path != DeletePath::kAlreadyDead) {
+    applied.cube = std::make_shared<const CompressedSkylineCube>(
+        maintainer_->MakeCube());
+  }
+  return applied;
+}
+
+Result<InsertHandler::Applied> MaintainerInsertHandler::ApplyExpire(
+    uint64_t cutoff_ms) {
+  Applied applied;
+  applied.num_expired = maintainer_->ExpireOlderThan(cutoff_ms);
+  applied.num_objects = maintainer_->data().num_objects();
+  applied.num_live = maintainer_->num_live();
+  if (applied.num_expired > 0) {
+    applied.cube = std::make_shared<const CompressedSkylineCube>(
+        maintainer_->MakeCube());
+  }
   return applied;
 }
 

@@ -1,19 +1,21 @@
 // The write-path seam of SkycubeService: an InsertHandler applies one
-// inserted row to whatever owns the mutable cube state and hands back the
-// post-insert snapshot for the service to swap in.
+// mutation (insert, delete, or a window-expiry pass) to whatever owns the
+// mutable cube state and hands back the post-mutation snapshot for the
+// service to swap in.
 //
 // Two implementations exist:
 //  - MaintainerInsertHandler (here): wraps a bare IncrementalCubeMaintainer
 //    — volatile ingest, exactly the pre-durability behaviour of
 //    skycube_serve --data/--synthetic;
 //  - DurableIngest (storage/durable_ingest.h): WAL append + maintainer +
-//    periodic checkpoints — the insert is acknowledged only after the WAL
+//    periodic checkpoints — the mutation is acknowledged only after the WAL
 //    append succeeded.
 //
-// The service serializes ApplyInsert calls under its own ingest mutex, but
-// implementations must still be safe against concurrent *readers* of the
-// structures they expose (the maintainer itself is only touched from
-// ApplyInsert, so the usual pattern — snapshot-copy via MakeCube — holds).
+// The service serializes ApplyInsert/ApplyDelete/ApplyExpire calls under
+// its own ingest mutex, but implementations must still be safe against
+// concurrent *readers* of the structures they expose (the maintainer itself
+// is only touched from the Apply* methods, so the usual pattern —
+// snapshot-copy via MakeCube — holds).
 #ifndef SKYCUBE_SERVICE_INGEST_H_
 #define SKYCUBE_SERVICE_INGEST_H_
 
@@ -29,14 +31,21 @@ namespace skycube {
 
 class InsertHandler {
  public:
-  /// Outcome of one applied insert.
+  /// Outcome of one applied mutation.
   struct Applied {
-    /// Immutable snapshot including the new row, ready for Reload.
+    /// Immutable snapshot reflecting the mutation, ready for Reload. Null
+    /// only when the mutation changed nothing (an already-dead delete, an
+    /// expiry pass that found no rows) — the caller may skip the Reload.
     std::shared_ptr<const CompressedSkylineCube> cube;
-    InsertPath path = InsertPath::kNoOp;
-    /// WAL sequence number of the insert; 0 for non-durable handlers.
+    InsertPath path = InsertPath::kNoOp;        // inserts
+    DeletePath delete_path = DeletePath::kAlreadyDead;  // deletes
+    /// WAL sequence number of the op; 0 for non-durable handlers and for
+    /// no-op mutations that were never logged.
     uint64_t lsn = 0;
     size_t num_objects = 0;
+    size_t num_live = 0;
+    /// Rows tombstoned by this ApplyExpire call.
+    size_t num_expired = 0;
   };
 
   virtual ~InsertHandler() = default;
@@ -44,7 +53,20 @@ class InsertHandler {
   /// Applies one row (values.size() must equal num_dims()). An error means
   /// the insert was NOT applied (and for durable handlers, not logged) —
   /// the caller reports it to the client instead of acknowledging.
-  virtual Result<Applied> ApplyInsert(const std::vector<double>& values) = 0;
+  /// `timestamp_ms` is the row's ingest time for window expiry (0 = never
+  /// expires).
+  virtual Result<Applied> ApplyInsert(const std::vector<double>& values,
+                                      uint64_t timestamp_ms = 0) = 0;
+
+  /// Tombstones one row. Deleting an out-of-range or already-dead id is a
+  /// successful no-op (delete_path = kAlreadyDead, null cube), not an
+  /// error — deletes are idempotent so retries and replays are safe.
+  virtual Result<Applied> ApplyDelete(ObjectId id) = 0;
+
+  /// Tombstones every live row with 0 < timestamp < cutoff_ms in one
+  /// batch (the sliding-window pass). num_expired reports how many went;
+  /// a pass that expires nothing returns a null cube.
+  virtual Result<Applied> ApplyExpire(uint64_t cutoff_ms) = 0;
 
   virtual int num_dims() const = 0;
 };
@@ -55,7 +77,10 @@ class MaintainerInsertHandler : public InsertHandler {
  public:
   explicit MaintainerInsertHandler(IncrementalCubeMaintainer* maintainer);
 
-  Result<Applied> ApplyInsert(const std::vector<double>& values) override;
+  Result<Applied> ApplyInsert(const std::vector<double>& values,
+                              uint64_t timestamp_ms = 0) override;
+  Result<Applied> ApplyDelete(ObjectId id) override;
+  Result<Applied> ApplyExpire(uint64_t cutoff_ms) override;
   int num_dims() const override;
 
  private:

@@ -29,10 +29,13 @@ enum class QueryKind : uint8_t {
   kMembershipCount = 3,     // Q3: #subspaces whose skyline contains object
   kSkycubeSize = 4,         // Q3: Σ over subspaces of |Sky(B)|
   kInsert = 5,              // ingest: add a row; acked only once durable
+  kDelete = 6,              // ingest: tombstone a row; idempotent
+  kEpochDiff = 7,           // which ids entered/left Sky(subspace) since a
+                            // past snapshot version (emerging skyline)
 };
 
 /// Number of distinct QueryKind values (for per-kind counters).
-inline constexpr int kNumQueryKinds = 6;
+inline constexpr int kNumQueryKinds = 8;
 
 /// Short lowercase name ("skyline", "cardinality", ...).
 const char* QueryKindName(QueryKind kind);
@@ -50,6 +53,9 @@ struct QueryRequest {
   /// kInsert payload: the row to add (must have the cube's num_dims
   /// values). Empty for every read kind.
   std::vector<double> values;
+  /// kEpochDiff: the past snapshot version to diff the current skyline
+  /// against (must be a version the service still retains).
+  uint64_t since_version = 0;
 
   /// Copy of this request with a deadline attached.
   QueryRequest WithDeadline(Deadline d) const {
@@ -86,6 +92,14 @@ struct QueryRequest {
     request.values = std::move(values);
     return request;
   }
+  static QueryRequest Delete(ObjectId object) {
+    return Make(QueryKind::kDelete, 0, object);
+  }
+  static QueryRequest EpochDiff(DimMask subspace, uint64_t since_version) {
+    QueryRequest request = Make(QueryKind::kEpochDiff, subspace, 0);
+    request.since_version = since_version;
+    return request;
+  }
 };
 
 /// One answer; the payload field used depends on `kind`. `ok` is false for
@@ -99,16 +113,22 @@ struct QueryResponse {
   std::string error;                  // set iff !ok
 
   /// Q1 kSubspaceSkyline payload (ascending ids); null for other kinds.
+  /// For kEpochDiff: the ids that *entered* Sky(subspace) since
+  /// since_version (left_ids carries the leavers).
   std::shared_ptr<const std::vector<ObjectId>> ids;
+  /// kEpochDiff payload: ids that left Sky(subspace) since since_version
+  /// (deleted, expired, or newly dominated). Null for other kinds.
+  std::shared_ptr<const std::vector<ObjectId>> left_ids;
   /// kSkylineCardinality / kMembershipCount / kSkycubeSize payload.
   uint64_t count = 0;
   /// kMembership payload.
   bool member = false;
 
-  /// kInsert payload: the maintenance path taken ("duplicate", "noop",
-  /// "extension", "recompute") and, for durable ingest, the WAL sequence
-  /// number of the acknowledged record (0 when not durable). `count`
-  /// carries the post-insert object total.
+  /// kInsert/kDelete payload: the maintenance path taken ("duplicate",
+  /// "noop", "extension", "recompute"; deletes also "dead", "patch") and,
+  /// for durable ingest, the WAL sequence number of the acknowledged
+  /// record (0 when not durable). `count` carries the post-insert object
+  /// total (for kDelete: the post-delete live-row count).
   std::string insert_path;
   uint64_t lsn = 0;
 

@@ -26,6 +26,7 @@ size_t ResultCache::KeyHash::operator()(const Key& key) const {
   h = HashCombine(h, key.subspace);
   h = HashCombine(h, key.object);
   h = HashCombine(h, key.version);
+  h = HashCombine(h, key.epoch);
   return static_cast<size_t>(h);
 }
 

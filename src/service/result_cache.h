@@ -58,12 +58,15 @@ class ResultCache {
   ResultCache& operator=(const ResultCache&) = delete;
 
   /// The full cache key. `version` is the snapshot version the result was
-  /// computed against.
+  /// computed against. `epoch` is the since_version of a kEpochDiff request
+  /// (the answer depends on the *pair* of versions); 0 for every other
+  /// kind.
   struct Key {
     QueryKind kind = QueryKind::kSubspaceSkyline;
     DimMask subspace = 0;
     ObjectId object = 0;
     uint64_t version = 0;
+    uint64_t epoch = 0;
 
     friend bool operator==(const Key&, const Key&) = default;
   };

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <exception>
 #include <functional>
+#include <iterator>
 #include <new>
 #include <utility>
 
@@ -28,6 +29,10 @@ const char* QueryKindName(QueryKind kind) {
       return "skycube_size";
     case QueryKind::kInsert:
       return "insert";
+    case QueryKind::kDelete:
+      return "delete";
+    case QueryKind::kEpochDiff:
+      return "epoch_diff";
   }
   return "unknown";
 }
@@ -55,7 +60,8 @@ SkycubeService::SkycubeService(
   auto snap = std::make_shared<Snapshot>();
   snap->cube = std::move(cube);
   snap->version = 1;
-  snapshot_.store(std::move(snap), std::memory_order_release);
+  snapshot_.store(snap, std::memory_order_release);
+  RetainSnapshot(std::move(snap));
 }
 
 SkycubeService::~SkycubeService() = default;
@@ -142,9 +148,12 @@ QueryResponse SkycubeService::ExecuteOn(const QueryRequest& request,
                          error);
   }
   // Writes bypass the cache entirely and never run against `snap`: the
-  // insert produces its own (newer) snapshot and reports *that* version.
+  // mutation produces its own (newer) snapshot and reports *that* version.
   if (request.kind == QueryKind::kInsert) {
     return ExecuteInsert(request);
+  }
+  if (request.kind == QueryKind::kDelete) {
+    return ExecuteDelete(request);
   }
   // A request that arrives past its deadline never touches cache or cube.
   if (request.deadline.expired()) {
@@ -152,8 +161,13 @@ QueryResponse SkycubeService::ExecuteOn(const QueryRequest& request,
     return ErrorResponse(request, snap.version, StatusCode::kDeadlineExceeded,
                          "deadline expired before execution");
   }
+  // kEpochDiff answers depend on the *pair* of versions, so since_version
+  // rides in the key's epoch field (0 for every other kind).
+  const uint64_t epoch = request.kind == QueryKind::kEpochDiff
+                             ? request.since_version
+                             : 0;
   const ResultCache::Key key{request.kind, request.subspace, request.object,
-                             snap.version};
+                             snap.version, epoch};
   QueryResponse response;
   if (cache_.enabled() && cache_.Lookup(key, &response)) {
     response.cache_hit = true;
@@ -181,7 +195,9 @@ QueryResponse SkycubeService::ExecuteOn(const QueryRequest& request,
     return ErrorResponse(request, snap.version, StatusCode::kDeadlineExceeded,
                          "deadline expired during execution");
   }
-  cache_.Insert(key, response);
+  // Compute-level error responses (an epoch-diff since_version that fell
+  // out of the history ring) are never cached.
+  if (response.ok) cache_.Insert(key, response);
   return response;
 }
 
@@ -189,7 +205,8 @@ const char* SkycubeService::ValidationError(
     const QueryRequest& request, const CompressedSkylineCube& cube) {
   const bool needs_subspace = request.kind == QueryKind::kSubspaceSkyline ||
                               request.kind == QueryKind::kSkylineCardinality ||
-                              request.kind == QueryKind::kMembership;
+                              request.kind == QueryKind::kMembership ||
+                              request.kind == QueryKind::kEpochDiff;
   if (needs_subspace) {
     if (request.subspace == kEmptyMask) return "empty subspace";
     if (!IsSubsetOf(request.subspace, FullMask(cube.num_dims()))) {
@@ -204,6 +221,11 @@ const char* SkycubeService::ValidationError(
   if (request.kind == QueryKind::kInsert &&
       static_cast<int>(request.values.size()) != cube.num_dims()) {
     return "insert row width must equal num_dims";
+  }
+  // A kDelete object beyond the row population is *not* invalid: deletes
+  // are idempotent, and an unknown id answers the "dead" path.
+  if (request.kind == QueryKind::kEpochDiff && request.since_version == 0) {
+    return "epoch diff needs a since_version";
   }
   return nullptr;
 }
@@ -241,13 +263,64 @@ QueryResponse SkycubeService::Compute(const QueryRequest& request,
     case QueryKind::kSkycubeSize:
       response.count = cube.TotalSubspaceSkylineObjects(&cancel);
       break;
+    case QueryKind::kEpochDiff:
+      return ComputeEpochDiff(request, snap);
     case QueryKind::kInsert:
-      // Unreachable: ExecuteOn routes inserts to ExecuteInsert before the
-      // cache probe and never calls Compute for them.
-      SKYCUBE_CHECK_MSG(false, "kInsert reached the read compute path");
+    case QueryKind::kDelete:
+      // Unreachable: ExecuteOn routes mutations to ExecuteInsert /
+      // ExecuteDelete before the cache probe and never calls Compute for
+      // them.
+      SKYCUBE_CHECK_MSG(false, "mutation reached the read compute path");
       break;
   }
   return response;
+}
+
+QueryResponse SkycubeService::ComputeEpochDiff(const QueryRequest& request,
+                                               const Snapshot& snap) const {
+  std::shared_ptr<const Snapshot> since;
+  {
+    MutexLock lock(&history_mu_);
+    for (const auto& old : history_) {
+      if (old->version == request.since_version) {
+        since = old;
+        break;
+      }
+    }
+  }
+  if (since == nullptr) {
+    return ErrorResponse(
+        request, snap.version, StatusCode::kNotFound,
+        "since_version is not a retained snapshot version (too old, future, "
+        "or epoch history is disabled)");
+  }
+  const CancelToken cancel(request.deadline);
+  const std::vector<ObjectId> before =
+      since->cube->SubspaceSkyline(request.subspace, &cancel);
+  const std::vector<ObjectId> now =
+      snap.cube->SubspaceSkyline(request.subspace, &cancel);
+  auto entered = std::make_shared<std::vector<ObjectId>>();
+  auto left = std::make_shared<std::vector<ObjectId>>();
+  // Both skylines come back in ascending id order, so the diff is one
+  // linear merge each way.
+  std::set_difference(now.begin(), now.end(), before.begin(), before.end(),
+                      std::back_inserter(*entered));
+  std::set_difference(before.begin(), before.end(), now.begin(), now.end(),
+                      std::back_inserter(*left));
+  QueryResponse response;
+  response.kind = request.kind;
+  response.snapshot_version = snap.version;
+  response.count = entered->size() + left->size();
+  response.ids = std::move(entered);
+  response.left_ids = std::move(left);
+  return response;
+}
+
+void SkycubeService::RetainSnapshot(std::shared_ptr<const Snapshot> snap) {
+  if (options_.epoch_history == 0) return;
+  MutexLock lock(&history_mu_);
+  history_.push_back(std::move(snap));
+  while (history_.size() > options_.epoch_history) history_.pop_front();
 }
 
 void SkycubeService::AttachInsertHandler(InsertHandler* handler) {
@@ -270,7 +343,11 @@ QueryResponse SkycubeService::ExecuteInsert(const QueryRequest& request) {
   // WAL) and the apply→Reload pair must publish snapshots in apply order so
   // snapshot_version stays monotone with the WAL.
   MutexLock lock(&ingest_mu_);
-  Result<InsertHandler::Applied> applied = handler->ApplyInsert(request.values);
+  // Stamp the ingest time so the sliding-window expiry pass can age the
+  // row out later (0 = no clock configured = the row never expires).
+  const uint64_t now_ms = options_.ingest_clock ? options_.ingest_clock() : 0;
+  Result<InsertHandler::Applied> applied = handler->ApplyInsert(
+      request.values, now_ms);
   if (!applied.ok()) {
     insert_failures_.fetch_add(1, std::memory_order_relaxed);
     const Status& status = applied.status();
@@ -290,6 +367,60 @@ QueryResponse SkycubeService::ExecuteInsert(const QueryRequest& request) {
   response.count = applied.value().num_objects;
   response.snapshot_version = snapshot_version();
   return response;
+}
+
+QueryResponse SkycubeService::ExecuteDelete(const QueryRequest& request) {
+  InsertHandler* handler = insert_handler_.load(std::memory_order_acquire);
+  if (handler == nullptr) {
+    invalid_requests_.fetch_add(1, std::memory_order_relaxed);
+    return ErrorResponse(request, LoadSnapshot()->version,
+                         StatusCode::kInvalidArgument,
+                         "service is read-only: no insert handler attached");
+  }
+  MutexLock lock(&ingest_mu_);
+  Result<InsertHandler::Applied> applied =
+      handler->ApplyDelete(request.object);
+  if (!applied.ok()) {
+    delete_failures_.fetch_add(1, std::memory_order_relaxed);
+    const Status& status = applied.status();
+    return ErrorResponse(request, LoadSnapshot()->version, status.code(),
+                         status.message());
+  }
+  // An already-dead target leaves the cube untouched (no swap, so cached
+  // answers stay valid); a live one publishes the post-delete snapshot,
+  // which invalidates every cached read answer by version.
+  if (applied.value().cube != nullptr) {
+    Reload(applied.value().cube);
+    deletes_applied_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  QueryResponse response;
+  response.kind = QueryKind::kDelete;
+  response.insert_path = DeletePathName(applied.value().delete_path);
+  response.lsn = applied.value().lsn;
+  response.count = applied.value().num_live;
+  response.snapshot_version = snapshot_version();
+  return response;
+}
+
+Result<uint64_t> SkycubeService::ApplyExpiry(uint64_t cutoff_ms) {
+  InsertHandler* handler = insert_handler_.load(std::memory_order_acquire);
+  if (handler == nullptr) {
+    return Status::InvalidArgument(
+        "service is read-only: no insert handler attached");
+  }
+  MutexLock lock(&ingest_mu_);
+  Result<InsertHandler::Applied> applied = handler->ApplyExpire(cutoff_ms);
+  if (!applied.ok()) return applied.status();
+  // A pass that expired nothing returns no cube — keep the snapshot (and
+  // the result cache) untouched.
+  if (applied.value().cube != nullptr) {
+    Reload(applied.value().cube);
+  }
+  expiry_passes_.fetch_add(1, std::memory_order_relaxed);
+  expired_rows_.fetch_add(applied.value().num_expired,
+                          std::memory_order_relaxed);
+  return static_cast<uint64_t>(applied.value().num_expired);
 }
 
 std::vector<QueryResponse> SkycubeService::ExecuteBatch(
@@ -377,6 +508,7 @@ void SkycubeService::Reload(
   // Version-keyed entries of the old snapshot can never be served again;
   // Clear() just releases their memory promptly.
   cache_.Clear();
+  RetainSnapshot(std::move(next));
 }
 
 std::shared_ptr<const CompressedSkylineCube> SkycubeService::snapshot()
@@ -427,6 +559,10 @@ ServiceStats SkycubeService::stats() const {
   stats.admission_waits = admission_waits_.load(std::memory_order_relaxed);
   stats.inserts_applied = inserts_applied_.load(std::memory_order_relaxed);
   stats.insert_failures = insert_failures_.load(std::memory_order_relaxed);
+  stats.deletes_applied = deletes_applied_.load(std::memory_order_relaxed);
+  stats.delete_failures = delete_failures_.load(std::memory_order_relaxed);
+  stats.expiry_passes = expiry_passes_.load(std::memory_order_relaxed);
+  stats.expired_rows = expired_rows_.load(std::memory_order_relaxed);
   stats.drained_rejects = drained_rejects_.load(std::memory_order_relaxed);
   stats.draining = draining();
   if (options_.max_in_flight > 0) {

@@ -25,6 +25,8 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>  // std::once_flag
 #include <vector>
@@ -58,6 +60,14 @@ struct SkycubeServiceOptions {
   /// How long an over-limit arrival may wait for a slot before being shed
   /// with kResourceExhausted. 0 = shed immediately.
   std::chrono::milliseconds queue_wait_timeout{0};
+  /// Snapshots retained for kEpochDiff queries (a bounded ring: the newest
+  /// `epoch_history` versions stay answerable; older since_versions answer
+  /// kNotFound). 0 disables epoch-diff entirely.
+  size_t epoch_history = 32;
+  /// Wall clock (ms since epoch) stamped on each inserted row as its
+  /// ingest timestamp — what the sliding-window expiry pass compares
+  /// against. Null uses the system clock; tests inject a fake.
+  std::function<uint64_t()> ingest_clock;
 };
 
 class SkycubeService : public QueryExecutor {
@@ -93,10 +103,18 @@ class SkycubeService : public QueryExecutor {
   /// they loaded; new queries see `cube`.
   void Reload(std::shared_ptr<const CompressedSkylineCube> cube);
 
-  /// Enables kInsert requests (disabled by default: they answer
+  /// Enables kInsert/kDelete requests (disabled by default: they answer
   /// kInvalidArgument on a read-only service). `handler` is not owned and
   /// must outlive the service. Call before serving traffic.
   void AttachInsertHandler(InsertHandler* handler);
+
+  /// Sliding-window expiry: tombstones every live row with a nonzero ingest
+  /// timestamp older than `cutoff_ms` and publishes the post-expiry
+  /// snapshot (bumping the version, which invalidates the result cache).
+  /// Serialized with inserts/deletes under the ingest mutex, so the swap
+  /// order matches the WAL order. Returns the number of rows expired (0 is
+  /// a successful no-op). Fails kInvalidArgument on a read-only service.
+  Result<uint64_t> ApplyExpiry(uint64_t cutoff_ms) EXCLUDES(ingest_mu_);
 
   /// Graceful-shutdown gate: after this, every new Execute/ExecuteBatch
   /// answers kUnavailable without touching cache or cube; in-flight work
@@ -160,6 +178,25 @@ class SkycubeService : public QueryExecutor {
   QueryResponse ExecuteInsert(const QueryRequest& request)
       EXCLUDES(ingest_mu_);
 
+  /// The kDelete path: same shape as ExecuteInsert (serialize, apply,
+  /// swap). An already-dead target succeeds without a snapshot swap — the
+  /// served cube did not change, so cached answers stay valid.
+  QueryResponse ExecuteDelete(const QueryRequest& request)
+      EXCLUDES(ingest_mu_);
+
+  /// Computes a kEpochDiff answer: the ids that entered/left
+  /// Sky(request.subspace) between the retained snapshot at
+  /// request.since_version and `snap`. kNotFound if that version fell out
+  /// of the bounded history ring.
+  QueryResponse ComputeEpochDiff(const QueryRequest& request,
+                                 const Snapshot& snap) const
+      EXCLUDES(history_mu_);
+
+  /// Remembers `snap` in the bounded epoch-history ring (no-op when
+  /// epoch_history == 0).
+  void RetainSnapshot(std::shared_ptr<const Snapshot> snap)
+      EXCLUDES(history_mu_);
+
   ThreadPool& BatchPool();
 
   SkycubeServiceOptions options_;
@@ -181,9 +218,19 @@ class SkycubeService : public QueryExecutor {
 
   // Ingest path (only active once AttachInsertHandler was called).
   std::atomic<InsertHandler*> insert_handler_{nullptr};
-  Mutex ingest_mu_;  // serializes ApplyInsert + Reload pairs
+  Mutex ingest_mu_;  // serializes {insert,delete,expiry} + Reload pairs
   std::atomic<uint64_t> inserts_applied_{0};
   std::atomic<uint64_t> insert_failures_{0};
+  std::atomic<uint64_t> deletes_applied_{0};
+  std::atomic<uint64_t> delete_failures_{0};
+  std::atomic<uint64_t> expiry_passes_{0};
+  std::atomic<uint64_t> expired_rows_{0};
+
+  // Epoch history for kEpochDiff: the newest options_.epoch_history
+  // snapshots, oldest first. Mutable so const ComputeEpochDiff can probe it.
+  mutable Mutex history_mu_;
+  std::deque<std::shared_ptr<const Snapshot>> history_
+      GUARDED_BY(history_mu_);
 
   // Graceful drain (BeginDrain).
   std::atomic<bool> draining_{false};

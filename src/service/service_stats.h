@@ -102,6 +102,15 @@ struct ServiceStats {
   uint64_t inserts_applied = 0;
   /// kInsert requests rejected by the handler (bad width, WAL failure, ...).
   uint64_t insert_failures = 0;
+  /// kDelete requests that tombstoned a live row (already-dead targets
+  /// succeed but do not count — nothing changed).
+  uint64_t deletes_applied = 0;
+  /// kDelete requests rejected by the handler (WAL failure, ...).
+  uint64_t delete_failures = 0;
+  /// ApplyExpiry passes completed (including passes that expired nothing).
+  uint64_t expiry_passes = 0;
+  /// Rows tombstoned by expiry passes, cumulative.
+  uint64_t expired_rows = 0;
   /// Requests answered kUnavailable because the service is draining.
   uint64_t drained_rejects = 0;
   /// True once BeginDrain() was called.

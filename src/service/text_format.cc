@@ -12,12 +12,35 @@ std::string FormatResponseLine(const QueryResponse& response) {
     return std::string("err [") + StatusCodeName(response.code) + "] " +
            response.error;
   }
-  if (response.kind == QueryKind::kInsert) {
+  if (response.kind == QueryKind::kInsert ||
+      response.kind == QueryKind::kDelete) {
     std::ostringstream out;
     out << "ok path=" << response.insert_path
         << " version=" << response.snapshot_version
-        << " objects=" << response.count;
+        << (response.kind == QueryKind::kDelete ? " live=" : " objects=")
+        << response.count;
     if (response.lsn > 0) out << " lsn=" << response.lsn;
+    return out.str();
+  }
+  if (response.kind == QueryKind::kEpochDiff) {
+    std::ostringstream out;
+    out << "ok entered=" << (response.ids ? response.ids->size() : 0)
+        << " left=" << (response.left_ids ? response.left_ids->size() : 0)
+        << " v=" << response.snapshot_version
+        << " hit=" << (response.cache_hit ? 1 : 0);
+    if (response.partial) out << " partial=1";
+    if (response.ids) {
+      out << " entered_ids=";
+      for (size_t i = 0; i < response.ids->size(); ++i) {
+        out << (i == 0 ? "" : " ") << (*response.ids)[i];
+      }
+    }
+    if (response.left_ids) {
+      out << " left_ids=";
+      for (size_t i = 0; i < response.left_ids->size(); ++i) {
+        out << (i == 0 ? "" : " ") << (*response.left_ids)[i];
+      }
+    }
     return out.str();
   }
   std::ostringstream out;
@@ -35,6 +58,8 @@ std::string FormatResponseLine(const QueryResponse& response) {
       out << "member=" << (response.member ? "yes" : "no");
       break;
     case QueryKind::kInsert:
+    case QueryKind::kDelete:
+    case QueryKind::kEpochDiff:
       break;  // handled above
   }
   out << " v=" << response.snapshot_version
@@ -79,7 +104,13 @@ std::string FormatStatsLine(const SkycubeService& service) {
       << " inserts=" << stats.inserts_applied
       << " insert_failures=" << stats.insert_failures
       << " unavailable=" << stats.drained_rejects
-      << " draining=" << (stats.draining ? 1 : 0);
+      << " draining=" << (stats.draining ? 1 : 0)
+      // Streaming counters ride at the very end (same append-only
+      // field-order contract as above).
+      << " deletes=" << stats.deletes_applied
+      << " delete_failures=" << stats.delete_failures
+      << " expiry_passes=" << stats.expiry_passes
+      << " expired_rows=" << stats.expired_rows;
   return out.str();
 }
 

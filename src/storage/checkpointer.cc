@@ -48,7 +48,9 @@ Status SyncDir(const std::string& dir) {
 
 /// Serializes the checkpoint payload (everything the checksum covers).
 std::string SerializeCheckpointPayload(uint64_t lsn, const Dataset& data,
-                                       const SkylineGroupSet& groups) {
+                                       const SkylineGroupSet& groups,
+                                       const std::vector<uint8_t>& live,
+                                       const std::vector<uint64_t>& stamps) {
   std::ostringstream os;
   os.precision(std::numeric_limits<double>::max_digits10);
   os << "lsn " << lsn << "\n";
@@ -67,6 +69,18 @@ std::string SerializeCheckpointPayload(uint64_t lsn, const Dataset& data,
     }
     os << "\n";
   }
+  std::vector<ObjectId> dead;
+  for (ObjectId id = 0; id < live.size(); ++id) {
+    if (!live[id]) dead.push_back(id);
+  }
+  os << "dead " << dead.size();
+  for (ObjectId id : dead) os << ' ' << id;
+  os << "\n";
+  os << "stamps";
+  for (ObjectId id = 0; id < data.num_objects(); ++id) {
+    os << ' ' << (id < stamps.size() ? stamps[id] : 0);
+  }
+  os << "\n";
   os << SerializeCube(data.num_dims(), data.num_objects(), groups,
                       data.dim_names());
   return os.str();
@@ -107,9 +121,10 @@ Result<CheckpointData> LoadCheckpoint(const std::string& dir, uint64_t lsn) {
   std::istringstream is(text);
   std::string word, version;
   is >> word >> version;
-  if (word != "skycube-checkpoint" || version != "v1") {
+  if (word != "skycube-checkpoint" || (version != "v1" && version != "v2")) {
     return Status::InvalidArgument("bad checkpoint header: " + path);
   }
+  const bool has_liveness = version == "v2";
   std::string k_checksum, digest;
   if (!(is >> k_checksum >> digest) || k_checksum != "checksum" ||
       digest.size() != 16) {
@@ -165,6 +180,30 @@ Result<CheckpointData> LoadCheckpoint(const std::string& dir, uint64_t lsn) {
     }
     data.AddRow(row);
   }
+  checkpoint.live.assign(rows, 1);
+  checkpoint.timestamps.assign(rows, 0);
+  if (has_liveness) {
+    std::string k_dead, k_stamps;
+    size_t num_dead = 0;
+    if (!(is >> k_dead >> num_dead) || k_dead != "dead" || num_dead > rows) {
+      return Status::InvalidArgument("bad checkpoint dead line");
+    }
+    for (size_t i = 0; i < num_dead; ++i) {
+      ObjectId id = 0;
+      if (!(is >> id) || id >= rows) {
+        return Status::InvalidArgument("bad checkpoint dead id");
+      }
+      checkpoint.live[id] = 0;
+    }
+    if (!(is >> k_stamps) || k_stamps != "stamps") {
+      return Status::InvalidArgument("bad checkpoint stamps line");
+    }
+    for (size_t i = 0; i < rows; ++i) {
+      if (!(is >> checkpoint.timestamps[i])) {
+        return Status::InvalidArgument("truncated checkpoint stamps line");
+      }
+    }
+  }
   // The rest of the stream is the embedded cube file.
   std::string cube_text;
   {
@@ -195,13 +234,16 @@ Checkpointer::Checkpointer(std::string dir, size_t keep)
     : dir_(std::move(dir)), keep_(keep == 0 ? 1 : keep) {}
 
 Status Checkpointer::Write(uint64_t lsn, const Dataset& data,
-                           const SkylineGroupSet& groups) {
+                           const SkylineGroupSet& groups,
+                           const std::vector<uint8_t>& live,
+                           const std::vector<uint64_t>& timestamps) {
   std::error_code ec;
   std::filesystem::create_directories(dir_, ec);
   if (ec) return Status::Internal("cannot create checkpoint dir: " + dir_);
 
-  const std::string payload = SerializeCheckpointPayload(lsn, data, groups);
-  const std::string text = "skycube-checkpoint v1\nchecksum " +
+  const std::string payload =
+      SerializeCheckpointPayload(lsn, data, groups, live, timestamps);
+  const std::string text = "skycube-checkpoint v2\nchecksum " +
                            ChecksumHex(Fnv1a64(payload)) + "\n" + payload;
   const std::string final_path = dir_ + "/" + CheckpointName(lsn);
   const std::string tmp_path = final_path + ".tmp";

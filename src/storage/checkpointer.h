@@ -3,16 +3,23 @@
 //
 // File format (text, version-tagged, consistent with core/serialization.h):
 //
-//   skycube-checkpoint v1
+//   skycube-checkpoint v2
 //   checksum <fnv1a64-hex>            (over everything below)
 //   lsn <L>
 //   dims <d> rows <n>
 //   names <name0> <name1> ...
 //   <n lines of d max-precision doubles>
+//   dead <k> <id> ...                 (tombstoned row ids, ascending)
+//   stamps <n per-row timestamps, ms> (0 = none / never expires)
 //   skycube-cube v2 ...               (embedded cube, itself checksummed)
 //
+// v1 checkpoints (no dead/stamps lines, from before deletes existed) still
+// load: every row is live with timestamp 0.
+//
 // A checkpoint at LSN L contains the bootstrap rows plus the first L WAL
-// inserts; recovery loads it and replays only records with lsn > L.
+// ops; recovery loads it and replays only records with lsn > L. The
+// embedded cube covers the *live* rows only — tombstoned ids appear in no
+// group, exactly as the maintainer serves them.
 //
 // Crash consistency: checkpoints are written to `<name>.tmp`, fsync'd,
 // renamed into place (`checkpoint-<16hex-lsn>.ckpt`), and the directory is
@@ -43,6 +50,10 @@ struct CheckpointData {
   uint64_t lsn = 0;
   Dataset data{1};
   SkylineGroupSet groups;
+  /// Per-row liveness (size == data.num_objects(); all 1 for v1 files).
+  std::vector<uint8_t> live;
+  /// Per-row ingest timestamps in ms (all 0 for v1 files).
+  std::vector<uint64_t> timestamps;
 };
 
 /// LSNs of the complete (renamed-into-place) checkpoints in `dir`,
@@ -61,9 +72,12 @@ class Checkpointer {
 
   /// Atomically writes the checkpoint for `lsn`, then deletes checkpoints
   /// beyond the retention horizon (and stray .tmp files). On success,
-  /// oldest_retained_lsn() says how far the WAL may be truncated.
+  /// oldest_retained_lsn() says how far the WAL may be truncated. `live`
+  /// and `timestamps` are per-row (empty = all live / no timestamps).
   [[nodiscard]] Status Write(uint64_t lsn, const Dataset& data,
-                             const SkylineGroupSet& groups);
+                             const SkylineGroupSet& groups,
+                             const std::vector<uint8_t>& live = {},
+                             const std::vector<uint64_t>& timestamps = {});
 
   /// LSN of the oldest checkpoint still on disk after the last successful
   /// Write (the safe WAL truncation horizon).

@@ -41,7 +41,8 @@ Result<std::unique_ptr<DurableIngest>> DurableIngest::Open(
     // first periodic checkpoint would have a WAL with no base to replay
     // onto.
     Status wrote = ingest->checkpointer_.Write(
-        0, ingest->maintainer_->data(), ingest->maintainer_->groups());
+        0, ingest->maintainer_->data(), ingest->maintainer_->groups(),
+        ingest->maintainer_->live(), ingest->maintainer_->timestamps());
     if (!wrote.ok()) return wrote;
   }
   Result<std::unique_ptr<WriteAheadLog>> wal =
@@ -52,31 +53,88 @@ Result<std::unique_ptr<DurableIngest>> DurableIngest::Open(
 }
 
 Result<InsertHandler::Applied> DurableIngest::ApplyInsert(
-    const std::vector<double>& values) {
+    const std::vector<double>& values, uint64_t timestamp_ms) {
   MutexLock lock(&mu_);
   if (static_cast<int>(values.size()) != maintainer_->data().num_dims()) {
     return Status::InvalidArgument("insert width must equal num_dims");
   }
   // Log first: an insert the WAL did not accept is never applied, so the
   // in-memory cube can run *behind* the durable log but never ahead of it.
-  Result<uint64_t> appended = wal_->Append(EncodeRowPayload(values));
+  const uint32_t row =
+      static_cast<uint32_t>(maintainer_->data().num_objects());
+  Result<uint64_t> appended =
+      wal_->Append(EncodeInsertPayload(values, row, timestamp_ms));
   if (!appended.ok()) return appended.status();
   const uint64_t lsn = appended.value();
 
   Applied applied;
-  applied.path = maintainer_->Insert(values);
+  applied.path = maintainer_->Insert(values, timestamp_ms);
   applied.lsn = lsn;
   applied.num_objects = maintainer_->data().num_objects();
+  applied.num_live = maintainer_->num_live();
   applied.cube = std::make_shared<const CompressedSkylineCube>(
       maintainer_->MakeCube());
 
-  ++inserts_since_checkpoint_;
-  if (options_.checkpoint_every > 0 &&
-      inserts_since_checkpoint_ >= options_.checkpoint_every) {
-    // A failed periodic checkpoint does not fail the insert — the row is
-    // in the WAL; only the truncation horizon stops advancing.
-    (void)CheckpointLocked(lsn);
+  ++ops_since_checkpoint_;
+  MaybeCheckpointLocked(lsn);
+  return applied;
+}
+
+Result<InsertHandler::Applied> DurableIngest::ApplyDelete(ObjectId id) {
+  MutexLock lock(&mu_);
+  Applied applied;
+  applied.num_objects = maintainer_->data().num_objects();
+  applied.num_live = maintainer_->num_live();
+  if (!maintainer_->IsLive(id)) {
+    // Nothing changes, so nothing is logged: replaying the log must not
+    // manufacture a delete of a row that was never acked.
+    applied.delete_path = DeletePath::kAlreadyDead;
+    return applied;
   }
+  Result<uint64_t> appended = wal_->Append(EncodeDeletePayload(id, 0));
+  if (!appended.ok()) return appended.status();
+  const uint64_t lsn = appended.value();
+
+  applied.delete_path = maintainer_->Remove(id);
+  applied.lsn = lsn;
+  applied.num_live = maintainer_->num_live();
+  applied.cube = std::make_shared<const CompressedSkylineCube>(
+      maintainer_->MakeCube());
+
+  ++ops_since_checkpoint_;
+  MaybeCheckpointLocked(lsn);
+  return applied;
+}
+
+Result<InsertHandler::Applied> DurableIngest::ApplyExpire(
+    uint64_t cutoff_ms) {
+  MutexLock lock(&mu_);
+  Applied applied;
+  applied.num_objects = maintainer_->data().num_objects();
+  applied.num_live = maintainer_->num_live();
+  // Log the whole pass before tombstoning anything: the expiring set is a
+  // deterministic function of (rows, timestamps, cutoff) under mu_, so the
+  // logged records and the batch below agree; a crash mid-logging recovers
+  // a clean prefix of the pass.
+  const std::vector<uint8_t>& live = maintainer_->live();
+  const std::vector<uint64_t>& stamps = maintainer_->timestamps();
+  uint64_t last_lsn = 0;
+  for (ObjectId id = 0; id < live.size(); ++id) {
+    if (!live[id] || stamps[id] == 0 || stamps[id] >= cutoff_ms) continue;
+    Result<uint64_t> appended =
+        wal_->Append(EncodeDeletePayload(id, cutoff_ms));
+    if (!appended.ok()) return appended.status();
+    last_lsn = appended.value();
+  }
+  applied.num_expired = maintainer_->ExpireOlderThan(cutoff_ms);
+  applied.lsn = last_lsn;
+  applied.num_live = maintainer_->num_live();
+  if (applied.num_expired == 0) return applied;
+  last_expiry_ms_ = cutoff_ms;
+  applied.cube = std::make_shared<const CompressedSkylineCube>(
+      maintainer_->MakeCube());
+  ops_since_checkpoint_ += applied.num_expired;
+  MaybeCheckpointLocked(last_lsn);
   return applied;
 }
 
@@ -90,6 +148,15 @@ Status DurableIngest::Flush() {
   return wal_->Sync();
 }
 
+void DurableIngest::MaybeCheckpointLocked(uint64_t lsn) {
+  if (options_.checkpoint_every > 0 &&
+      ops_since_checkpoint_ >= options_.checkpoint_every) {
+    // A failed periodic checkpoint does not fail the mutation — it is in
+    // the WAL; only the truncation horizon stops advancing.
+    (void)CheckpointLocked(lsn);
+  }
+}
+
 Status DurableIngest::CheckpointLocked(uint64_t lsn) {
   // Sync the log first: if the rename lands, every record the checkpoint
   // covers is also durable, so the (old checkpoint + WAL) fallback view
@@ -97,10 +164,11 @@ Status DurableIngest::CheckpointLocked(uint64_t lsn) {
   Status synced = wal_->Sync();
   if (!synced.ok()) return synced;
   Status wrote =
-      checkpointer_.Write(lsn, maintainer_->data(), maintainer_->groups());
+      checkpointer_.Write(lsn, maintainer_->data(), maintainer_->groups(),
+                          maintainer_->live(), maintainer_->timestamps());
   if (!wrote.ok()) return wrote;
   last_checkpoint_lsn_ = lsn;
-  inserts_since_checkpoint_ = 0;
+  ops_since_checkpoint_ = 0;
   // Truncate only through the *oldest retained* checkpoint: a corrupt
   // newest checkpoint must still find its WAL suffix under the older one.
   return wal_->TruncateThrough(checkpointer_.oldest_retained_lsn());
@@ -129,10 +197,13 @@ DurableIngestStats DurableIngest::stats() const {
   stats.wal = wal_->stats();
   stats.checkpoints_written = checkpointer_.checkpoints_written();
   stats.last_checkpoint_lsn = last_checkpoint_lsn_;
-  stats.inserts_since_checkpoint = inserts_since_checkpoint_;
+  stats.ops_since_checkpoint = ops_since_checkpoint_;
   stats.num_objects = static_cast<uint64_t>(
       maintainer_->data().num_objects());
+  stats.num_live = static_cast<uint64_t>(maintainer_->num_live());
+  stats.num_tombstones = stats.num_objects - stats.num_live;
   stats.num_groups = static_cast<uint64_t>(maintainer_->groups().size());
+  stats.last_expiry_ms = last_expiry_ms_;
   return stats;
 }
 

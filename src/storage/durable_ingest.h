@@ -8,12 +8,15 @@
 //   2. apply the row to the IncrementalCubeMaintainer (classifying it into
 //      one of the four maintenance paths) and hand the post-insert snapshot
 //      back for the service to swap in;
-//   3. every checkpoint_every applied inserts, write an atomic checkpoint
-//      of dataset + cube and truncate WAL segments the *oldest retained*
-//      checkpoint makes redundant.
-// A WAL failure in step 1 rejects the insert without applying it — the
+//   3. every checkpoint_every applied ops, write an atomic checkpoint
+//      of dataset + cube + liveness and truncate WAL segments the *oldest
+//      retained* checkpoint makes redundant.
+// Deletes follow the same shape (op-typed WAL record, then tombstone); an
+// expiry pass logs one delete record per expiring row before batching the
+// tombstones, so a crash mid-pass recovers a clean prefix of the pass.
+// A WAL failure in step 1 rejects the mutation without applying it — the
 // in-memory cube never runs ahead of the log, so a crash after a rejected
-// insert recovers to a state that simply does not contain it.
+// mutation recovers to a state that simply does not contain it.
 //
 // Open() decides between recovery and bootstrap: a directory holding at
 // least one complete checkpoint is recovered (newest valid checkpoint +
@@ -43,7 +46,7 @@ namespace skycube {
 
 struct DurableIngestOptions {
   WalOptions wal;
-  /// Applied inserts between automatic checkpoints (0 = only explicit
+  /// Applied mutations between automatic checkpoints (0 = only explicit
   /// Checkpoint()/Drain() calls checkpoint).
   uint64_t checkpoint_every = 256;
   /// Newest checkpoints retention keeps on disk.
@@ -59,9 +62,16 @@ struct DurableIngestStats {
   WalStats wal;
   uint64_t checkpoints_written = 0;
   uint64_t last_checkpoint_lsn = 0;
-  uint64_t inserts_since_checkpoint = 0;
+  /// Applied mutations (inserts + deletes + expired rows) since the last
+  /// checkpoint.
+  uint64_t ops_since_checkpoint = 0;
   uint64_t num_objects = 0;
+  uint64_t num_live = 0;
+  uint64_t num_tombstones = 0;
   uint64_t num_groups = 0;
+  /// Cutoff of the last ApplyExpire pass that tombstoned anything (ms), 0
+  /// if none ran yet.
+  uint64_t last_expiry_ms = 0;
 };
 
 /// The durable write path. ApplyInsert calls are serialized by the caller
@@ -79,8 +89,16 @@ class DurableIngest : public InsertHandler {
       DurableIngestOptions options = {});
 
   /// WAL append (ack point) → maintainer insert → periodic checkpoint.
-  Result<Applied> ApplyInsert(const std::vector<double>& values) override
+  Result<Applied> ApplyInsert(const std::vector<double>& values,
+                              uint64_t timestamp_ms = 0) override
       EXCLUDES(mu_);
+  /// WAL append (ack point) → maintainer tombstone → periodic checkpoint.
+  /// An already-dead target skips the WAL entirely (nothing changed, so
+  /// nothing to make durable) and succeeds.
+  Result<Applied> ApplyDelete(ObjectId id) override EXCLUDES(mu_);
+  /// Logs one delete record per expiring row (so a crash mid-pass recovers
+  /// a clean prefix of the pass), then tombstones them in one batch.
+  Result<Applied> ApplyExpire(uint64_t cutoff_ms) override EXCLUDES(mu_);
   int num_dims() const override EXCLUDES(mu_);
 
   /// Forces pending WAL records to stable storage.
@@ -108,6 +126,8 @@ class DurableIngest : public InsertHandler {
  private:
   DurableIngest(std::string dir, DurableIngestOptions options);
 
+  /// Periodic checkpoint trigger (best-effort; failures don't propagate).
+  void MaybeCheckpointLocked(uint64_t lsn) REQUIRES(mu_);
   /// Checkpoint at `lsn` + WAL truncation.
   Status CheckpointLocked(uint64_t lsn) REQUIRES(mu_);
 
@@ -119,7 +139,8 @@ class DurableIngest : public InsertHandler {
   bool recovered_ GUARDED_BY(mu_) = false;
   RecoveryStats recovery_stats_ GUARDED_BY(mu_);
   uint64_t last_checkpoint_lsn_ GUARDED_BY(mu_) = 0;
-  uint64_t inserts_since_checkpoint_ GUARDED_BY(mu_) = 0;
+  uint64_t ops_since_checkpoint_ GUARDED_BY(mu_) = 0;
+  uint64_t last_expiry_ms_ GUARDED_BY(mu_) = 0;
   mutable Mutex mu_;
 };
 

@@ -220,6 +220,146 @@ Result<std::vector<double>> DecodeRowPayload(std::string_view payload) {
   return values;
 }
 
+const char* WalOpName(WalOp op) {
+  switch (op) {
+    case WalOp::kInsert:
+      return "insert";
+    case WalOp::kDelete:
+      return "delete";
+  }
+  return "unknown";
+}
+
+std::string EncodeInsertPayload(const std::vector<double>& values,
+                                uint32_t row, uint64_t timestamp_ms) {
+  std::string payload;
+  payload.push_back(static_cast<char>(WalOp::kInsert));
+  PutU64(&payload, timestamp_ms);
+  PutU32(&payload, row);
+  PutU32(&payload, static_cast<uint32_t>(values.size()));
+  for (double value : values) {
+    uint64_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    PutU64(&payload, bits);
+  }
+  return payload;
+}
+
+std::string EncodeDeletePayload(uint32_t row, uint64_t timestamp_ms) {
+  std::string payload;
+  payload.push_back(static_cast<char>(WalOp::kDelete));
+  PutU64(&payload, timestamp_ms);
+  PutU32(&payload, row);
+  return payload;
+}
+
+Result<WalOpRecord> DecodeOpPayload(std::string_view payload) {
+  if (payload.empty()) {
+    return Status::InvalidArgument("empty WAL op payload");
+  }
+  const uint8_t tag = static_cast<unsigned char>(payload[0]);
+  if (tag < 0x80) {
+    // Legacy v2: a bare row payload starting with its dimension count.
+    Result<std::vector<double>> values = DecodeRowPayload(payload);
+    if (!values.ok()) return values.status();
+    WalOpRecord record;
+    record.op = WalOp::kInsert;
+    record.legacy = true;
+    record.values = std::move(values.value());
+    return record;
+  }
+  if (tag == static_cast<uint8_t>(WalOp::kInsert)) {
+    if (payload.size() < 1 + 8 + 4 + 4) {
+      return Status::InvalidArgument("insert payload shorter than header");
+    }
+    WalOpRecord record;
+    record.op = WalOp::kInsert;
+    record.timestamp_ms = GetU64(payload.data() + 1);
+    record.row = GetU32(payload.data() + 9);
+    const uint32_t n = GetU32(payload.data() + 13);
+    if (payload.size() != 17 + static_cast<size_t>(n) * 8) {
+      return Status::InvalidArgument("insert payload size mismatch");
+    }
+    record.values.resize(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      const uint64_t bits = GetU64(payload.data() + 17 + i * 8);
+      std::memcpy(&record.values[i], &bits, sizeof(double));
+    }
+    return record;
+  }
+  if (tag == static_cast<uint8_t>(WalOp::kDelete)) {
+    if (payload.size() != 1 + 8 + 4) {
+      return Status::InvalidArgument("delete payload size mismatch");
+    }
+    WalOpRecord record;
+    record.op = WalOp::kDelete;
+    record.timestamp_ms = GetU64(payload.data() + 1);
+    record.row = GetU32(payload.data() + 9);
+    return record;
+  }
+  return Status::InvalidArgument("unknown WAL op tag");
+}
+
+Result<std::vector<WalDumpSegment>> DumpWal(const std::string& dir) {
+  std::error_code ec;
+  if (!std::filesystem::exists(dir, ec)) {
+    return Status::NotFound("no such WAL directory: " + dir);
+  }
+  std::vector<WalDumpSegment> segments;
+  for (const auto& [start, name] : ListSegments(dir)) {
+    Result<std::string> bytes = ReadFileBytes(dir + "/" + name);
+    if (!bytes.ok()) return bytes.status();
+    const std::string& b = bytes.value();
+    WalDumpSegment segment;
+    segment.file = name;
+    segment.declared_start = start;
+    segment.magic_ok =
+        b.size() >= sizeof(kSegmentMagic) &&
+        std::memcmp(b.data(), kSegmentMagic, sizeof(kSegmentMagic)) == 0;
+    if (!segment.magic_ok) {
+      segment.trailing_bytes = b.size();
+      segments.push_back(std::move(segment));
+      continue;
+    }
+    size_t offset = sizeof(kSegmentMagic);
+    while (offset < b.size()) {
+      if (b.size() - offset < kHeaderBytes) break;  // torn header
+      const uint32_t len = GetU32(b.data() + offset);
+      WalDumpRecord record;
+      record.lsn = GetU64(b.data() + offset + 4);
+      record.payload_bytes = len;
+      if (len > kMaxPayloadBytes || b.size() - offset - kHeaderBytes < len) {
+        // Untrusted length: report the header as a damaged record and stop.
+        segment.records.push_back(std::move(record));
+        break;
+      }
+      const std::string_view payload(b.data() + offset + kHeaderBytes, len);
+      uint64_t checksum = Fnv1a64(std::string_view(b.data() + offset, 12));
+      for (unsigned char c : payload) {
+        checksum ^= c;
+        checksum *= 1099511628211ull;
+      }
+      record.checksum_ok = checksum == GetU64(b.data() + offset + 12);
+      if (record.checksum_ok) {
+        if (Result<WalOpRecord> decoded = DecodeOpPayload(payload);
+            decoded.ok()) {
+          record.decode_ok = true;
+          record.record = std::move(decoded.value());
+        }
+      }
+      const bool damaged = !record.checksum_ok;
+      segment.records.push_back(std::move(record));
+      // A failed checksum covers the length field too; walking past it
+      // would be guesswork.
+      if (damaged) break;
+      offset += kHeaderBytes + len;
+    }
+    segment.trailing_bytes = b.size() - offset;
+    segments.push_back(std::move(segment));
+  }
+  return segments;
+}
+
 Result<WalReadResult> ReadWal(const std::string& dir, uint64_t after_lsn) {
   WalReadResult result;
   std::error_code ec;
@@ -504,6 +644,7 @@ Status WriteAheadLog::TruncateThrough(uint64_t lsn) {
 WalStats WriteAheadLog::stats() const {
   WalStats stats = stats_;
   stats.next_lsn = next_lsn_;
+  stats.live_segments = segments_.size();
   return stats;
 }
 

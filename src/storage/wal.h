@@ -73,6 +73,8 @@ struct WalStats {
   /// Bytes discarded by Open (torn tail / untrusted suffix).
   uint64_t open_discarded_bytes = 0;
   uint64_t next_lsn = 0;
+  /// Segments currently on disk (including the active one).
+  uint64_t live_segments = 0;
 };
 
 /// One decoded log record.
@@ -157,12 +159,77 @@ class WriteAheadLog {
   WalStats stats_;
 };
 
-/// Payload codec for ingest records: one inserted row.
+/// Payload codec for legacy (format v2) ingest records: one inserted row.
 ///   uint32 num_dims | num_dims doubles (little-endian bit patterns)
 std::string EncodeRowPayload(const std::vector<double>& values);
 /// Decodes; fails with kInvalidArgument on a size mismatch (a checksummed
 /// record of the wrong shape — format drift, not corruption).
 Result<std::vector<double>> DecodeRowPayload(std::string_view payload);
+
+/// Op-typed payloads (format v3). The first payload byte discriminates the
+/// format: v3 op tags are >= 0x80, while a legacy v2 payload starts with
+/// the low byte of its uint32 dimension count (always < 0x80 — dimension
+/// counts are bounded by kMaxDims). Mixed segments are fine; the record
+/// framing (len | lsn | checksum) is unchanged.
+enum class WalOp : uint8_t {
+  kInsert = 0x81,  // u8 op | u64 ts_ms | u32 row | u32 count | count doubles
+  kDelete = 0x82,  // u8 op | u64 ts_ms | u32 row
+};
+
+/// Short lowercase name ("insert", "delete").
+const char* WalOpName(WalOp op);
+
+/// One decoded op-typed payload. For legacy v2 payloads, op is kInsert,
+/// timestamp_ms is 0, `legacy` is set, and `row` is meaningless (legacy
+/// records predate explicit row ids; replay appends at the current end).
+struct WalOpRecord {
+  WalOp op = WalOp::kInsert;
+  uint64_t timestamp_ms = 0;
+  bool legacy = false;
+  std::vector<double> values;  // kInsert only
+  /// kInsert: the object id the row was assigned at ingest (== dataset size
+  /// before the insert) — lets a WAL-only rebuild keep ids exact.
+  /// kDelete: the target object id.
+  uint32_t row = 0;
+};
+
+/// v3 insert payload: the row's values, the object id it was assigned, and
+/// its ingest timestamp (ms since epoch; 0 = no timestamp, never expires).
+std::string EncodeInsertPayload(const std::vector<double>& values,
+                                uint32_t row, uint64_t timestamp_ms);
+/// v3 delete payload: the target row id plus the delete's timestamp.
+std::string EncodeDeletePayload(uint32_t row, uint64_t timestamp_ms);
+/// Decodes a v3 payload, falling back to the legacy v2 row codec when the
+/// first byte is below 0x80. Fails with kInvalidArgument on size mismatch
+/// or an unknown op tag.
+Result<WalOpRecord> DecodeOpPayload(std::string_view payload);
+
+/// One record as seen by the read-only inspector (tools/skycube_waldump):
+/// framing validity plus the decoded op when the payload parses.
+struct WalDumpRecord {
+  uint64_t lsn = 0;
+  size_t payload_bytes = 0;
+  bool checksum_ok = false;  // framing (len/lsn/checksum) validates
+  bool decode_ok = false;    // payload parsed as a v2/v3 op
+  WalOpRecord record;        // valid iff decode_ok
+};
+
+/// One scanned segment file. Scanning stops at the first record whose
+/// framing fails (a corrupt length field is untrusted), reporting it as a
+/// final record with checksum_ok = false plus the remaining bytes.
+struct WalDumpSegment {
+  std::string file;             // file name within the directory
+  uint64_t declared_start = 0;  // start LSN from the file name
+  bool magic_ok = false;
+  std::vector<WalDumpRecord> records;
+  uint64_t trailing_bytes = 0;  // undecodable suffix (0 on a clean segment)
+};
+
+/// Read-only per-record inspection of every segment in `dir`, in LSN
+/// order. Unlike ReadWal this does not stop at inter-segment gaps and
+/// reports damaged records instead of hiding them — it is the debugging
+/// view, not the recovery view. Never writes.
+Result<std::vector<WalDumpSegment>> DumpWal(const std::string& dir);
 
 }  // namespace skycube
 

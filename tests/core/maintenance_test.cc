@@ -187,6 +187,121 @@ TEST(MaintenanceTest, TieOnEveryDimWithDistinctRowsStaysCurrent) {
   ExpectCubeCurrent(maintainer);
 }
 
+void ExpectLiveCurrent(const IncrementalCubeMaintainer& maintainer) {
+  EXPECT_EQ(maintainer.groups(),
+            StellarOverLive(maintainer.data(), maintainer.live()));
+}
+
+TEST(MaintenanceTest, RemoveMatchesStellarOverLive) {
+  IncrementalCubeMaintainer maintainer(RunningExample());
+  // P5 = (2,4,9,3) is a seed: removing its only copy forces a recompute.
+  EXPECT_EQ(maintainer.Remove(4), DeletePath::kFullRecompute);
+  ExpectLiveCurrent(maintainer);
+  EXPECT_EQ(maintainer.num_live(), 4u);
+  // Ids are stable across deletes: the dataset still holds all five rows.
+  EXPECT_EQ(maintainer.data().num_objects(), 5u);
+  EXPECT_FALSE(maintainer.IsLive(4));
+}
+
+TEST(MaintenanceTest, RemoveAlreadyDeadOrOutOfRangeIsNoOp) {
+  IncrementalCubeMaintainer maintainer(RunningExample());
+  const uint64_t version = maintainer.version();
+  // Out of range (a replayed delete of a never-acked row) — no-op.
+  EXPECT_EQ(maintainer.Remove(99), DeletePath::kAlreadyDead);
+  EXPECT_EQ(maintainer.version(), version);
+  // Double delete — the second is a no-op.
+  maintainer.Remove(0);
+  const uint64_t after_first = maintainer.version();
+  EXPECT_EQ(maintainer.Remove(0), DeletePath::kAlreadyDead);
+  EXPECT_EQ(maintainer.version(), after_first);
+  ExpectLiveCurrent(maintainer);
+  EXPECT_EQ(maintainer.stats().already_dead_deletes, 2u);
+}
+
+TEST(MaintenanceTest, RemoveDuplicateCopyPatchesMemberships) {
+  // Two copies of seed P5: deleting one leaves the tuple alive through the
+  // other copy, so only the member lists change.
+  IncrementalCubeMaintainer maintainer(RunningExample());
+  maintainer.Insert({2, 4, 9, 3});  // duplicate of P5 (id 5)
+  const uint64_t recomputes = maintainer.stats().full_recomputes;
+  EXPECT_EQ(maintainer.Remove(4), DeletePath::kMembershipPatch);
+  ExpectLiveCurrent(maintainer);
+  EXPECT_EQ(maintainer.stats().full_recomputes, recomputes);
+  // The surviving copy now carries every membership the dead one had.
+  EXPECT_TRUE(maintainer.IsLive(5));
+}
+
+TEST(MaintenanceTest, RandomMixedStreamStaysLiveCurrent) {
+  SyntheticSpec spec;
+  spec.distribution = Distribution::kIndependent;
+  spec.num_objects = 60;
+  spec.num_dims = 3;
+  spec.truncate_decimals = 1;  // heavy ties → all delete paths exercised
+  spec.seed = 33;
+  IncrementalCubeMaintainer maintainer(GenerateSynthetic(spec));
+  Rng rng(17);
+  for (int i = 0; i < 150; ++i) {
+    if (rng.NextBounded(3) == 0) {
+      maintainer.Remove(static_cast<ObjectId>(
+          rng.NextBounded(maintainer.data().num_objects())));
+    } else {
+      std::vector<double> row(3);
+      for (double& v : row) {
+        v = static_cast<double>(rng.NextBounded(11)) / 10.0;
+      }
+      maintainer.Insert(row);
+    }
+    ASSERT_EQ(maintainer.groups(),
+              StellarOverLive(maintainer.data(), maintainer.live()))
+        << "diverged at op " << i;
+  }
+  // The mixed stream must have taken more than one delete path.
+  const MaintenanceStats& stats = maintainer.stats();
+  EXPECT_GT(stats.deletes, 0u);
+  EXPECT_GT(stats.delete_patches + stats.delete_extension_reruns +
+                stats.delete_recomputes,
+            0u);
+}
+
+TEST(MaintenanceTest, ExpireOlderThanBatchesAndSkipsTimestampZero) {
+  IncrementalCubeMaintainer maintainer(RunningExample());  // bootstrap: ts 0
+  maintainer.Insert({7, 7, 11, 8}, /*timestamp_ms=*/100);
+  maintainer.Insert({8, 7, 12, 8}, /*timestamp_ms=*/200);
+  maintainer.Insert({9, 8, 12, 9}, /*timestamp_ms=*/300);
+  const uint64_t version = maintainer.version();
+
+  // One batch, one version bump, exactly the sub-cutoff rows die.
+  EXPECT_EQ(maintainer.ExpireOlderThan(250), 2u);
+  EXPECT_EQ(maintainer.version(), version + 1);
+  EXPECT_FALSE(maintainer.IsLive(5));
+  EXPECT_FALSE(maintainer.IsLive(6));
+  EXPECT_TRUE(maintainer.IsLive(7));
+  ExpectLiveCurrent(maintainer);
+
+  // Timestamp-0 rows (bootstrap / legacy WAL) never expire, and a pass
+  // that expires nothing does not bump the version.
+  const uint64_t after = maintainer.version();
+  EXPECT_EQ(maintainer.ExpireOlderThan(250), 0u);
+  EXPECT_EQ(maintainer.version(), after);
+  for (ObjectId id = 0; id < 5; ++id) EXPECT_TRUE(maintainer.IsLive(id));
+  EXPECT_EQ(maintainer.stats().expired_rows, 2u);
+}
+
+TEST(MaintenanceTest, CheckpointRestoreRoundTripsTombstones) {
+  // The restore constructor must rebuild exactly the live-rows cube from a
+  // gapped (tombstoned) dataset, ids preserved.
+  IncrementalCubeMaintainer original(RunningExample());
+  original.Insert({6, 7, 10, 8}, /*timestamp_ms=*/42);
+  original.Remove(1);
+  original.Remove(3);
+  IncrementalCubeMaintainer restored(original.data(), original.live(),
+                                     original.timestamps());
+  EXPECT_EQ(restored.groups(), original.groups());
+  EXPECT_EQ(restored.num_live(), original.num_live());
+  EXPECT_EQ(restored.timestamps(), original.timestamps());
+  ExpectLiveCurrent(restored);
+}
+
 TEST(MaintenanceTest, LongRandomStream500StaysEquivalent) {
   // 500 inserts over a coarse value grid, checking the cube against a
   // fresh ComputeStellar after every step. Slow but exhaustive: this is

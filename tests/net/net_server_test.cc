@@ -69,7 +69,8 @@ class GatedInsertHandler : public InsertHandler {
     cv_.wait(lock, [this] { return waiting_ > 0; });
   }
 
-  Result<Applied> ApplyInsert(const std::vector<double>& values) override {
+  Result<Applied> ApplyInsert(const std::vector<double>& values,
+                              uint64_t timestamp_ms = 0) override {
     {
       std::unique_lock<std::mutex> lock(mu_);
       ++waiting_;
@@ -77,7 +78,13 @@ class GatedInsertHandler : public InsertHandler {
       cv_.wait(lock, [this] { return gate_open_; });
       --waiting_;
     }
-    return inner_.ApplyInsert(values);
+    return inner_.ApplyInsert(values, timestamp_ms);
+  }
+  Result<Applied> ApplyDelete(ObjectId id) override {
+    return inner_.ApplyDelete(id);
+  }
+  Result<Applied> ApplyExpire(uint64_t cutoff_ms) override {
+    return inner_.ApplyExpire(cutoff_ms);
   }
   int num_dims() const override { return inner_.num_dims(); }
 

@@ -76,6 +76,17 @@ TEST(ProtocolRoundTrip, EveryRequestOpcode) {
     r.op = Opcode::kPing;
     r.id = 9;
     requests.push_back(r);
+    r = WireRequest{};
+    r.op = Opcode::kDelete;
+    r.id = 10;
+    r.object = 123456;
+    requests.push_back(r);
+    r = WireRequest{};
+    r.op = Opcode::kEpochDiff;
+    r.id = 11;
+    r.subspace = 0b1101;
+    r.since_version = 0xABCDEF0123456789ull;  // full-width version survives
+    requests.push_back(r);
   }
   for (const WireRequest& request : requests) {
     const Result<WireRequest> decoded =
@@ -87,6 +98,7 @@ TEST(ProtocolRoundTrip, EveryRequestOpcode) {
     EXPECT_EQ(decoded.value().subspace, request.subspace);
     EXPECT_EQ(decoded.value().object, request.object);
     EXPECT_EQ(decoded.value().values, request.values);
+    EXPECT_EQ(decoded.value().since_version, request.since_version);
   }
 }
 
@@ -169,6 +181,88 @@ TEST(ProtocolRoundTrip, ResponseShapes) {
     EXPECT_EQ(decoded.value().lsn, response->lsn);
     EXPECT_EQ(decoded.value().text, response->text);
   }
+}
+
+TEST(ProtocolRoundTrip, EpochDiffResponseCarriesBothIdLists) {
+  WireResponse response;
+  response.id = 99;
+  response.request_op = Opcode::kEpochDiff;
+  response.snapshot_version = 12;
+  response.ids = {3, 17, 4000000000u};  // entered
+  response.left_ids = {0, 5};           // left
+  response.count = 5;
+
+  FrameDecoder decoder;
+  const std::string frame = EncodeResponse(response);
+  decoder.Append(frame.data(), frame.size());
+  std::string payload, error;
+  ASSERT_EQ(decoder.Take(&payload, &error), FrameDecoder::Next::kFrame);
+  const Result<WireResponse> decoded = ParseResponse(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().request_op, Opcode::kEpochDiff);
+  EXPECT_EQ(decoded.value().ids, response.ids);
+  EXPECT_EQ(decoded.value().left_ids, response.left_ids);
+  EXPECT_EQ(decoded.value().count, 5u);
+
+  // A diff can legitimately be empty on both sides.
+  WireResponse empty;
+  empty.request_op = Opcode::kEpochDiff;
+  FrameDecoder decoder2;
+  const std::string frame2 = EncodeResponse(empty);
+  decoder2.Append(frame2.data(), frame2.size());
+  ASSERT_EQ(decoder2.Take(&payload, &error), FrameDecoder::Next::kFrame);
+  const Result<WireResponse> decoded2 = ParseResponse(payload);
+  ASSERT_TRUE(decoded2.ok());
+  EXPECT_TRUE(decoded2.value().ids.empty());
+  EXPECT_TRUE(decoded2.value().left_ids.empty());
+}
+
+TEST(ProtocolRoundTrip, DeleteResponseCarriesPathAndLiveCount) {
+  WireResponse response;
+  response.id = 12;
+  response.request_op = Opcode::kDelete;
+  response.count = 499;  // post-delete live rows
+  response.lsn = 321;
+  response.text = "recompute";
+
+  FrameDecoder decoder;
+  const std::string frame = EncodeResponse(response);
+  decoder.Append(frame.data(), frame.size());
+  std::string payload, error;
+  ASSERT_EQ(decoder.Take(&payload, &error), FrameDecoder::Next::kFrame);
+  const Result<WireResponse> decoded = ParseResponse(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().request_op, Opcode::kDelete);
+  EXPECT_EQ(decoded.value().count, 499u);
+  EXPECT_EQ(decoded.value().lsn, 321u);
+  EXPECT_EQ(decoded.value().text, "recompute");
+}
+
+TEST(ProtocolBridge, EpochDiffMapsBothDirections) {
+  // Wire request → QueryRequest keeps the version pair intact…
+  WireRequest wire;
+  wire.op = Opcode::kEpochDiff;
+  wire.id = 21;
+  wire.subspace = 0b11;
+  wire.since_version = 4;
+  const QueryRequest request = ToQueryRequest(wire);
+  EXPECT_EQ(request.kind, QueryKind::kEpochDiff);
+  EXPECT_EQ(request.subspace, 0b11u);
+  EXPECT_EQ(request.since_version, 4u);
+
+  // …and QueryResponse → wire carries both id lists plus their sum.
+  QueryResponse response;
+  response.kind = QueryKind::kEpochDiff;
+  response.snapshot_version = 9;
+  response.ids = std::make_shared<const std::vector<ObjectId>>(
+      std::vector<ObjectId>{8, 9});
+  response.left_ids = std::make_shared<const std::vector<ObjectId>>(
+      std::vector<ObjectId>{1});
+  const WireResponse out = FromQueryResponse(wire, response);
+  EXPECT_EQ(out.ids, (std::vector<ObjectId>{8, 9}));
+  EXPECT_EQ(out.left_ids, (std::vector<ObjectId>{1}));
+  EXPECT_EQ(out.count, 3u);
+  EXPECT_EQ(out.snapshot_version, 9u);
 }
 
 TEST(ProtocolRoundTrip, GoAway) {

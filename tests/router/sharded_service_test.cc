@@ -7,12 +7,17 @@
 // whose owner shard is down.
 #include "router/sharded_service.h"
 
+#include <algorithm>
+#include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/rng.h"
 #include "common/subspace.h"
+#include "skyline/algorithms.h"
 #include "core/cube.h"
 #include "core/maintenance.h"
 #include "datagen/synthetic.h"
@@ -213,6 +218,235 @@ TEST(ShardedSkycubeService, DownShardDegradesToFlaggedSurvivorAnswers) {
   sharded.SetShardDown(owner, false);
   SingleNode single(MakeData(260, dims, 31));
   ExpectOracleIdentical(sharded, *single.service, dims);
+}
+
+// --- Epoch-diff oracle ---------------------------------------------------
+
+/// Independent mirror of the router's epoch model: every row ever appended
+/// (gid order), with the epochs it was born and (optionally) died at. The
+/// expected diff is recomputed from scratch with ComputeSkylineAmong —
+/// brute force against the router's stamp-reconstruction path.
+struct EpochOracle {
+  explicit EpochOracle(const Dataset& bootstrap) : rows(bootstrap) {
+    born.assign(bootstrap.num_objects(), 1);
+    died.assign(bootstrap.num_objects(), 0);
+  }
+
+  void Insert(const std::vector<double>& values) {
+    rows.AddRow(values);
+    born.push_back(++epoch);
+    died.push_back(0);
+  }
+
+  void Delete(ObjectId gid) { died[gid] = ++epoch; }
+
+  bool LiveAt(ObjectId gid, uint64_t at) const {
+    return born[gid] <= at && (died[gid] == 0 || died[gid] > at);
+  }
+
+  /// Expected (entered, left) for Sky(mask) between epochs `since` and now,
+  /// restricted to rows `keep` accepts (shard-degradation filter).
+  std::pair<std::vector<ObjectId>, std::vector<ObjectId>> Diff(
+      DimMask mask, uint64_t since,
+      const std::function<bool(ObjectId)>& keep) const {
+    std::vector<ObjectId> now_live, was_live;
+    for (ObjectId gid = 0; gid < rows.num_objects(); ++gid) {
+      if (keep && !keep(gid)) continue;
+      if (died[gid] == 0) now_live.push_back(gid);
+      if (LiveAt(gid, since)) was_live.push_back(gid);
+    }
+    const std::vector<ObjectId> current =
+        ComputeSkylineAmong(rows, mask, now_live);
+    const std::vector<ObjectId> historical =
+        ComputeSkylineAmong(rows, mask, was_live);
+    std::vector<ObjectId> entered, left;
+    std::set_difference(current.begin(), current.end(), historical.begin(),
+                        historical.end(), std::back_inserter(entered));
+    std::set_difference(historical.begin(), historical.end(),
+                        current.begin(), current.end(),
+                        std::back_inserter(left));
+    return {std::move(entered), std::move(left)};
+  }
+
+  Dataset rows;
+  std::vector<uint64_t> born, died;
+  uint64_t epoch = 1;
+};
+
+/// Runs a deterministic mutation mix and checks every epoch-diff answer
+/// against the oracle at several depths and subspaces.
+void RunEpochDiffOracle(size_t num_shards, uint64_t seed) {
+  const int dims = 4;
+  const Dataset data = MakeData(150, dims, seed);
+  ShardedServiceOptions options;
+  options.num_shards = num_shards;
+  ShardedSkycubeService sharded(data, options);
+  EpochOracle oracle(data);
+
+  Rng rng(seed * 7 + 1);
+  for (int i = 0; i < 24; ++i) {
+    if (rng.NextBounded(3) == 0) {
+      // Deletes target any known gid — some will be repeats (acked no-ops
+      // that must NOT advance the epoch).
+      const ObjectId victim = static_cast<ObjectId>(
+          rng.NextBounded(sharded.topology().total_rows()));
+      const QueryResponse response =
+          sharded.Execute(QueryRequest::Delete(victim));
+      ASSERT_TRUE(response.ok) << response.error;
+      if (response.insert_path != "dead") oracle.Delete(victim);
+    } else {
+      std::vector<double> values;
+      for (int d = 0; d < dims; ++d) {
+        values.push_back(0.05 + 0.01 * static_cast<double>(
+                                           rng.NextBounded(60)));
+      }
+      const QueryResponse response =
+          sharded.Execute(QueryRequest::Insert(values));
+      ASSERT_TRUE(response.ok) << response.error;
+      oracle.Insert(values);
+    }
+  }
+  ASSERT_EQ(sharded.topology().epoch(), oracle.epoch)
+      << "router and oracle disagree on the mutation count";
+
+  const DimMask full = FullMask(dims);
+  const std::vector<uint64_t> depths = {1, oracle.epoch / 2, oracle.epoch};
+  for (const uint64_t since : depths) {
+    for (DimMask mask = 1; mask <= full; ++mask) {
+      const QueryResponse got =
+          sharded.Execute(QueryRequest::EpochDiff(mask, since));
+      ASSERT_TRUE(got.ok) << got.error;
+      EXPECT_FALSE(got.partial);
+      const auto [entered, left] = oracle.Diff(mask, since, nullptr);
+      ASSERT_NE(got.ids, nullptr);
+      ASSERT_NE(got.left_ids, nullptr);
+      EXPECT_EQ(*got.ids, entered)
+          << "entered, mask " << mask << " since " << since;
+      EXPECT_EQ(*got.left_ids, left)
+          << "left, mask " << mask << " since " << since;
+      EXPECT_EQ(got.count, entered.size() + left.size());
+    }
+  }
+  // Diffing the current epoch against itself is always empty.
+  const QueryResponse self =
+      sharded.Execute(QueryRequest::EpochDiff(full, oracle.epoch));
+  ASSERT_TRUE(self.ok) << self.error;
+  EXPECT_EQ(self.count, 0u);
+  // A future epoch was never reached.
+  const QueryResponse future =
+      sharded.Execute(QueryRequest::EpochDiff(full, oracle.epoch + 5));
+  EXPECT_FALSE(future.ok);
+  EXPECT_EQ(future.code, StatusCode::kNotFound);
+}
+
+TEST(ShardedSkycubeService, EpochDiffMatchesOracleAcrossShardCounts) {
+  for (const size_t num_shards : {1u, 2u, 4u, 8u}) {
+    RunEpochDiffOracle(num_shards, 40 + num_shards);
+  }
+}
+
+TEST(ShardedSkycubeService, EpochDiffDegradesToFlaggedSurvivorDiff) {
+  const int dims = 4;
+  const Dataset data = MakeData(180, dims, 47);
+  ShardedServiceOptions options;
+  options.num_shards = 4;
+  ShardedSkycubeService sharded(data, options);
+  EpochOracle oracle(data);
+
+  // A few mutations so the diff is non-trivial at depth 1.
+  Rng rng(51);
+  for (int i = 0; i < 10; ++i) {
+    std::vector<double> values;
+    for (int d = 0; d < dims; ++d) {
+      values.push_back(0.1 + 0.01 * static_cast<double>(rng.NextBounded(40)));
+    }
+    ASSERT_TRUE(sharded.Execute(QueryRequest::Insert(values)).ok);
+    oracle.Insert(values);
+  }
+  const ObjectId victim = 3;
+  ASSERT_TRUE(sharded.Execute(QueryRequest::Delete(victim)).ok);
+  oracle.Delete(victim);
+
+  // Kill one shard: every epoch-diff answer must carry the partial flag
+  // and equal the survivor-restricted oracle — both the current AND the
+  // historical side exclude the lost shard's rows, so shard loss is never
+  // reported as row churn.
+  const size_t down_shard = 2;
+  sharded.SetShardDown(down_shard, true);
+  const DimMask full = FullMask(dims);
+  const auto survivor = [&sharded, down_shard](ObjectId gid) {
+    return sharded.topology().OwnerOf(gid) != down_shard;
+  };
+  for (const uint64_t since : {uint64_t{1}, oracle.epoch / 2}) {
+    for (DimMask mask = 1; mask <= full; mask += 3) {
+      const QueryResponse got =
+          sharded.Execute(QueryRequest::EpochDiff(mask, since));
+      ASSERT_TRUE(got.ok) << got.error;
+      EXPECT_TRUE(got.partial) << "mask " << mask << " since " << since;
+      const auto [entered, left] = oracle.Diff(mask, since, survivor);
+      EXPECT_EQ(*got.ids, entered)
+          << "entered, mask " << mask << " since " << since;
+      EXPECT_EQ(*got.left_ids, left)
+          << "left, mask " << mask << " since " << since;
+    }
+  }
+
+  // Revival: full, unflagged diffs again, equal to the unrestricted oracle.
+  sharded.SetShardDown(down_shard, false);
+  const QueryResponse revived =
+      sharded.Execute(QueryRequest::EpochDiff(full, 1));
+  ASSERT_TRUE(revived.ok) << revived.error;
+  EXPECT_FALSE(revived.partial);
+  const auto [entered, left] = oracle.Diff(full, 1, nullptr);
+  EXPECT_EQ(*revived.ids, entered);
+  EXPECT_EQ(*revived.left_ids, left);
+
+  // With every shard down the diff is an error, never a silent empty.
+  for (size_t s = 0; s < 4; ++s) sharded.SetShardDown(s, true);
+  const QueryResponse dead = sharded.Execute(QueryRequest::EpochDiff(full, 1));
+  EXPECT_FALSE(dead.ok);
+  EXPECT_EQ(dead.code, StatusCode::kUnavailable);
+}
+
+TEST(ShardedSkycubeService, DeleteRoutesToOwnerAndIsIdempotent) {
+  const int dims = 3;
+  SingleNode single(MakeData(120, dims, 53));
+  ShardedServiceOptions options;
+  options.num_shards = 3;
+  ShardedSkycubeService sharded(MakeData(120, dims, 53), options);
+
+  // Delete the same rows through both tiers: answers stay oracle-identical.
+  uint64_t expect_live = 120;
+  for (const ObjectId victim : {ObjectId{5}, ObjectId{40}, ObjectId{99}}) {
+    const QueryResponse got = sharded.Execute(QueryRequest::Delete(victim));
+    const QueryResponse want =
+        single.service->Execute(QueryRequest::Delete(victim));
+    ASSERT_TRUE(got.ok) << got.error;
+    ASSERT_TRUE(want.ok) << want.error;
+    --expect_live;
+    EXPECT_EQ(got.count, expect_live) << "live count after delete " << victim;
+  }
+  EXPECT_EQ(sharded.topology().num_live(), 117u);
+  ExpectOracleIdentical(sharded, *single.service, dims);
+
+  // Idempotence: the epoch must not advance for an already-dead target.
+  const uint64_t epoch = sharded.topology().epoch();
+  const QueryResponse again = sharded.Execute(QueryRequest::Delete(5));
+  ASSERT_TRUE(again.ok) << again.error;
+  EXPECT_EQ(again.insert_path, "dead");
+  EXPECT_EQ(sharded.topology().epoch(), epoch);
+  EXPECT_EQ(sharded.topology().num_live(), 117u);
+
+  // A delete whose owner shard is down must fail loudly, applied nowhere.
+  ObjectId target = 0;
+  while (!sharded.topology().IsLive(target)) ++target;
+  const size_t owner = sharded.topology().OwnerOf(target);
+  sharded.SetShardDown(owner, true);
+  const QueryResponse refused = sharded.Execute(QueryRequest::Delete(target));
+  EXPECT_FALSE(refused.ok);
+  EXPECT_EQ(refused.code, StatusCode::kUnavailable);
+  EXPECT_EQ(sharded.topology().epoch(), epoch);
+  EXPECT_TRUE(sharded.topology().IsLive(target));
 }
 
 TEST(ShardedSkycubeService, DrainRejectsNewQueries) {

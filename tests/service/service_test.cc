@@ -201,7 +201,9 @@ TEST(SkycubeServiceTest, BatchMatchesSequentialExecution) {
         EXPECT_EQ(response.count, cube->TotalSubspaceSkylineObjects());
         break;
       case QueryKind::kInsert:
-        FAIL() << "batch generator never emits inserts";
+      case QueryKind::kDelete:
+      case QueryKind::kEpochDiff:
+        FAIL() << "batch generator never emits mutations or epoch diffs";
         break;
     }
   }
@@ -383,6 +385,221 @@ TEST(SkycubeServiceTest, InsertResponsesAreNeverCached) {
   EXPECT_EQ(second.snapshot_version, first.snapshot_version + 1);
   EXPECT_EQ(service.stats().cache_hits, 0u);
   EXPECT_EQ(service.stats().inserts_applied, 2u);
+}
+
+TEST(SkycubeServiceTest, DeleteInvalidatesCachedAnswers) {
+  // The delete twin of the insert-staleness regression: once a delete has
+  // changed the cube, no cached pre-delete answer may be served.
+  const Dataset data = MakeData(60, 3, 17);
+  IncrementalCubeMaintainer maintainer(data);
+  MaintainerInsertHandler handler(&maintainer);
+  SkycubeService service(
+      std::make_shared<const CompressedSkylineCube>(maintainer.MakeCube()));
+  service.AttachInsertHandler(&handler);
+  const DimMask full = data.full_mask();
+
+  const QueryResponse before =
+      service.Execute(QueryRequest::SubspaceSkyline(full));
+  ASSERT_TRUE(before.ok);
+  ASSERT_FALSE(before.ids->empty());
+  service.Execute(QueryRequest::SubspaceSkyline(full));
+  EXPECT_EQ(service.stats().cache_hits, 1u);
+
+  // Delete a row that is in the full-space skyline: the answer must change.
+  const ObjectId victim = before.ids->front();
+  const QueryResponse deleted = service.Execute(QueryRequest::Delete(victim));
+  ASSERT_TRUE(deleted.ok) << deleted.error;
+  EXPECT_EQ(deleted.kind, QueryKind::kDelete);
+  EXPECT_EQ(deleted.count, data.num_objects() - 1);  // post-delete live rows
+  EXPECT_EQ(deleted.snapshot_version, 2u);
+  EXPECT_EQ(service.stats().deletes_applied, 1u);
+
+  const QueryResponse after =
+      service.Execute(QueryRequest::SubspaceSkyline(full));
+  ASSERT_TRUE(after.ok);
+  EXPECT_EQ(after.snapshot_version, 2u);
+  EXPECT_EQ(std::count(after.ids->begin(), after.ids->end(), victim), 0);
+  // The post-delete probe missed: the version-keyed cache cannot serve v1.
+  EXPECT_EQ(service.stats().cache_hits, 1u);
+  // And the fresh answer equals the maintainer's post-delete truth.
+  EXPECT_EQ(*after.ids, maintainer.MakeCube().SubspaceSkyline(full));
+}
+
+TEST(SkycubeServiceTest, AlreadyDeadDeleteKeepsSnapshotAndCache) {
+  const Dataset data = MakeData(40, 3, 19);
+  IncrementalCubeMaintainer maintainer(data);
+  MaintainerInsertHandler handler(&maintainer);
+  SkycubeService service(
+      std::make_shared<const CompressedSkylineCube>(maintainer.MakeCube()));
+  service.AttachInsertHandler(&handler);
+
+  ASSERT_TRUE(service.Execute(QueryRequest::Delete(7)).ok);
+  const uint64_t version = service.snapshot_version();
+  service.Execute(QueryRequest::SkylineCardinality(data.full_mask()));
+  service.Execute(QueryRequest::SkylineCardinality(data.full_mask()));
+  EXPECT_EQ(service.stats().cache_hits, 1u);
+
+  // Deleting the same row again (and an out-of-range id — a replayed
+  // delete) is an acked no-op: no snapshot swap, cached answers survive.
+  const QueryResponse again = service.Execute(QueryRequest::Delete(7));
+  ASSERT_TRUE(again.ok) << again.error;
+  EXPECT_EQ(again.insert_path, "dead");
+  const QueryResponse orphan = service.Execute(QueryRequest::Delete(9999));
+  ASSERT_TRUE(orphan.ok) << orphan.error;
+  EXPECT_EQ(orphan.insert_path, "dead");
+  EXPECT_EQ(service.snapshot_version(), version);
+  EXPECT_EQ(service.stats().deletes_applied, 1u);
+
+  service.Execute(QueryRequest::SkylineCardinality(data.full_mask()));
+  EXPECT_EQ(service.stats().cache_hits, 2u);  // still the same snapshot
+}
+
+TEST(SkycubeServiceTest, ExpiryInvalidatesCachedAnswers) {
+  // Sliding-window twin of the same regression: an expiry pass that
+  // tombstones rows must invalidate the result cache.
+  const Dataset data = MakeData(40, 3, 23);
+  IncrementalCubeMaintainer maintainer(data);
+  MaintainerInsertHandler handler(&maintainer);
+  uint64_t now_ms = 1000;
+  SkycubeServiceOptions options;
+  options.ingest_clock = [&now_ms] { return now_ms; };
+  SkycubeService service(
+      std::make_shared<const CompressedSkylineCube>(maintainer.MakeCube()),
+      options);
+  service.AttachInsertHandler(&handler);
+
+  // A dominating row stamped at t=1000 takes over every skyline.
+  ASSERT_TRUE(service.Execute(QueryRequest::Insert({0.0, 0.0, 0.0})).ok);
+  const DimMask full = data.full_mask();
+  const QueryResponse owned =
+      service.Execute(QueryRequest::SkylineCardinality(full));
+  ASSERT_TRUE(owned.ok);
+  EXPECT_EQ(owned.count, 1u);
+  service.Execute(QueryRequest::SkylineCardinality(full));
+  EXPECT_EQ(service.stats().cache_hits, 1u);
+
+  // The window slides past t=1000: the dominator expires, bootstrap rows
+  // (timestamp 0) are immune, and the cached answer dies with the version.
+  now_ms = 5000;
+  Result<uint64_t> expired = service.ApplyExpiry(2000);
+  ASSERT_TRUE(expired.ok()) << expired.status().ToString();
+  EXPECT_EQ(expired.value(), 1u);
+  EXPECT_EQ(service.stats().expiry_passes, 1u);
+  EXPECT_EQ(service.stats().expired_rows, 1u);
+
+  const QueryResponse after =
+      service.Execute(QueryRequest::SkylineCardinality(full));
+  ASSERT_TRUE(after.ok);
+  EXPECT_GT(after.count, 1u);  // the bootstrap skyline is back
+  EXPECT_EQ(service.stats().cache_hits, 1u);  // post-expiry probe missed
+
+  // A pass that expires nothing keeps the snapshot (and the cache) alive.
+  const uint64_t version = service.snapshot_version();
+  expired = service.ApplyExpiry(2000);
+  ASSERT_TRUE(expired.ok());
+  EXPECT_EQ(expired.value(), 0u);
+  EXPECT_EQ(service.snapshot_version(), version);
+}
+
+TEST(SkycubeServiceTest, EpochDiffTracksEnteredAndLeft) {
+  const Dataset data = MakeData(50, 3, 27);
+  IncrementalCubeMaintainer maintainer(data);
+  MaintainerInsertHandler handler(&maintainer);
+  SkycubeService service(
+      std::make_shared<const CompressedSkylineCube>(maintainer.MakeCube()));
+  service.AttachInsertHandler(&handler);
+  const DimMask full = data.full_mask();
+
+  const QueryResponse v1_sky =
+      service.Execute(QueryRequest::SubspaceSkyline(full));
+  ASSERT_TRUE(v1_sky.ok);
+
+  // A dominating insert: everything leaves, only the new row enters.
+  ASSERT_TRUE(service.Execute(QueryRequest::Insert({0.0, 0.0, 0.0})).ok);
+  const ObjectId dominator = static_cast<ObjectId>(data.num_objects());
+  const QueryResponse diff =
+      service.Execute(QueryRequest::EpochDiff(full, 1));
+  ASSERT_TRUE(diff.ok) << diff.error;
+  EXPECT_EQ(diff.kind, QueryKind::kEpochDiff);
+  ASSERT_NE(diff.ids, nullptr);
+  ASSERT_NE(diff.left_ids, nullptr);
+  EXPECT_EQ(*diff.ids, std::vector<ObjectId>{dominator});
+  EXPECT_EQ(*diff.left_ids, *v1_sky.ids);
+  EXPECT_EQ(diff.count, 1 + v1_sky.ids->size());
+
+  // Deleting the dominator restores the v1 skyline: the diff drains.
+  ASSERT_TRUE(service.Execute(QueryRequest::Delete(dominator)).ok);
+  const QueryResponse undone =
+      service.Execute(QueryRequest::EpochDiff(full, 1));
+  ASSERT_TRUE(undone.ok) << undone.error;
+  EXPECT_TRUE(undone.ids->empty());
+  EXPECT_TRUE(undone.left_ids->empty());
+  EXPECT_EQ(undone.count, 0u);
+
+  // Diffing against the current version is always empty.
+  const QueryResponse self = service.Execute(
+      QueryRequest::EpochDiff(full, service.snapshot_version()));
+  ASSERT_TRUE(self.ok);
+  EXPECT_EQ(self.count, 0u);
+
+  // Epoch-diff answers are cacheable — keyed by the version *pair*.
+  const QueryResponse warm =
+      service.Execute(QueryRequest::EpochDiff(full, 1));
+  ASSERT_TRUE(warm.ok);
+  EXPECT_TRUE(warm.cache_hit);
+}
+
+TEST(SkycubeServiceTest, EpochDiffOutsideRetainedHistoryIsNotFound) {
+  const Dataset data = MakeData(30, 3, 29);
+  IncrementalCubeMaintainer maintainer(data);
+  MaintainerInsertHandler handler(&maintainer);
+  SkycubeServiceOptions options;
+  options.epoch_history = 2;  // tight ring: v1 falls out quickly
+  SkycubeService service(
+      std::make_shared<const CompressedSkylineCube>(maintainer.MakeCube()),
+      options);
+  service.AttachInsertHandler(&handler);
+  const DimMask full = data.full_mask();
+
+  // since_version == 0 is malformed, not merely unretained.
+  const QueryResponse zero = service.Execute(QueryRequest::EpochDiff(full, 0));
+  EXPECT_FALSE(zero.ok);
+  EXPECT_EQ(zero.code, StatusCode::kInvalidArgument);
+
+  // A future version was never retained.
+  const QueryResponse future =
+      service.Execute(QueryRequest::EpochDiff(full, 99));
+  EXPECT_FALSE(future.ok);
+  EXPECT_EQ(future.code, StatusCode::kNotFound);
+
+  // Push v1 out of the 2-deep ring with two inserts (v2, v3).
+  ASSERT_TRUE(service.Execute(QueryRequest::Insert({0.4, 0.4, 0.4})).ok);
+  ASSERT_TRUE(service.Execute(QueryRequest::Insert({0.3, 0.3, 0.3})).ok);
+  const QueryResponse evicted =
+      service.Execute(QueryRequest::EpochDiff(full, 1));
+  EXPECT_FALSE(evicted.ok);
+  EXPECT_EQ(evicted.code, StatusCode::kNotFound);
+  const QueryResponse retained =
+      service.Execute(QueryRequest::EpochDiff(full, 2));
+  EXPECT_TRUE(retained.ok) << retained.error;
+
+  // Error responses are never cached: the same kNotFound repeats as a
+  // computed answer, not a cache hit.
+  const QueryResponse again =
+      service.Execute(QueryRequest::EpochDiff(full, 1));
+  EXPECT_FALSE(again.ok);
+  EXPECT_FALSE(again.cache_hit);
+}
+
+TEST(SkycubeServiceTest, EpochHistoryDisabledAnswersNotFound) {
+  const Dataset data = MakeData(20, 3, 31);
+  SkycubeServiceOptions options;
+  options.epoch_history = 0;
+  SkycubeService service(MakeCube(data), options);
+  const QueryResponse diff =
+      service.Execute(QueryRequest::EpochDiff(data.full_mask(), 1));
+  EXPECT_FALSE(diff.ok);
+  EXPECT_EQ(diff.code, StatusCode::kNotFound);
 }
 
 TEST(SkycubeServiceTest, DrainRejectsAllTraffic) {

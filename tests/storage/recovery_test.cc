@@ -131,17 +131,51 @@ TEST(RecoveryTest, FallsBackWhenNewestCheckpointCorrupt) {
             Golden(bootstrap, rows, rows.size()));
 }
 
-TEST(RecoveryTest, AllCheckpointsDamagedIsAnError) {
+TEST(RecoveryTest, AllCheckpointsDamagedFallsBackToWalOnlyRebuild) {
+  // Every checkpoint damaged, but the WAL still reaches back to LSN 1: the
+  // acked WAL ops are rebuilt from the log alone. The 20 bootstrap rows
+  // predate the log — they come back only as tombstoned placeholders (ids
+  // stay exact) and are reported lost.
   const std::string dir = FreshDir("rec_all_bad");
   const Dataset bootstrap = MakeData(20, 3, 6);
-  Ingest(dir, bootstrap, {Row(0.5, 0.5, 0.5)}, 0);
+  const std::vector<std::vector<double>> rows = {
+      Row(0.5, 0.5, 0.5), Row(0.1, 0.8, 0.3), Row(0.5, 0.5, 0.5)};
+  Ingest(dir, bootstrap, rows, 0);
   for (const auto& entry : fs::directory_iterator(dir)) {
     if (entry.path().extension() != ".ckpt") continue;
     fs::resize_file(entry.path(), fs::file_size(entry.path()) / 2);
   }
-  EXPECT_TRUE(DirHasDurableState(dir));  // listed, but...
+  EXPECT_TRUE(DirHasDurableState(dir));  // listed, but never silently loaded
   Result<RecoveredState> recovered = RecoverFromDir(dir);
-  ASSERT_FALSE(recovered.ok());  // ...never silently loaded
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  const RecoveryStats& stats = recovered.value().stats;
+  EXPECT_TRUE(stats.wal_only_rebuild);
+  EXPECT_EQ(stats.base_rows_lost, 20u);
+  EXPECT_EQ(stats.checkpoints_rejected, stats.checkpoints_found);
+  const IncrementalCubeMaintainer& m = *recovered.value().maintainer;
+  EXPECT_EQ(m.data().num_objects(), 23u);  // 20 placeholders + 3 replayed
+  EXPECT_EQ(m.num_live(), 3u);
+  EXPECT_EQ(m.groups(), StellarOverLive(m.data(), m.live()));
+  EXPECT_EQ(stats.next_lsn, 4u);
+}
+
+TEST(RecoveryTest, AllCheckpointsDamagedAndTruncatedWalIsAnError) {
+  // When checkpoints are damaged AND the WAL was already truncated past
+  // LSN 1 (so the log cannot seed a rebuild), recovery must fail rather
+  // than serve a silently incomplete state.
+  const std::string dir = FreshDir("rec_all_bad_no_wal");
+  const Dataset bootstrap = MakeData(20, 3, 6);
+  Ingest(dir, bootstrap, {Row(0.5, 0.5, 0.5)}, 0);
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == ".ckpt") {
+      fs::resize_file(entry.path(), fs::file_size(entry.path()) / 2);
+    } else if (entry.path().extension() == ".log") {
+      fs::remove(entry.path());
+    }
+  }
+  EXPECT_TRUE(DirHasDurableState(dir));
+  Result<RecoveredState> recovered = RecoverFromDir(dir);
+  ASSERT_FALSE(recovered.ok());
   EXPECT_EQ(recovered.status().code(), StatusCode::kInternal);
 }
 
@@ -213,6 +247,122 @@ TEST(RecoveryTest, ReopenAfterTornTailContinuesCleanly) {
                                                       Row(0.1, 0.9, 0.1)};
   EXPECT_EQ(final_state.value().maintainer->groups(),
             Golden(bootstrap, survivors, survivors.size()));
+}
+
+TEST(RecoveryTest, MixedOpRoundTripMatchesStellarOverLive) {
+  // Inserts, deletes, and an expiry pass through DurableIngest; recovery
+  // must land on exactly the live-set the handler acked — including the
+  // per-row ingest timestamps, which the next expiry pass depends on.
+  const std::string dir = FreshDir("rec_mixed");
+  const Dataset bootstrap = MakeData(30, 3, 18);
+  DurableIngestOptions options;
+  options.checkpoint_every = 4;  // the mixed tail straddles a checkpoint
+  Result<std::unique_ptr<DurableIngest>> ingest =
+      DurableIngest::Open(dir, &bootstrap, options);
+  ASSERT_TRUE(ingest.ok()) << ingest.status().ToString();
+  ASSERT_TRUE(ingest.value()->ApplyInsert(Row(0.5, 0.5, 0.5), 100).ok());
+  ASSERT_TRUE(ingest.value()->ApplyInsert(Row(0.1, 0.8, 0.3), 200).ok());
+  ASSERT_TRUE(ingest.value()->ApplyDelete(30).ok());  // first insert dies
+  ASSERT_TRUE(ingest.value()->ApplyDelete(5).ok());   // a bootstrap row dies
+  ASSERT_TRUE(ingest.value()->ApplyInsert(Row(0.02, 0.02, 0.9), 300).ok());
+  // Expiry tombstones the 200ms row; ts-0 bootstrap rows are immune.
+  Result<InsertHandler::Applied> expired = ingest.value()->ApplyExpire(250);
+  ASSERT_TRUE(expired.ok());
+  EXPECT_EQ(expired.value().num_expired, 1u);
+  ingest.value().reset();
+
+  Result<RecoveredState> recovered = RecoverFromDir(dir);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  const IncrementalCubeMaintainer& m = *recovered.value().maintainer;
+  EXPECT_EQ(m.data().num_objects(), 33u);
+  EXPECT_EQ(m.num_live(), 30u);  // 30 + 3 inserted − 2 deleted − 1 expired
+  EXPECT_FALSE(m.IsLive(5));
+  EXPECT_FALSE(m.IsLive(30));
+  EXPECT_FALSE(m.IsLive(31));  // expired
+  EXPECT_TRUE(m.IsLive(32));
+  EXPECT_EQ(m.timestamps()[32], 300u);
+  EXPECT_EQ(m.groups(), StellarOverLive(m.data(), m.live()));
+}
+
+TEST(RecoveryTest, ReplayedDeleteOfNeverAckedRowIsANoOp) {
+  // A WAL can legitimately hold a delete whose target insert was lost with
+  // a damaged suffix of an *earlier* segment generation (the row was never
+  // acked). Replay must treat it as a no-op, not an error — the dataset
+  // simply never grew that far.
+  const std::string dir = FreshDir("rec_orphan_delete");
+  const Dataset bootstrap = MakeData(10, 3, 20);
+  {
+    DurableIngestOptions options;
+    options.checkpoint_every = 0;
+    Result<std::unique_ptr<DurableIngest>> ingest =
+        DurableIngest::Open(dir, &bootstrap, options);
+    ASSERT_TRUE(ingest.ok());
+    ASSERT_TRUE(ingest.value()->ApplyInsert(Row(0.4, 0.4, 0.4), 50).ok());
+    ingest.value().reset();
+  }
+  // Hand-append a delete record targeting row 99 — far past the 11 rows
+  // that exist (as if the inserts between were torn away).
+  {
+    Result<std::unique_ptr<WriteAheadLog>> wal =
+        WriteAheadLog::Open(dir, 2);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE(wal.value()->Append(EncodeDeletePayload(99, 60)).ok());
+    // A second delete of a row that DOES exist proves ordering still works.
+    ASSERT_TRUE(wal.value()->Append(EncodeDeletePayload(3, 70)).ok());
+  }
+  Result<RecoveredState> recovered = RecoverFromDir(dir);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  const IncrementalCubeMaintainer& m = *recovered.value().maintainer;
+  EXPECT_EQ(recovered.value().stats.wal_records_replayed, 3u);
+  EXPECT_EQ(m.data().num_objects(), 11u);  // row 99 never materialized
+  EXPECT_EQ(m.num_live(), 10u);            // only the row-3 delete landed
+  EXPECT_FALSE(m.IsLive(3));
+  EXPECT_EQ(m.groups(), StellarOverLive(m.data(), m.live()));
+  // And the state stays serveable: reopening continues the LSN sequence.
+  Result<std::unique_ptr<DurableIngest>> reopened =
+      DurableIngest::Open(dir, nullptr, {});
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  Result<InsertHandler::Applied> applied =
+      reopened.value()->ApplyInsert(Row(0.2, 0.2, 0.2), 80);
+  ASSERT_TRUE(applied.ok());
+  EXPECT_EQ(applied.value().lsn, 4u);
+}
+
+TEST(RecoveryTest, MixedOpWalOnlyRebuildKeepsIdsExact) {
+  // All checkpoints damaged with deletes in the log: the v3 insert records
+  // carry their assigned row ids, so the rebuild lands every replayed row
+  // at its original id and the deletes hit the right targets.
+  const std::string dir = FreshDir("rec_mixed_walonly");
+  const Dataset bootstrap = MakeData(15, 3, 22);
+  {
+    DurableIngestOptions options;
+    options.checkpoint_every = 0;
+    Result<std::unique_ptr<DurableIngest>> ingest =
+        DurableIngest::Open(dir, &bootstrap, options);
+    ASSERT_TRUE(ingest.ok());
+    ASSERT_TRUE(ingest.value()->ApplyInsert(Row(0.5, 0.5, 0.5), 10).ok());
+    ASSERT_TRUE(ingest.value()->ApplyInsert(Row(0.3, 0.3, 0.3), 20).ok());
+    ASSERT_TRUE(ingest.value()->ApplyDelete(15).ok());
+    ASSERT_TRUE(ingest.value()->ApplyInsert(Row(0.7, 0.2, 0.1), 30).ok());
+    ingest.value().reset();
+  }
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() != ".ckpt") continue;
+    fs::resize_file(entry.path(), fs::file_size(entry.path()) / 2);
+  }
+  Result<RecoveredState> recovered = RecoverFromDir(dir);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  const RecoveryStats& stats = recovered.value().stats;
+  EXPECT_TRUE(stats.wal_only_rebuild);
+  EXPECT_EQ(stats.base_rows_lost, 15u);
+  const IncrementalCubeMaintainer& m = *recovered.value().maintainer;
+  ASSERT_EQ(m.data().num_objects(), 18u);  // 15 placeholders + 3 inserts
+  EXPECT_EQ(m.num_live(), 2u);  // 3 replayed inserts − the delete of id 15
+  EXPECT_FALSE(m.IsLive(15));
+  EXPECT_TRUE(m.IsLive(16));
+  EXPECT_TRUE(m.IsLive(17));
+  EXPECT_EQ(m.timestamps()[17], 30u);
+  EXPECT_EQ(m.groups(), StellarOverLive(m.data(), m.live()));
 }
 
 TEST(RecoveryTest, DrainThenRecoverReplaysNothing) {

@@ -36,6 +36,7 @@
 
 #include "common/fault_injection.h"
 #include "common/flags.h"
+#include "core/maintenance.h"
 #include "core/skyline_group.h"
 #include "core/stellar.h"
 #include "datagen/synthetic.h"
@@ -287,6 +288,201 @@ void VerifyServeable(const char* round_tag, const Config& config,
               total.c_str());
 }
 
+/// One scripted mutation of a mixed round: an insert (protocol value text)
+/// or a delete of an id that existed when the op was generated.
+struct MutationOp {
+  bool is_delete = false;
+  std::string insert_text;  // valid iff !is_delete
+  ObjectId target = 0;      // valid iff is_delete
+};
+
+/// Mixed-SIGKILL round: pipeline a random interleaving of inserts and
+/// deletes, kill after a random number of acknowledgements, and verify the
+/// recovered (rows, liveness) state is bootstrap + an exact PREFIX of the
+/// op sequence containing every acked op — with the recovered groups equal
+/// to ComputeStellar over exactly the live rows of that prefix.
+void RunMixedKillRound(const Config& config, int round, Rng* rng) {
+  char round_tag[32];
+  std::snprintf(round_tag, sizeof(round_tag), "mixed-%d", round);
+  const std::string dir = config.work_dir + "/" + round_tag;
+  std::filesystem::remove_all(dir);
+  Child child = Spawn(config.serve, ServerArgs(config, dir, true), "");
+
+  // Script the ops up front. Deletes target any id that exists at that
+  // point in the sequence — including bootstrap rows, rows a later op will
+  // delete again (an idempotent no-op), and never-yet-acked inserts.
+  std::vector<MutationOp> ops;
+  std::vector<std::string> sent_inserts;
+  const int num_ops = config.inserts + config.inserts / 2;
+  size_t rows_so_far = static_cast<size_t>(config.tuples);
+  for (int i = 0; i < num_ops; ++i) {
+    MutationOp op;
+    if (rng->Bounded(3) == 0) {
+      op.is_delete = true;
+      op.target = static_cast<ObjectId>(rng->Bounded(rows_so_far));
+    } else {
+      op.insert_text = MakeInsertText(rng, config.dims, &sent_inserts);
+      sent_inserts.push_back(op.insert_text);
+      ++rows_so_far;
+    }
+    ops.push_back(std::move(op));
+  }
+  for (const MutationOp& op : ops) {
+    if (op.is_delete) {
+      std::fprintf(child.to, "delete %llu\n",
+                   static_cast<unsigned long long>(op.target));
+    } else {
+      std::fprintf(child.to, "insert %s\n", op.insert_text.c_str());
+    }
+  }
+  std::fflush(child.to);
+
+  const size_t kill_after = rng->Bounded(ops.size() + 1);
+  size_t acked = 0;
+  std::string line;
+  while (acked < kill_after && ReadLine(child.from, &line)) {
+    CHECK_ROUND(line.rfind("ok path=", 0) == 0, "mutation answered: %s",
+                line.c_str());
+    ++acked;
+  }
+  kill(child.pid, SIGKILL);
+  while (ReadLine(child.from, &line)) {
+    if (line.rfind("ok path=", 0) == 0) ++acked;
+  }
+  const int code = Wait(&child);
+  CHECK_ROUND(code == -SIGKILL || code == 0, "child exited %d, expected kill",
+              code);
+
+  Result<RecoveredState> recovered = RecoverFromDir(dir);
+  CHECK_ROUND(recovered.ok(), "recovery failed: %s",
+              recovered.status().ToString().c_str());
+  const IncrementalCubeMaintainer& maintainer = *recovered.value().maintainer;
+  const Dataset& data = maintainer.data();
+
+  // Replay the op script over the golden bootstrap until the state matches
+  // the recovered one exactly. No-op deletes are not WAL-logged, so the
+  // recovered state equals *some* op prefix — and every acked op must be in
+  // it.
+  Dataset golden = GoldenBootstrap(config);
+  std::vector<uint8_t> live(golden.num_objects(), 1);
+  bool matched = false;
+  size_t prefix = 0;
+  const auto state_matches = [&] {
+    if (static_cast<size_t>(data.num_objects()) != golden.num_objects()) {
+      return false;
+    }
+    for (ObjectId id = 0; id < data.num_objects(); ++id) {
+      if ((maintainer.live()[id] != 0) != (live[id] != 0)) return false;
+      if (std::memcmp(data.Row(id), golden.Row(id),
+                      sizeof(double) * config.dims) != 0) {
+        return false;
+      }
+    }
+    return true;
+  };
+  for (size_t k = 0;; ++k) {
+    if (k >= acked && state_matches()) {
+      matched = true;
+      prefix = k;
+      break;
+    }
+    if (k == ops.size()) break;
+    const MutationOp& op = ops[k];
+    if (op.is_delete) {
+      if (op.target < live.size() && live[op.target] != 0) {
+        live[op.target] = 0;
+      }
+    } else {
+      golden.AddRow(ParseRow(op.insert_text));
+      live.push_back(1);
+    }
+  }
+  CHECK_ROUND(matched,
+              "recovered state is not bootstrap + an op prefix >= %zu acked "
+              "(recovered rows=%zu live=%zu)",
+              acked, static_cast<size_t>(data.num_objects()),
+              maintainer.num_live());
+
+  SkylineGroupSet expected = StellarOverLive(golden, live);
+  NormalizeGroups(&expected);
+  CHECK_ROUND(maintainer.groups() == expected,
+              "recovered groups != Stellar over the live rows of prefix %zu",
+              prefix);
+  std::fprintf(stderr, "ok   [%s] acked>=%zu prefix=%zu/%zu live=%zu\n",
+               round_tag, acked, prefix, ops.size(), maintainer.num_live());
+  if (g_failures == 0) VerifyServeable(round_tag, config, dir);
+}
+
+/// Expiry-SIGKILL round: ingest rows (stamped with real wall time), fire a
+/// synchronous expiry pass over everything, and SIGKILL while its per-row
+/// delete records may be mid-flight in the WAL. The recovered directory
+/// must be self-consistent: bootstrap rows (timestamp 0) all live, every
+/// row's values golden, and groups == Stellar over exactly the recovered
+/// live rows — whatever subset of the expiry got logged.
+void RunExpiryKillRound(const Config& config, Rng* rng) {
+  const char* round_tag = "expiry-kill";
+  const std::string dir = config.work_dir + "/expiry-kill";
+  std::filesystem::remove_all(dir);
+  Child child = Spawn(config.serve, ServerArgs(config, dir, true), "");
+
+  std::vector<std::string> sent;
+  std::string line;
+  for (int i = 0; i < config.inserts; ++i) {
+    sent.push_back(MakeInsertText(rng, config.dims, &sent));
+    std::fprintf(child.to, "insert %s\n", sent.back().c_str());
+    std::fflush(child.to);
+    CHECK_ROUND(ReadLine(child.from, &line) && line.rfind("ok path=", 0) == 0,
+                "insert answered: %s", line.c_str());
+  }
+  // A far-future cutoff expires every timestamped row; SIGKILL races the
+  // pass (sometimes before it starts, sometimes mid-log, sometimes after).
+  std::fprintf(child.to, "expire 9999999999999\n");
+  std::fflush(child.to);
+  if (rng->Bounded(2) == 0) {
+    CHECK_ROUND(ReadLine(child.from, &line) &&
+                    line.rfind("ok expired=", 0) == 0,
+                "expire answered: %s", line.c_str());
+  }
+  kill(child.pid, SIGKILL);
+  const int code = Wait(&child);
+  CHECK_ROUND(code == -SIGKILL || code == 0, "child exited %d, expected kill",
+              code);
+
+  Result<RecoveredState> recovered = RecoverFromDir(dir);
+  CHECK_ROUND(recovered.ok(), "recovery failed: %s",
+              recovered.status().ToString().c_str());
+  const IncrementalCubeMaintainer& maintainer = *recovered.value().maintainer;
+  const Dataset& data = maintainer.data();
+  const size_t bootstrap_rows = static_cast<size_t>(config.tuples);
+  CHECK_ROUND(static_cast<size_t>(data.num_objects()) ==
+                  bootstrap_rows + sent.size(),
+              "recovered %zu rows, want %zu",
+              static_cast<size_t>(data.num_objects()),
+              bootstrap_rows + sent.size());
+  Dataset golden = GoldenBootstrap(config);
+  for (const std::string& row : sent) golden.AddRow(ParseRow(row));
+  for (ObjectId id = 0; id < data.num_objects(); ++id) {
+    CHECK_ROUND(std::memcmp(data.Row(id), golden.Row(id),
+                            sizeof(double) * config.dims) == 0,
+                "recovered row %llu differs from the sent sequence",
+                static_cast<unsigned long long>(id));
+    if (static_cast<size_t>(id) < bootstrap_rows) {
+      CHECK_ROUND(maintainer.live()[id] != 0,
+                  "bootstrap row %llu (timestamp 0) was expired",
+                  static_cast<unsigned long long>(id));
+    }
+  }
+  SkylineGroupSet expected =
+      StellarOverLive(golden, maintainer.live());
+  NormalizeGroups(&expected);
+  CHECK_ROUND(maintainer.groups() == expected,
+              "recovered groups != Stellar over the recovered live rows");
+  std::fprintf(stderr, "ok   [%s] live=%zu of %zu rows after expiry crash\n",
+               round_tag, maintainer.num_live(),
+               static_cast<size_t>(data.num_objects()));
+  if (g_failures == 0) VerifyServeable(round_tag, config, dir);
+}
+
 /// Random-SIGKILL round: pipeline all inserts, kill after a random number
 /// of acknowledgements, drain the pipe (late acks still count), verify.
 void RunKillRound(const Config& config, int round, Rng* rng) {
@@ -440,6 +636,10 @@ int Run(const FlagParser& flags) {
   for (int round = 0; round < rounds; ++round) {
     RunKillRound(config, round, &rng);
   }
+  for (int round = 0; round < rounds; ++round) {
+    RunMixedKillRound(config, round, &rng);
+  }
+  RunExpiryKillRound(config, &rng);
   RunSigtermRound(config, &rng);
 
   if (FaultInjection::Enabled() && !flags.GetBool("no-faults", false)) {

@@ -33,6 +33,11 @@
 //   --fsync-interval-ms=N max unsynced age under 'timer'       (default 5)
 //   --checkpoint-every=N inserts between checkpoints, 0 = off  (default 256)
 //   --keep-checkpoints=N retention depth                       (default 2)
+// Sliding window (docs/ROBUSTNESS.md, "Deletes, windows, and epoch-diff"):
+//   --window-ms=N        retention window: rows whose ingest timestamp is
+//                        older than now-N are expired by a background pass
+//                        (0 = no window, the default)
+//   --expiry-interval-ms=N  period between expiry passes   (default 1000)
 // Service knobs:
 //   --cache-capacity=N   result-cache entries, 0 disables   (default 65536)
 //   --cache-shards=N     LRU shards                         (default 8)
@@ -59,8 +64,14 @@
 //   count ID              Q3  -> ok count=17 v=1 hit=0
 //   total                 Q3  -> ok count=40310 v=1 hit=0
 //   batch Q; Q; ...       fan-out over the pool; answers joined with " ; "
+//   diff SUBSPACE SINCE   epoch diff: skyline rows entered/left since
+//                         snapshot version SINCE -> ok entered=2 left=1 ...
 //   insert V1,V2,...      add a row (not with --cube) and swap the snapshot;
 //                         with --data-dir the ack carries the WAL lsn
+//   delete ID             tombstone a row (idempotent; not with --cube);
+//                         the ack reports the maintenance path taken
+//   expire CUTOFF_MS      run one synchronous expiry pass: tombstone every
+//                         live row with 0 < timestamp < CUTOFF_MS
 //   health                readiness + durability/recovery counters
 //   stats                 one-line service counters
 //   help | quit
@@ -75,6 +86,7 @@
 // inside a child server.
 #include <atomic>
 #include <cctype>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -98,6 +110,7 @@
 #include "net/server.h"
 #include "service/service.h"
 #include "service/text_format.h"
+#include "service/window_expiry.h"
 #include "storage/durable_ingest.h"
 
 namespace skycube {
@@ -110,6 +123,9 @@ struct ServeSession {
   std::unique_ptr<MaintainerInsertHandler> volatile_ingest;
   /// Present with --data-dir: WAL + checkpoints + recovery.
   std::unique_ptr<DurableIngest> durable;
+  /// Present with --window-ms > 0: the sliding-window expiry timer.
+  /// Declared after the layers it drives so it is destroyed first.
+  std::unique_ptr<WindowExpiry> expiry;
   int num_dims = 0;
   /// Per-request time budget (--deadline-ms); 0 = unlimited.
   int64_t deadline_millis = 0;
@@ -224,6 +240,18 @@ std::optional<QueryRequest> ParseQuery(const std::string& line, int num_dims,
     return QueryRequest::MembershipCount(static_cast<ObjectId>(id));
   }
   if (command == "total") return QueryRequest::SkycubeSize();
+  if (command == "diff") {
+    std::string letters;
+    long long since = -1;
+    in >> letters >> since;
+    if (letters.empty() || since <= 0) {
+      *error = "usage: diff SUBSPACE SINCE_VERSION";
+      return std::nullopt;
+    }
+    const auto mask = ParseSubspace(letters, num_dims, error);
+    if (!mask) return std::nullopt;
+    return QueryRequest::EpochDiff(*mask, static_cast<uint64_t>(since));
+  }
   *error = "unknown query '" + command + "' (try: help)";
   return std::nullopt;
 }
@@ -235,16 +263,33 @@ std::string FormatHealth(const ServeSession& session) {
   std::ostringstream out;
   out << FormatHealthLine(*session.service)
       << " durable=" << (session.durable ? 1 : 0);
+  if (session.maintainer) {
+    // Volatile ingest: liveness comes straight from the maintainer.
+    out << " live=" << session.maintainer->num_live()
+        << " tombstones="
+        << (session.maintainer->data().num_objects() -
+            session.maintainer->num_live());
+  }
+  if (session.expiry) {
+    const WindowExpiryStats expiry = session.expiry->stats();
+    out << " expiry_ticks=" << expiry.ticks
+        << " expiry_rows=" << expiry.rows_expired
+        << " expiry_cutoff_ms=" << expiry.last_cutoff_ms;
+  }
   if (session.durable) {
     const DurableIngestStats stats = session.durable->stats();
     out << " recovered=" << (stats.recovered ? 1 : 0)
         << " objects=" << stats.num_objects << " groups=" << stats.num_groups
+        << " live=" << stats.num_live
+        << " tombstones=" << stats.num_tombstones
+        << " last_expiry_ms=" << stats.last_expiry_ms
         << " next_lsn=" << stats.wal.next_lsn
         << " checkpoint_lsn=" << stats.last_checkpoint_lsn
         << " checkpoints=" << stats.checkpoints_written
         << " wal_records=" << stats.wal.records_appended
         << " wal_fsyncs=" << stats.wal.fsyncs
-        << " wal_segments=" << stats.wal.segments_created;
+        << " wal_segments=" << stats.wal.segments_created
+        << " wal_live_segments=" << stats.wal.live_segments;
     if (stats.recovered) {
       out << " recovery_checkpoint_lsn=" << stats.recovery.checkpoint_lsn
           << " recovery_rejected=" << stats.recovery.checkpoints_rejected
@@ -276,6 +321,31 @@ std::string HandleInsert(ServeSession& session, const std::string& args) {
   // the snapshot, and only then builds the acknowledgement.
   return FormatResponseLine(
       session.service->Execute(QueryRequest::Insert(std::move(values))));
+}
+
+std::string HandleDelete(ServeSession& session, const std::string& args) {
+  std::istringstream in(args);
+  long long id = -1;
+  in >> id;
+  if (id < 0) return "err usage: delete ID";
+  // Like inserts: through the service, which serializes mutations, applies
+  // via the attached handler, and swaps the snapshot when anything changed.
+  return FormatResponseLine(
+      session.service->Execute(QueryRequest::Delete(static_cast<ObjectId>(id))));
+}
+
+std::string HandleExpire(ServeSession& session, const std::string& args) {
+  std::istringstream in(args);
+  long long cutoff = -1;
+  in >> cutoff;
+  if (cutoff <= 0) return "err usage: expire CUTOFF_MS";
+  Result<uint64_t> expired =
+      session.service->ApplyExpiry(static_cast<uint64_t>(cutoff));
+  if (!expired.ok()) return "err " + expired.status().ToString();
+  std::ostringstream out;
+  out << "ok expired=" << expired.value()
+      << " v=" << session.service->snapshot_version();
+  return out.str();
 }
 
 std::string HandleBatch(ServeSession& session, const std::string& args) {
@@ -434,6 +504,14 @@ int Serve(const FlagParser& flags) {
       static_cast<size_t>(flags.GetInt("max-in-flight", 0));
   options.queue_wait_timeout =
       std::chrono::milliseconds(flags.GetInt("queue-wait-ms", 0));
+  // Every insert carries its ingest wall time so --window-ms can age rows
+  // out (rows loaded at bootstrap carry timestamp 0 and never expire).
+  options.ingest_clock = [] {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+  };
   session.deadline_millis = flags.GetInt("deadline-ms", 0);
 
   const bool has_dataset_source =
@@ -541,6 +619,25 @@ int Serve(const FlagParser& flags) {
     return Usage();
   }
 
+  const long long window_ms = flags.GetInt("window-ms", 0);
+  if (window_ms > 0) {
+    if (flags.Has("cube")) {
+      std::fprintf(stderr,
+                   "--window-ms needs a mutable source (not --cube)\n");
+      return 2;
+    }
+    WindowExpiryOptions expiry_options;
+    expiry_options.window_ms = static_cast<uint64_t>(window_ms);
+    expiry_options.interval =
+        std::chrono::milliseconds(flags.GetInt("expiry-interval-ms", 1000));
+    session.expiry = std::make_unique<WindowExpiry>(session.service.get(),
+                                                    expiry_options);
+    std::fprintf(
+        stderr, "window: expiring rows older than %lld ms every %lld ms\n",
+        static_cast<long long>(window_ms),
+        static_cast<long long>(flags.GetInt("expiry-interval-ms", 1000)));
+  }
+
   if (flags.Has("port") || flags.Has("listen")) {
     return ServeSocket(flags, session);
   }
@@ -565,14 +662,18 @@ int Serve(const FlagParser& flags) {
     if (command == "help") {
       std::printf(
           "ok commands: skyline S | card S | member ID S | count ID | "
-          "total | batch Q; Q; ... | insert V1,V2,... | health | stats | "
-          "quit\n");
+          "total | diff S SINCE | batch Q; Q; ... | insert V1,V2,... | "
+          "delete ID | expire CUTOFF_MS | health | stats | quit\n");
     } else if (command == "stats") {
       std::printf("%s\n", FormatStatsLine(*session.service).c_str());
     } else if (command == "health") {
       std::printf("%s\n", FormatHealth(session).c_str());
     } else if (command == "insert") {
       std::printf("%s\n", HandleInsert(session, rest).c_str());
+    } else if (command == "delete") {
+      std::printf("%s\n", HandleDelete(session, rest).c_str());
+    } else if (command == "expire") {
+      std::printf("%s\n", HandleExpire(session, rest).c_str());
     } else if (command == "batch") {
       std::printf("%s\n", HandleBatch(session, rest).c_str());
     } else {
