@@ -122,8 +122,20 @@ bool IsQueryOpcode(Opcode op) {
 }
 
 bool IsRequestOpcode(Opcode op) {
-  return IsQueryOpcode(op) || op == Opcode::kHealth || op == Opcode::kStats ||
-         op == Opcode::kPing;
+  return IsQueryOpcode(op) || IsReplOpcode(op) || op == Opcode::kHealth ||
+         op == Opcode::kStats || op == Opcode::kPing;
+}
+
+bool IsReplOpcode(Opcode op) {
+  switch (op) {
+    case Opcode::kReplFetch:
+    case Opcode::kReplSnapshot:
+    case Opcode::kReplState:
+    case Opcode::kReplPromote:
+      return true;
+    default:
+      return false;
+  }
 }
 
 Opcode OpcodeForKind(QueryKind kind) {
@@ -166,6 +178,14 @@ const char* OpcodeName(Opcode op) {
       return "delete";
     case Opcode::kEpochDiff:
       return "epoch_diff";
+    case Opcode::kReplFetch:
+      return "repl_fetch";
+    case Opcode::kReplSnapshot:
+      return "repl_snapshot";
+    case Opcode::kReplState:
+      return "repl_state";
+    case Opcode::kReplPromote:
+      return "repl_promote";
     case Opcode::kHealth:
       return "health";
     case Opcode::kStats:
@@ -213,8 +233,16 @@ std::string EncodeRequest(const WireRequest& request) {
       PutU64(&payload, request.subspace);
       PutU64(&payload, request.since_version);
       break;
+    case Opcode::kReplFetch:
+      PutU64(&payload, request.ack_lsn);
+      PutU32(&payload, request.max_records);
+      PutU32(&payload, request.wait_millis);
+      break;
+    case Opcode::kReplPromote:
+      PutU64(&payload, request.ack_lsn);
+      break;
     default:
-      break;  // kSkycubeSize/kHealth/kStats/kPing carry no arguments
+      break;  // kSkycubeSize/kHealth/kStats/kPing/kReplSnapshot/kReplState
   }
   std::string frame;
   frame.reserve(kFrameHeaderBytes + payload.size());
@@ -259,6 +287,24 @@ std::string EncodeResponse(const WireResponse& response) {
         for (ObjectId id : response.ids) PutU32(&payload, id);
         PutU32(&payload, static_cast<uint32_t>(response.left_ids.size()));
         for (ObjectId id : response.left_ids) PutU32(&payload, id);
+        break;
+      case Opcode::kReplFetch:
+        PutU64(&payload, response.lsn);
+        PutU64(&payload, response.count);
+        PutString(&payload, response.text);
+        break;
+      case Opcode::kReplSnapshot:
+        PutU64(&payload, response.lsn);
+        PutString(&payload, response.text);
+        break;
+      case Opcode::kReplState:
+        PutU64(&payload, response.lsn);
+        PutU64(&payload, response.count);
+        PutString(&payload, response.text);
+        break;
+      case Opcode::kReplPromote:
+        PutU64(&payload, response.lsn);
+        PutString(&payload, response.text);
         break;
       case Opcode::kHealth:
       case Opcode::kStats:
@@ -344,6 +390,18 @@ Result<WireRequest> ParseRequest(std::string_view payload,
       if (!reader.ReadU64(&request.subspace) ||
           !reader.ReadU64(&request.since_version)) {
         return Malformed(request, "truncated subspace/since_version");
+      }
+      break;
+    case Opcode::kReplFetch:
+      if (!reader.ReadU64(&request.ack_lsn) ||
+          !reader.ReadU32(&request.max_records) ||
+          !reader.ReadU32(&request.wait_millis)) {
+        return Malformed(request, "truncated replication fetch args");
+      }
+      break;
+    case Opcode::kReplPromote:
+      if (!reader.ReadU64(&request.ack_lsn)) {
+        return Malformed(request, "truncated fence lsn");
       }
       break;
     default:
@@ -439,6 +497,21 @@ Result<WireResponse> ParseResponse(std::string_view payload) {
         response.count = n + m;
         break;
       }
+      case Opcode::kReplFetch:
+      case Opcode::kReplState:
+        if (!reader.ReadU64(&response.lsn) ||
+            !reader.ReadU64(&response.count) ||
+            !reader.ReadString(&response.text)) {
+          return Status::InvalidArgument("truncated replication body");
+        }
+        break;
+      case Opcode::kReplSnapshot:
+      case Opcode::kReplPromote:
+        if (!reader.ReadU64(&response.lsn) ||
+            !reader.ReadString(&response.text)) {
+          return Status::InvalidArgument("truncated replication body");
+        }
+        break;
       case Opcode::kHealth:
       case Opcode::kStats:
         if (!reader.ReadString(&response.text)) {

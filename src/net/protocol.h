@@ -62,6 +62,13 @@ enum class Opcode : uint8_t {
   // need them must talk to a current server).
   kDelete = 10,     // u32 object id
   kEpochDiff = 11,  // u64 subspace mask, u64 since_version
+  // Replication requests (docs/REPLICATION.md). Answered by the serve
+  // tool's replication handler off the loop thread; servers without one
+  // answer kUnimplemented.
+  kReplFetch = 12,     // u64 ack lsn, u32 max records, u32 wait millis
+  kReplSnapshot = 13,  // (no args) answers a checkpoint file + its LSN
+  kReplState = 14,     // (no args) answers role / applied LSN / followers
+  kReplPromote = 15,   // u64 fence lsn; replica truncates past it, goes rw
   // Server->client frames.
   kResponse = 64,
   kGoAway = 65,
@@ -73,6 +80,10 @@ bool IsQueryOpcode(Opcode op);
 
 /// True for any opcode a client may send.
 bool IsRequestOpcode(Opcode op);
+
+/// True for the replication opcodes (kReplFetch..kReplPromote), which are
+/// dispatched to NetServerOptions::repl_handler rather than the service.
+bool IsReplOpcode(Opcode op);
 
 /// The request opcode for a QueryKind (kSkyline for kSubspaceSkyline, ...).
 Opcode OpcodeForKind(QueryKind kind);
@@ -91,6 +102,12 @@ struct WireRequest {
   ObjectId object = 0;        // kMembership/kMembershipCount/kDelete
   std::vector<double> values;  // kInsert
   uint64_t since_version = 0;  // kEpochDiff
+  /// kReplFetch: the follower's applied LSN (records after it are wanted —
+  /// doubling as the replication ack). kReplPromote: the fence LSN; the
+  /// replica discards any applied suffix beyond it before going writable.
+  uint64_t ack_lsn = 0;
+  uint32_t max_records = 0;  // kReplFetch batch ceiling (0 = server default)
+  uint32_t wait_millis = 0;  // kReplFetch long-poll bound when caught up
 };
 
 /// A decoded kResponse frame. Exactly one per request, in request order.
@@ -119,10 +136,16 @@ struct WireResponse {
   uint64_t count = 0;
   /// kMembership payload.
   bool member = false;
-  /// kInsert/kDelete WAL sequence number (0 when not durable).
+  /// kInsert/kDelete WAL sequence number (0 when not durable). For the
+  /// replication opcodes: kReplFetch = the primary's durable tip LSN,
+  /// kReplSnapshot = the shipped checkpoint's LSN, kReplState = the node's
+  /// applied LSN, kReplPromote = the post-truncation tip.
   uint64_t lsn = 0;
   /// Error text when status != kOk; insert/delete path / health line /
-  /// stats line otherwise.
+  /// stats line otherwise. For kReplFetch: the concatenated WAL record
+  /// blob (storage::EncodeShippedRecords); for kReplSnapshot: the verbatim
+  /// checkpoint file bytes (self-validating, docs/STORAGE checksum); for
+  /// kReplState: the node's role ("primary" / "replica").
   std::string text;
 };
 

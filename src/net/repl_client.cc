@@ -1,0 +1,86 @@
+#include "net/repl_client.h"
+
+#include <utility>
+
+#include "common/deadline.h"
+
+namespace skycube::net {
+
+namespace {
+
+/// Slack on top of the server-side long-poll bound: the response must
+/// cross the wire and a loaded dispatch pool may delay the handler.
+constexpr std::chrono::milliseconds kReadSlack{5000};
+
+}  // namespace
+
+RemoteReplicationSource::RemoteReplicationSource(std::string host,
+                                                uint16_t port)
+    : host_(std::move(host)), port_(port) {}
+
+Status RemoteReplicationSource::EnsureConnected() {
+  if (client_.connected()) return Status::Ok();
+  return client_.Connect(host_, port_);
+}
+
+Result<WireResponse> RemoteReplicationSource::Call(
+    const WireRequest& request, std::chrono::milliseconds read_timeout) {
+  if (Status connected = EnsureConnected(); !connected.ok()) {
+    return Status::Unavailable("primary unreachable: " +
+                               connected.message());
+  }
+  if (Status sent = client_.SendRequest(request); !sent.ok()) {
+    client_.Close();
+    return Status::Unavailable("send to primary failed: " + sent.message());
+  }
+  WireResponse response;
+  std::string error;
+  const auto got = client_.ReadResponse(
+      &response, Deadline::AfterMillis(read_timeout.count()), &error);
+  if (got != NetClient::Got::kFrame) {
+    client_.Close();
+    return Status::Unavailable("primary stream failed: " +
+                               (error.empty() ? "connection lost" : error));
+  }
+  if (response.status != StatusCode::kOk) {
+    // Preserve the code: kNotFound is the re-bootstrap signal.
+    return Status(response.status, response.text);
+  }
+  return response;
+}
+
+Result<ShippedBatch> RemoteReplicationSource::Fetch(
+    uint64_t ack_lsn, uint32_t max_records, std::chrono::milliseconds wait) {
+  WireRequest request;
+  request.op = Opcode::kReplFetch;
+  request.id = next_id_++;
+  request.ack_lsn = ack_lsn;
+  request.max_records = max_records;
+  request.wait_millis = static_cast<uint32_t>(wait.count());
+  Result<WireResponse> response = Call(request, wait + kReadSlack);
+  if (!response.ok()) return response.status();
+  Result<std::vector<WalRecord>> records =
+      DecodeShippedRecords(response.value().text);
+  if (!records.ok()) {
+    client_.Close();  // a malformed batch means the stream is untrusted
+    return records.status();
+  }
+  ShippedBatch batch;
+  batch.records = std::move(records).value();
+  batch.tip_lsn = response.value().lsn;
+  return batch;
+}
+
+Result<ReplicationSnapshot> RemoteReplicationSource::Snapshot() {
+  WireRequest request;
+  request.op = Opcode::kReplSnapshot;
+  request.id = next_id_++;
+  Result<WireResponse> response = Call(request, kReadSlack);
+  if (!response.ok()) return response.status();
+  ReplicationSnapshot snapshot;
+  snapshot.lsn = response.value().lsn;
+  snapshot.bytes = std::move(response.value().text);
+  return snapshot;
+}
+
+}  // namespace skycube::net

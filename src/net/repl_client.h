@@ -1,0 +1,43 @@
+// RemoteReplicationSource: the follower's view of a remote primary over
+// the binary protocol (docs/REPLICATION.md) — kReplFetch for the WAL tail,
+// kReplSnapshot for bootstrap. One blocking NetClient on a dedicated
+// connection, reconnecting on failure; the WalFollower's single apply
+// thread is the only caller, so no locking is needed here.
+#ifndef SKYCUBE_NET_REPL_CLIENT_H_
+#define SKYCUBE_NET_REPL_CLIENT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "net/client.h"
+#include "net/protocol.h"
+#include "storage/replication.h"
+
+namespace skycube::net {
+
+class RemoteReplicationSource : public ReplicationSource {
+ public:
+  RemoteReplicationSource(std::string host, uint16_t port);
+
+  Result<ShippedBatch> Fetch(uint64_t ack_lsn, uint32_t max_records,
+                             std::chrono::milliseconds wait) override;
+  Result<ReplicationSnapshot> Snapshot() override;
+
+ private:
+  /// One request/response exchange; closes the connection on any stream
+  /// error so the next call redials.
+  Result<WireResponse> Call(const WireRequest& request,
+                            std::chrono::milliseconds read_timeout);
+  Status EnsureConnected();
+
+  const std::string host_;
+  const uint16_t port_;
+  NetClient client_;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace skycube::net
+
+#endif  // SKYCUBE_NET_REPL_CLIENT_H_

@@ -256,6 +256,41 @@ void NetServer::ProcessFrames(Connection* conn) {
       return;
     }
     const WireRequest& request = parsed.value();
+    if (IsReplOpcode(request.op)) {
+      const uint64_t seq = conn->AddPending();
+      if (draining_.load(std::memory_order_acquire)) {
+        conn->Complete(seq, EncodeResponse(ErrorWireResponse(
+                                request, StatusCode::kUnavailable,
+                                "server is draining for shutdown")));
+        responses_out_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      if (!options_.repl_handler) {
+        conn->Complete(seq, EncodeResponse(ErrorWireResponse(
+                                request, StatusCode::kUnavailable,
+                                "replication is not enabled on this "
+                                "server")));
+        responses_out_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      const uint64_t conn_id = conn->id();
+      std::function<void()> task = [this, conn_id, seq, request] {
+        std::vector<std::pair<uint64_t, std::string>> done;
+        done.emplace_back(seq,
+                          EncodeResponse(options_.repl_handler(request)));
+        loop_.Post([this, conn_id, done = std::move(done)] {
+          ApplyCompletions(conn_id, done);
+        });
+      };
+      if (!dispatch_pool_->TrySubmit(task)) {
+        dispatch_shed_.fetch_add(1, std::memory_order_relaxed);
+        conn->Complete(seq, EncodeResponse(ErrorWireResponse(
+                                request, StatusCode::kResourceExhausted,
+                                "overloaded: dispatch queue full")));
+        responses_out_.fetch_add(1, std::memory_order_relaxed);
+      }
+      continue;
+    }
     if (!IsQueryOpcode(request.op)) {
       // Introspection: answered on the loop thread, still in pipeline
       // order.

@@ -79,6 +79,14 @@ struct NetServerOptions {
   /// REPL formatters (durability and recovery counters included).
   std::function<std::string()> health_text;
   std::function<std::string()> stats_text;
+
+  /// Handler for the replication opcodes (kReplFetch..kReplPromote,
+  /// docs/REPLICATION.md). Runs on a dispatch-pool thread, never the loop
+  /// thread — kReplFetch long-polls and kReplSnapshot reads checkpoint
+  /// files, both banned on the loop. Each follower occupies at most one
+  /// pool slot at a time (it fetches on a dedicated connection, one
+  /// request in flight). Unset: replication opcodes answer kUnavailable.
+  std::function<WireResponse(const WireRequest&)> repl_handler;
 };
 
 /// Point-in-time counters of a NetServer (plain data, copyable).

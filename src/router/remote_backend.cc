@@ -189,7 +189,7 @@ bool RemoteShardCall::Collect(std::vector<QueryResponse>* responses,
 }
 
 RemoteShardBackend::RemoteShardBackend(RemoteShardOptions options)
-    : options_(std::move(options)) {}
+    : options_(std::move(options)), backoff_(options_.probe) {}
 
 RemoteShardBackend::~RemoteShardBackend() = default;
 
@@ -227,6 +227,7 @@ void RemoteShardBackend::NoteSuccess(int64_t latency_micros) {
   calls_.fetch_add(1, std::memory_order_relaxed);
   MutexLock lock(&mu_);
   consecutive_failures_ = 0;
+  backoff_.Reset();
   latency_micros_[latency_count_ % kLatencyRing] = latency_micros;
   ++latency_count_;
 }
@@ -237,10 +238,10 @@ void RemoteShardBackend::NoteFailure() {
   MutexLock lock(&mu_);
   ++consecutive_failures_;
   if (consecutive_failures_ >= options_.down_after_failures) {
-    // A failed call (the probe included) pushes the next probe out; the
-    // stale connection pool is dropped — those sockets are dead too.
-    next_probe_ = Clock::now() +
-                  std::chrono::milliseconds(options_.retry_after_millis);
+    // A failed call (the probe included) grows the backoff and pushes the
+    // next probe out; the stale connection pool is dropped — those sockets
+    // are dead too.
+    backoff_.NoteFailure(Clock::now());
     pool_.clear();
   }
 }
@@ -249,14 +250,18 @@ bool RemoteShardBackend::down() {
   MutexLock lock(&mu_);
   if (consecutive_failures_ < options_.down_after_failures) return false;
   const Clock::time_point now = Clock::now();
-  if (now >= next_probe_) {
-    // Let exactly one call through as a probe; push the next one out so a
-    // still-dead shard is not hammered.
-    next_probe_ =
-        now + std::chrono::milliseconds(options_.retry_after_millis);
+  if (backoff_.ProbeDue(now)) {
+    // Let exactly one call through as a probe; push the next one out (at
+    // the current backoff, ungrown) so a still-dead shard is not hammered.
+    backoff_.ClaimProbe(now);
     return false;
   }
   return true;
+}
+
+bool RemoteShardBackend::marked_down() {
+  MutexLock lock(&mu_);
+  return consecutive_failures_ >= options_.down_after_failures;
 }
 
 int64_t RemoteShardBackend::HedgeThresholdMillis() {
@@ -317,7 +322,9 @@ RemoteShardStats RemoteShardBackend::stats() {
   {
     MutexLock lock(&mu_);
     stats.down = consecutive_failures_ >= options_.down_after_failures &&
-                 Clock::now() < next_probe_;
+                 !backoff_.ProbeDue(Clock::now());
+    stats.probe_backoff_millis =
+        stats.down ? backoff_.current_delay_millis() : 0;
   }
   return stats;
 }

@@ -15,9 +15,11 @@
 // insert is a wrong answer, not a slow one.
 //
 // Failure policy: after down_after_failures consecutive transport failures
-// the shard is considered down and Start refuses immediately; every
-// retry_after_millis one probe call is let through, and a single success
-// fully revives the shard.
+// the shard is considered down and Start refuses immediately; probe calls
+// are let through on a jittered exponential-backoff schedule (ProbeBackoff,
+// matching CubeRebuilder's retry policy: probe.initial_millis doubling up
+// to probe.max_millis, ±20% jitter), and a single success fully revives the
+// shard and resets the schedule.
 #ifndef SKYCUBE_ROUTER_REMOTE_BACKEND_H_
 #define SKYCUBE_ROUTER_REMOTE_BACKEND_H_
 
@@ -33,6 +35,7 @@
 #include "common/thread_annotations.h"
 #include "net/client.h"
 #include "net/protocol.h"
+#include "router/probe_backoff.h"
 #include "router/scatter_gather.h"
 
 namespace skycube::router {
@@ -47,9 +50,10 @@ struct RemoteShardOptions {
   double hedge_factor = 3.0;
   int64_t hedge_min_millis = 10;
   /// Down-marking: consecutive transport failures before the shard is
-  /// declared down, and how often to probe it afterwards.
+  /// declared down, and the probe schedule afterwards (jittered
+  /// exponential backoff; a success resets it).
   int down_after_failures = 3;
-  int64_t retry_after_millis = 500;
+  ProbeBackoffOptions probe;
   /// Response payload ceiling (per connection FrameDecoder).
   size_t max_payload = net::kDefaultMaxPayload;
 };
@@ -61,6 +65,8 @@ struct RemoteShardStats {
   uint64_t hedges = 0;      // hedge bursts actually sent
   uint64_t hedge_wins = 0;  // calls won by the hedged connection
   bool down = false;
+  /// Current probe-backoff delay while down (0 when up or probe due).
+  int64_t probe_backoff_millis = 0;
 };
 
 class RemoteShardBackend : public ShardBackend {
@@ -74,6 +80,10 @@ class RemoteShardBackend : public ShardBackend {
   std::unique_ptr<ShardCall> Start(const std::vector<QueryRequest>& requests,
                                    Deadline budget) override;
   bool down() override EXCLUDES(mu_);
+  /// True while the failure threshold is tripped, regardless of whether a
+  /// probe is currently due — down() has the claim-a-probe side effect,
+  /// this is a pure read (the replica-set failover check uses it).
+  bool marked_down() EXCLUDES(mu_);
 
   RemoteShardStats stats() EXCLUDES(mu_);
   const RemoteShardOptions& options() const { return options_; }
@@ -109,7 +119,7 @@ class RemoteShardBackend : public ShardBackend {
   std::array<int64_t, kLatencyRing> latency_micros_ GUARDED_BY(mu_) = {};
   size_t latency_count_ GUARDED_BY(mu_) = 0;
   int consecutive_failures_ GUARDED_BY(mu_) = 0;
-  Clock::time_point next_probe_ GUARDED_BY(mu_) = Clock::time_point::min();
+  ProbeBackoff backoff_ GUARDED_BY(mu_);
 
   std::atomic<uint64_t> calls_{0};
   std::atomic<uint64_t> failures_{0};

@@ -1,24 +1,60 @@
 #include "router/router.h"
 
+#include <algorithm>
 #include <sstream>
 #include <utility>
 
 namespace skycube::router {
 
+namespace {
+
+std::vector<ShardEndpointSet> WrapEndpoints(
+    const std::vector<ShardEndpoint>& endpoints) {
+  std::vector<ShardEndpointSet> sets;
+  sets.reserve(endpoints.size());
+  for (const ShardEndpoint& endpoint : endpoints) {
+    ShardEndpointSet set;
+    set.primary = endpoint;
+    sets.push_back(std::move(set));
+  }
+  return sets;
+}
+
+}  // namespace
+
 RouterExecutor::RouterExecutor(int num_dims,
                                const std::vector<ShardEndpoint>& endpoints,
                                RouterOptions options)
+    : RouterExecutor(num_dims, WrapEndpoints(endpoints),
+                     std::move(options)) {}
+
+RouterExecutor::RouterExecutor(
+    int num_dims, const std::vector<ShardEndpointSet>& endpoints,
+    RouterOptions options)
     : topology_(num_dims, endpoints.empty() ? 1 : endpoints.size(),
                 options.ring_seed, options.ring_vnodes) {
   backends_.reserve(endpoints.size());
   std::vector<ShardBackend*> backend_ptrs;
   backend_ptrs.reserve(endpoints.size());
-  for (const ShardEndpoint& endpoint : endpoints) {
-    RemoteShardOptions shard_options = options.shard;
-    shard_options.host = endpoint.host;
-    shard_options.port = endpoint.port;
-    backends_.push_back(
-        std::make_unique<RemoteShardBackend>(std::move(shard_options)));
+  for (const ShardEndpointSet& endpoint : endpoints) {
+    if (endpoint.replicas.empty()) {
+      RemoteShardOptions shard_options = options.shard;
+      shard_options.host = endpoint.primary.host;
+      shard_options.port = endpoint.primary.port;
+      auto backend =
+          std::make_unique<RemoteShardBackend>(std::move(shard_options));
+      remotes_.push_back(backend.get());
+      replica_sets_.push_back(nullptr);
+      backends_.push_back(std::move(backend));
+    } else {
+      ReplicaSetOptions set_options = options.replica_set;
+      set_options.shard = options.shard;
+      auto backend =
+          std::make_unique<ReplicaSetBackend>(endpoint, set_options);
+      remotes_.push_back(nullptr);
+      replica_sets_.push_back(backend.get());
+      backends_.push_back(std::move(backend));
+    }
     backend_ptrs.push_back(backends_.back().get());
   }
   scatter_ = std::make_unique<ScatterGather>(&topology_,
@@ -42,16 +78,39 @@ QueryResponse RouterExecutor::Execute(const QueryRequest& request) {
   return scatter_->Execute(request);
 }
 
+RemoteShardStats RouterExecutor::shard_stats(size_t shard) const {
+  if (remotes_[shard] != nullptr) return remotes_[shard]->stats();
+  return replica_sets_[shard]->primary_stats();
+}
+
 std::string RouterExecutor::HealthLine() const {
   size_t down = 0;
-  for (const auto& backend : backends_) {
-    if (backend->stats().down) ++down;
+  size_t replicas = 0;
+  size_t replicas_down = 0;
+  uint64_t max_lag = 0;
+  for (size_t shard = 0; shard < backends_.size(); ++shard) {
+    if (remotes_[shard] != nullptr) {
+      if (remotes_[shard]->stats().down) ++down;
+      continue;
+    }
+    const ReplicaSetStats set = replica_sets_[shard]->stats();
+    // A replicated shard counts as down only when the whole set is
+    // unreachable — a dead primary with a live standby fails over instead
+    // of degrading.
+    if (set.down) ++down;
+    replicas += set.members - 1;
+    replicas_down += std::min(set.members_down, set.members - 1);
+    max_lag = std::max(max_lag, set.max_lag);
   }
   std::ostringstream out;
   out << "ok status=" << (draining() ? "draining" : "ready")
       << " version=" << snapshot_version()
       << " shards=" << num_shards() << " shards_down=" << down
       << " rows=" << topology_.total_rows();
+  if (replicas > 0) {
+    out << " replicas=" << replicas << " replicas_down=" << replicas_down
+        << " repl_lag_max=" << max_lag;
+  }
   return out.str();
 }
 
@@ -60,11 +119,22 @@ std::string RouterExecutor::StatsLine() const {
   uint64_t hedges = 0;
   uint64_t hedge_wins = 0;
   uint64_t shard_failures = 0;
-  for (const auto& backend : backends_) {
-    const RemoteShardStats shard = backend->stats();
-    hedges += shard.hedges;
-    hedge_wins += shard.hedge_wins;
-    shard_failures += shard.failures;
+  uint64_t promotions = 0;
+  uint64_t replica_reads = 0;
+  uint64_t max_lag = 0;
+  bool replicated = false;
+  for (size_t shard = 0; shard < backends_.size(); ++shard) {
+    const RemoteShardStats primary = shard_stats(shard);
+    hedges += primary.hedges;
+    hedge_wins += primary.hedge_wins;
+    shard_failures += primary.failures;
+    if (replica_sets_[shard] != nullptr) {
+      replicated = true;
+      const ReplicaSetStats set = replica_sets_[shard]->stats();
+      promotions += set.promotions;
+      replica_reads += set.replica_reads;
+      max_lag = std::max(max_lag, set.max_lag);
+    }
   }
   std::ostringstream out;
   out << "ok queries=" << stats.queries
@@ -74,8 +144,13 @@ std::string RouterExecutor::StatsLine() const {
       << " partial_answers=" << stats.partial_answers
       << " merge_candidates=" << stats.merge_candidates
       << " hedges=" << hedges << " hedge_wins=" << hedge_wins
-      << " inserts=" << stats.inserts_routed
-      << " drained_rejects="
+      << " inserts=" << stats.inserts_routed;
+  if (replicated) {
+    out << " promotions=" << promotions
+        << " replica_reads=" << replica_reads
+        << " repl_lag_max=" << max_lag;
+  }
+  out << " drained_rejects="
       << drained_rejects_.load(std::memory_order_relaxed)
       << " version=" << snapshot_version()
       << " draining=" << (draining() ? 1 : 0);

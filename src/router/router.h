@@ -22,16 +22,11 @@
 
 #include "router/partition.h"
 #include "router/remote_backend.h"
+#include "router/replica_set.h"
 #include "router/scatter_gather.h"
 #include "service/executor.h"
 
 namespace skycube::router {
-
-/// One shard server address.
-struct ShardEndpoint {
-  std::string host = "127.0.0.1";
-  uint16_t port = 0;
-};
 
 struct RouterOptions {
   uint64_t ring_seed = 0;
@@ -40,11 +35,23 @@ struct RouterOptions {
   /// Hedging / down-marking knobs applied to every shard backend (host and
   /// port are taken from the endpoint list).
   RemoteShardOptions shard;
+  /// Failover knobs of replicated shards (replica_set.replica_set_options
+  /// .shard is overridden by `shard` above).
+  ReplicaSetOptions replica_set;
 };
 
 class RouterExecutor : public QueryExecutor {
  public:
+  /// Unreplicated shards: one RemoteShardBackend per endpoint — a down
+  /// shard degrades the answer (partial flag, docs/SHARDING.md).
   RouterExecutor(int num_dims, const std::vector<ShardEndpoint>& endpoints,
+                 RouterOptions options = {});
+  /// Replicated shards: one ReplicaSetBackend per endpoint set — a down
+  /// primary fails over to a standby instead of degrading
+  /// (docs/REPLICATION.md). Sets with no replicas get a plain
+  /// RemoteShardBackend.
+  RouterExecutor(int num_dims,
+                 const std::vector<ShardEndpointSet>& endpoints,
                  RouterOptions options = {});
   ~RouterExecutor() override;
 
@@ -72,13 +79,22 @@ class RouterExecutor : public QueryExecutor {
   size_t num_shards() const { return topology_.num_shards(); }
   const RouterTopology& topology() const { return topology_; }
   ScatterGatherStats scatter_stats() const { return scatter_->stats(); }
-  RemoteShardStats shard_stats(size_t shard) const {
-    return backends_[shard]->stats();
+  /// Per-shard query counters: the shard's sole backend, or the replica
+  /// set's current primary.
+  RemoteShardStats shard_stats(size_t shard) const;
+  /// The shard's replica set, or nullptr for an unreplicated shard.
+  ReplicaSetBackend* replica_set(size_t shard) const {
+    return replica_sets_[shard];
   }
 
  private:
   RouterTopology topology_;
-  std::vector<std::unique_ptr<RemoteShardBackend>> backends_;
+  /// backends_[k] serves shard k: a RemoteShardBackend for unreplicated
+  /// shards, a ReplicaSetBackend otherwise; the typed views below alias
+  /// into it (exactly one of remotes_[k] / replica_sets_[k] is non-null).
+  std::vector<std::unique_ptr<ShardBackend>> backends_;
+  std::vector<RemoteShardBackend*> remotes_;
+  std::vector<ReplicaSetBackend*> replica_sets_;
   std::unique_ptr<ScatterGather> scatter_;
   std::atomic<bool> draining_{false};
   std::atomic<uint64_t> drained_rejects_{0};

@@ -67,6 +67,11 @@ bool ResultCache::Lookup(const Key& key, QueryResponse* response) {
 
 void ResultCache::Insert(const Key& key, const QueryResponse& response) {
   if (!enabled()) return;
+  // A partial answer (degraded scatter–gather merge, docs/SHARDING.md) is
+  // correct only for the shards that happened to be reachable; caching it
+  // would keep serving the degraded answer at this version long after the
+  // missing shard recovered. Complete answers only.
+  if (response.partial) return;
   // Test-only dropped insert: callers must tolerate the cache losing writes.
   if (SKYCUBE_FAULT_POINT("result_cache.insert")) return;
   Shard& shard = ShardFor(key);

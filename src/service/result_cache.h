@@ -76,7 +76,9 @@ class ResultCache {
   bool Lookup(const Key& key, QueryResponse* response);
 
   /// Inserts (or refreshes) `key`, evicting the shard's LRU tail at
-  /// capacity. No-op when the cache is disabled (capacity 0).
+  /// capacity. No-op when the cache is disabled (capacity 0) or when the
+  /// response is partial-flagged (a degraded answer must never outlive the
+  /// outage that produced it).
   void Insert(const Key& key, const QueryResponse& response);
 
   /// Drops every entry (snapshot swap). Counters persist.

@@ -196,8 +196,8 @@ QueryResponse SkycubeService::ExecuteOn(const QueryRequest& request,
                          "deadline expired during execution");
   }
   // Compute-level error responses (an epoch-diff since_version that fell
-  // out of the history ring) are never cached.
-  if (response.ok) cache_.Insert(key, response);
+  // out of the history ring) and partial answers are never cached.
+  if (response.ok && !response.partial) cache_.Insert(key, response);
   return response;
 }
 

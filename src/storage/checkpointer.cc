@@ -19,14 +19,16 @@
 
 namespace skycube {
 
-namespace {
-
-std::string CheckpointName(uint64_t lsn) {
+std::string CheckpointFileName(uint64_t lsn) {
   char buffer[40];
   std::snprintf(buffer, sizeof(buffer), "checkpoint-%016llx.ckpt",
                 static_cast<unsigned long long>(lsn));
   return buffer;
 }
+
+namespace {
+
+std::string CheckpointName(uint64_t lsn) { return CheckpointFileName(lsn); }
 
 std::string ChecksumHex(uint64_t hash) {
   char buffer[17];

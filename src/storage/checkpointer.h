@@ -60,6 +60,11 @@ struct CheckpointData {
 /// ascending. Missing directory = empty list.
 std::vector<uint64_t> ListCheckpoints(const std::string& dir);
 
+/// File name of the checkpoint covering `lsn` ("checkpoint-<16hex>.ckpt").
+/// Exported for the replication layer, which ships the self-validating
+/// file verbatim rather than re-serializing its contents.
+std::string CheckpointFileName(uint64_t lsn);
+
 /// Loads and validates checkpoint `lsn`; checksum mismatch or structural
 /// damage is an error (kInternal / kInvalidArgument), never a partial load.
 Result<CheckpointData> LoadCheckpoint(const std::string& dir, uint64_t lsn);

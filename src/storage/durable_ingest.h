@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/mutex.h"
@@ -100,6 +101,16 @@ class DurableIngest : public InsertHandler {
   /// a clean prefix of the pass), then tombstones them in one batch.
   Result<Applied> ApplyExpire(uint64_t cutoff_ms) override EXCLUDES(mu_);
   int num_dims() const override EXCLUDES(mu_);
+
+  /// Replica apply path (storage/replication.h): appends the shipped
+  /// payload byte-verbatim at exactly `lsn` — which must equal the local
+  /// WAL's next LSN, the stream is contiguous by construction — then
+  /// applies the decoded op through the maintainer with the same semantics
+  /// recovery replay uses (v3 inserts must land at their recorded row id;
+  /// legacy inserts append; already-dead deletes are no-ops). The byte
+  /// identity makes the follower's log prefix equal the primary's.
+  Result<Applied> ApplyReplicated(uint64_t lsn, std::string_view payload)
+      EXCLUDES(mu_);
 
   /// Forces pending WAL records to stable storage.
   Status Flush() EXCLUDES(mu_);

@@ -120,6 +120,15 @@ size_t ScanSegment(const std::string& bytes, uint64_t declared_start,
                    uint64_t after_lsn, uint64_t* expected_lsn,
                    std::vector<WalRecord>* out, bool* valid) {
   *valid = false;
+  if (bytes.empty()) {
+    // A crash between segment creation and its magic write leaves a
+    // zero-byte file. It holds no records, so it is not damage — but only
+    // when its declared start lines up with the contiguity cursor (a
+    // mismatched empty segment still implies missing records).
+    if (*expected_lsn == 0) *expected_lsn = declared_start;
+    *valid = declared_start == *expected_lsn;
+    return 0;
+  }
   if (bytes.size() < sizeof(kSegmentMagic) ||
       std::memcmp(bytes.data(), kSegmentMagic, sizeof(kSegmentMagic)) != 0) {
     return 0;
@@ -316,6 +325,7 @@ Result<std::vector<WalDumpSegment>> DumpWal(const std::string& dir) {
     segment.magic_ok =
         b.size() >= sizeof(kSegmentMagic) &&
         std::memcmp(b.data(), kSegmentMagic, sizeof(kSegmentMagic)) == 0;
+    segment.empty = b.empty();
     if (!segment.magic_ok) {
       segment.trailing_bytes = b.size();
       segments.push_back(std::move(segment));
@@ -358,6 +368,11 @@ Result<std::vector<WalDumpSegment>> DumpWal(const std::string& dir) {
     segments.push_back(std::move(segment));
   }
   return segments;
+}
+
+uint64_t WalOldestStart(const std::string& dir) {
+  const auto segments = ListSegments(dir);
+  return segments.empty() ? 0 : segments.front().first;
 }
 
 Result<WalReadResult> ReadWal(const std::string& dir, uint64_t after_lsn) {

@@ -104,6 +104,11 @@ struct WalReadResult {
 /// empty result, not an error.
 Result<WalReadResult> ReadWal(const std::string& dir, uint64_t after_lsn);
 
+/// Start LSN of the oldest segment in `dir` (0 when it holds none). The
+/// replication shipper uses it to distinguish "follower is caught up" from
+/// "the log was truncated past the follower's ack" without a full read.
+uint64_t WalOldestStart(const std::string& dir);
+
 /// The append handle. Not thread-safe; callers serialize appends (the
 /// ingest path holds one mutex across WAL append + cube update anyway).
 class WriteAheadLog {
@@ -221,6 +226,9 @@ struct WalDumpSegment {
   std::string file;             // file name within the directory
   uint64_t declared_start = 0;  // start LSN from the file name
   bool magic_ok = false;
+  /// Zero-byte file: a rotation that crashed before writing the magic. No
+  /// records, and — as the final segment — not damage.
+  bool empty = false;
   std::vector<WalDumpRecord> records;
   uint64_t trailing_bytes = 0;  // undecodable suffix (0 on a clean segment)
 };

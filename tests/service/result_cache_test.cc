@@ -1,0 +1,89 @@
+// ResultCache (service/result_cache.h): partial-flagged answers must
+// never enter the cache — a degraded scatter–gather merge would otherwise
+// keep being served at its snapshot version long after the lost shard
+// recovered — plus the basic insert/lookup/eviction contract.
+#include "service/result_cache.h"
+
+#include <memory>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "service/request.h"
+
+namespace skycube {
+namespace {
+
+QueryResponse SkylineResponse(std::vector<ObjectId> ids, bool partial) {
+  QueryResponse response;
+  response.kind = QueryKind::kSubspaceSkyline;
+  response.ids =
+      std::make_shared<const std::vector<ObjectId>>(std::move(ids));
+  response.snapshot_version = 1;
+  response.partial = partial;
+  return response;
+}
+
+ResultCache::Key KeyFor(DimMask subspace) {
+  ResultCache::Key key;
+  key.kind = QueryKind::kSubspaceSkyline;
+  key.subspace = subspace;
+  key.version = 1;
+  return key;
+}
+
+TEST(ResultCacheTest, InsertAndLookupRoundTrip) {
+  ResultCache cache;
+  const ResultCache::Key key = KeyFor(0b101);
+  QueryResponse out;
+  EXPECT_FALSE(cache.Lookup(key, &out));
+  cache.Insert(key, SkylineResponse({1, 4, 9}, /*partial=*/false));
+  ASSERT_TRUE(cache.Lookup(key, &out));
+  ASSERT_NE(out.ids, nullptr);
+  EXPECT_EQ(*out.ids, (std::vector<ObjectId>{1, 4, 9}));
+  EXPECT_EQ(cache.stats().insertions, 1u);
+}
+
+TEST(ResultCacheTest, PartialResponsesAreNeverCached) {
+  // The regression: a shard dies, the router serves a survivor-only merge
+  // with the partial flag set, and that degraded answer must not be pinned
+  // in the cache for the rest of the snapshot's lifetime.
+  ResultCache cache;
+  const ResultCache::Key key = KeyFor(0b11);
+  cache.Insert(key, SkylineResponse({2, 3}, /*partial=*/true));
+  QueryResponse out;
+  EXPECT_FALSE(cache.Lookup(key, &out));
+  EXPECT_EQ(cache.stats().insertions, 0u);
+  EXPECT_EQ(cache.stats().entries, 0u);
+
+  // The complete answer computed after the shard recovers caches fine.
+  cache.Insert(key, SkylineResponse({1, 2, 3}, /*partial=*/false));
+  ASSERT_TRUE(cache.Lookup(key, &out));
+  EXPECT_EQ(*out.ids, (std::vector<ObjectId>{1, 2, 3}));
+  EXPECT_FALSE(out.partial);
+}
+
+TEST(ResultCacheTest, PartialInsertDoesNotRefreshExistingEntry) {
+  // A cached complete answer must survive a later partial insert attempt
+  // unchanged (the partial one is dropped, not merged or overwritten).
+  ResultCache cache;
+  const ResultCache::Key key = KeyFor(0b1);
+  cache.Insert(key, SkylineResponse({5, 6}, /*partial=*/false));
+  cache.Insert(key, SkylineResponse({5}, /*partial=*/true));
+  QueryResponse out;
+  ASSERT_TRUE(cache.Lookup(key, &out));
+  EXPECT_EQ(*out.ids, (std::vector<ObjectId>{5, 6}));
+  EXPECT_FALSE(out.partial);
+}
+
+TEST(ResultCacheTest, DisabledCacheDropsEverything) {
+  ResultCacheOptions options;
+  options.capacity = 0;
+  ResultCache cache(options);
+  const ResultCache::Key key = KeyFor(0b1);
+  cache.Insert(key, SkylineResponse({1}, /*partial=*/false));
+  QueryResponse out;
+  EXPECT_FALSE(cache.Lookup(key, &out));
+}
+
+}  // namespace
+}  // namespace skycube

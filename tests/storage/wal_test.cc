@@ -404,6 +404,77 @@ TEST(WalTest, DumpWalSurfacesDamageInsteadOfHidingIt) {
   EXPECT_GT(seg.trailing_bytes, 0u);
 }
 
+TEST(WalTest, EmptyFinalSegmentIsGracefulNotDamage) {
+  // A rotation that crashed after creating the new segment file but before
+  // writing its magic leaves a zero-byte final segment. Recovery and the
+  // dump view must both treat it as a clean tail, not damage.
+  const std::string dir = FreshDir("wal_empty_final");
+  {
+    auto wal = OpenAt(dir, 1);
+    ASSERT_TRUE(wal.ok());
+    for (const std::string& payload : Payloads(6)) {
+      ASSERT_TRUE(wal.value()->Append(payload).ok());
+    }
+  }
+  {
+    std::ofstream create(dir + "/wal-0000000000000007.log",
+                         std::ios::binary);
+  }
+
+  Result<WalReadResult> read = ReadWal(dir, 0);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read.value().records.size(), 6u);
+  EXPECT_EQ(read.value().last_valid_lsn, 6u);
+  EXPECT_FALSE(read.value().damaged_suffix);
+
+  Result<std::vector<WalDumpSegment>> dump = DumpWal(dir);
+  ASSERT_TRUE(dump.ok());
+  ASSERT_EQ(dump.value().size(), 2u);
+  EXPECT_FALSE(dump.value()[0].empty);
+  EXPECT_TRUE(dump.value()[1].empty);
+  EXPECT_EQ(dump.value()[1].declared_start, 7u);
+  EXPECT_TRUE(dump.value()[1].records.empty());
+  EXPECT_EQ(dump.value()[1].trailing_bytes, 0u);
+
+  // Reopening for append continues at lsn 7 cleanly.
+  auto reopened = OpenAt(dir, 7);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  Result<uint64_t> lsn = reopened.value()->Append("after-crash");
+  ASSERT_TRUE(lsn.ok());
+  EXPECT_EQ(lsn.value(), 7u);
+}
+
+TEST(WalTest, EmptyMiddleSegmentIsAHole) {
+  // The same zero-byte file anywhere but the end hides records behind it —
+  // ReadWal must stop (damaged suffix), never skip the gap.
+  const std::string dir = FreshDir("wal_empty_middle");
+  WalOptions options;
+  options.segment_bytes = 64;
+  {
+    auto wal = OpenAt(dir, 1, options);
+    ASSERT_TRUE(wal.ok());
+    for (int i = 0; i < 12; ++i) {
+      ASSERT_TRUE(wal.value()->Append("abcdefgh").ok());
+    }
+  }
+  Result<std::vector<WalDumpSegment>> before = DumpWal(dir);
+  ASSERT_TRUE(before.ok());
+  ASSERT_GT(before.value().size(), 1u);
+  // Hollow out a middle segment.
+  const std::string victim = dir + "/" + before.value()[1].file;
+  {
+    std::ofstream truncate(victim,
+                           std::ios::binary | std::ios::trunc);
+  }
+  Result<WalReadResult> read = ReadWal(dir, 0);
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read.value().damaged_suffix);
+  EXPECT_LT(read.value().records.size(), 12u);
+  Result<std::vector<WalDumpSegment>> dump = DumpWal(dir);
+  ASSERT_TRUE(dump.ok());
+  EXPECT_TRUE(dump.value()[1].empty);
+}
+
 TEST(WalTest, ReadAfterLsnBeyondTruncatedPrefixReportsDamage) {
   const std::string dir = FreshDir("wal_missing_prefix");
   WalOptions options;

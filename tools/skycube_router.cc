@@ -11,8 +11,14 @@
 // the shards loaded (global id = source position, owner = consistent-hash
 // ring), so shards ship only local row ids back.
 //
+// Replication (docs/REPLICATION.md): a shard entry may list standby
+// replicas after `+` — e.g. --shards=:7001+:7101+:7201,:7002+:7102 — and
+// the router then fails over to the most-caught-up replica (kReplPromote)
+// when a primary dies, instead of degrading to a partial answer.
+//
 // Flags:
-//   --shards=H:P,H:P,...  shard endpoints, index order = shard index
+//   --shards=H:P[+H:P...],...  shard endpoints (primary[+replicas]),
+//                              index order = shard index
 //   --data=FILE.csv       bootstrap rows (must match the shards' source)
 //   --synthetic           bootstrap --dist/--tuples/--dims/--seed/--truncate
 //   --negate              negate --data values (as the shards did)
@@ -24,7 +30,11 @@
 //   --hedge-factor=F      hedge at F × shard p95             (default 3.0)
 //   --no-hedge            disable hedged reads
 //   --down-after=N        failures before a shard is down    (default 3)
-//   --retry-ms=N          down-shard probe interval          (default 500)
+//   --retry-ms=N          initial down-shard probe delay     (default 100)
+//                         (doubles up to --retry-max-ms with ±20% jitter;
+//                         a success resets it)
+//   --retry-max-ms=N      probe-delay cap                    (default 30000)
+//   --staleness=N         replica-read bound, records        (default 4096)
 // Socket (same as skycube_serve):
 //   --port=N --listen=HOST --net-threads=N --net-queue=N --max-pipeline=N
 //   --max-connections=N
@@ -60,10 +70,31 @@ void InstallShutdownHandlers() {
   sigaction(SIGINT, &action, nullptr);
 }
 
-/// Parses "host:port,host:port,..." (host defaults to 127.0.0.1 when the
-/// entry is just a port).
+/// Parses one "host:port" (host defaults to 127.0.0.1 when the entry is
+/// just a port or ":port").
+bool ParseOneEndpoint(const std::string& entry,
+                      router::ShardEndpoint* endpoint) {
+  const size_t colon = entry.rfind(':');
+  const std::string port_text =
+      colon == std::string::npos ? entry : entry.substr(colon + 1);
+  if (colon != std::string::npos && colon > 0) {
+    endpoint->host = entry.substr(0, colon);
+  }
+  char* end = nullptr;
+  const unsigned long port = std::strtoul(port_text.c_str(), &end, 10);
+  if (end == port_text.c_str() || *end != '\0' || port == 0 ||
+      port > 65535) {
+    std::fprintf(stderr, "bad shard endpoint '%s'\n", entry.c_str());
+    return false;
+  }
+  endpoint->port = static_cast<uint16_t>(port);
+  return true;
+}
+
+/// Parses "host:port[+host:port...],..." — commas separate shards, `+`
+/// separates a shard's primary from its standby replicas.
 bool ParseEndpoints(const std::string& spec,
-                    std::vector<router::ShardEndpoint>* endpoints) {
+                    std::vector<router::ShardEndpointSet>* endpoints) {
   size_t start = 0;
   while (start <= spec.size()) {
     size_t comma = spec.find(',', start);
@@ -71,22 +102,26 @@ bool ParseEndpoints(const std::string& spec,
     const std::string entry = spec.substr(start, comma - start);
     start = comma + 1;
     if (entry.empty()) continue;
-    router::ShardEndpoint endpoint;
-    const size_t colon = entry.rfind(':');
-    const std::string port_text =
-        colon == std::string::npos ? entry : entry.substr(colon + 1);
-    if (colon != std::string::npos && colon > 0) {
-      endpoint.host = entry.substr(0, colon);
+    router::ShardEndpointSet set;
+    size_t member_start = 0;
+    bool first = true;
+    while (member_start <= entry.size()) {
+      size_t plus = entry.find('+', member_start);
+      if (plus == std::string::npos) plus = entry.size();
+      const std::string member = entry.substr(member_start, plus - member_start);
+      member_start = plus + 1;
+      if (member.empty()) continue;
+      router::ShardEndpoint endpoint;
+      if (!ParseOneEndpoint(member, &endpoint)) return false;
+      if (first) {
+        set.primary = std::move(endpoint);
+        first = false;
+      } else {
+        set.replicas.push_back(std::move(endpoint));
+      }
     }
-    char* end = nullptr;
-    const unsigned long port = std::strtoul(port_text.c_str(), &end, 10);
-    if (end == port_text.c_str() || *end != '\0' || port == 0 ||
-        port > 65535) {
-      std::fprintf(stderr, "bad shard endpoint '%s'\n", entry.c_str());
-      return false;
-    }
-    endpoint.port = static_cast<uint16_t>(port);
-    endpoints->push_back(std::move(endpoint));
+    if (first) continue;  // entry was all separators
+    endpoints->push_back(std::move(set));
   }
   return !endpoints->empty();
 }
@@ -100,7 +135,7 @@ int Usage() {
 }
 
 int Run(const FlagParser& flags) {
-  std::vector<router::ShardEndpoint> endpoints;
+  std::vector<router::ShardEndpointSet> endpoints;
   if (!flags.Has("shards") ||
       !ParseEndpoints(flags.GetString("shards", ""), &endpoints)) {
     return Usage();
@@ -139,7 +174,10 @@ int Run(const FlagParser& flags) {
   options.shard.hedge_factor = flags.GetDouble("hedge-factor", 3.0);
   options.shard.down_after_failures =
       static_cast<int>(flags.GetInt("down-after", 3));
-  options.shard.retry_after_millis = flags.GetInt("retry-ms", 500);
+  options.shard.probe.initial_millis = flags.GetInt("retry-ms", 100);
+  options.shard.probe.max_millis = flags.GetInt("retry-max-ms", 30000);
+  options.replica_set.max_staleness_records =
+      static_cast<uint64_t>(flags.GetInt("staleness", 4096));
 
   router::RouterExecutor executor(source.num_dims(), endpoints, options);
   const size_t num_rows = source.num_objects();

@@ -33,6 +33,20 @@
 //   --fsync-interval-ms=N max unsynced age under 'timer'       (default 5)
 //   --checkpoint-every=N inserts between checkpoints, 0 = off  (default 256)
 //   --keep-checkpoints=N retention depth                       (default 2)
+// Replication (docs/REPLICATION.md) — socket + --data-dir mode only:
+//   --replica-of=H:P     run as a hot standby of the primary at H:P: wipe
+//                        the data dir, bootstrap from the primary's newest
+//                        checkpoint (kReplSnapshot), then tail its WAL
+//                        (kReplFetch), applying byte-verbatim. Mutations
+//                        answer kInvalidArgument until a kReplPromote
+//                        arrives (usually from the router's failover path),
+//                        which stops the tail and opens the write path.
+//   --repl-fence-ms=N    primary ack fence: hold each mutation ack until a
+//                        live follower acked its LSN, at most N ms, then
+//                        degrade that mutation to async (0 = always async)
+//                        (default 1000)
+// Every durable socket server answers the replication opcodes, so any
+// --data-dir server can be a primary; replicas serve reads while tailing.
 // Sliding window (docs/ROBUSTNESS.md, "Deletes, windows, and epoch-diff"):
 //   --window-ms=N        retention window: rows whose ingest timestamp is
 //                        older than now-N are expired by a background pass
@@ -95,6 +109,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -107,11 +122,13 @@
 #include "core/stellar.h"
 #include "datagen/synthetic.h"
 #include "dataset/dataset.h"
+#include "net/repl_client.h"
 #include "net/server.h"
 #include "service/service.h"
 #include "service/text_format.h"
 #include "service/window_expiry.h"
 #include "storage/durable_ingest.h"
+#include "storage/replication.h"
 
 namespace skycube {
 namespace {
@@ -126,6 +143,22 @@ struct ServeSession {
   /// Present with --window-ms > 0: the sliding-window expiry timer.
   /// Declared after the layers it drives so it is destroyed first.
   std::unique_ptr<WindowExpiry> expiry;
+  /// Replication (docs/REPLICATION.md), durable socket mode only. The
+  /// shipper exists on every durable server (any of them can feed a
+  /// follower); the replicated handler wraps `durable` on a primary; the
+  /// source + follower exist on a replica until promotion. Declared after
+  /// `durable` so the follower thread is destroyed before the ingest layer
+  /// it applies into.
+  std::unique_ptr<WalShipper> shipper;
+  std::unique_ptr<ReplicatedInsertHandler> replicated;
+  std::unique_ptr<net::RemoteReplicationSource> repl_source;
+  std::unique_ptr<WalFollower> follower;
+  /// True while this process tails a primary (flips at promotion).
+  std::atomic<bool> replica{false};
+  /// Serializes the kReplPromote role transition.
+  Mutex promote_mu;
+  /// --repl-fence-ms, remembered for the handler built at promotion.
+  int64_t repl_fence_millis = 0;
   int num_dims = 0;
   /// Per-request time budget (--deadline-ms); 0 = unlimited.
   int64_t deadline_millis = 0;
@@ -297,8 +330,125 @@ std::string FormatHealth(const ServeSession& session) {
           << " recovery_discarded_suffix="
           << (stats.recovery.wal_suffix_discarded ? 1 : 0);
     }
+    out << " role="
+        << (session.replica.load(std::memory_order_acquire) ? "replica"
+                                                            : "primary");
+  }
+  if (session.shipper) {
+    const WalShipperStats repl = session.shipper->stats();
+    out << " repl_tip=" << repl.tip_lsn << " repl_acked=" << repl.acked_lsn
+        << " repl_followers=" << repl.followers
+        << " repl_shipped=" << repl.records_shipped
+        << " repl_fence_timeouts=" << repl.fence_timeouts;
+  }
+  if (session.follower) {
+    const WalFollowerStats tail = session.follower->stats();
+    out << " repl_applied=" << tail.applied_lsn
+        << " repl_primary_tip=" << tail.tip_lsn
+        << " repl_lag="
+        << (tail.tip_lsn > tail.applied_lsn
+                ? tail.tip_lsn - tail.applied_lsn
+                : 0)
+        << " repl_running=" << (tail.running ? 1 : 0)
+        << " repl_fetch_errors=" << tail.fetch_errors
+        << " repl_apply_errors=" << tail.apply_errors;
   }
   return out.str();
+}
+
+/// The kReplPromote transition (docs/REPLICATION.md, "Promotion"): stop the
+/// tail, verify the fence floor, open the write path with the same ack
+/// fencing a bootstrapped primary gets. Idempotent — promoting a primary
+/// answers ok without touching anything.
+net::WireResponse HandlePromote(ServeSession& session,
+                                const net::WireRequest& request) {
+  MutexLock lock(&session.promote_mu);
+  net::WireResponse response;
+  response.id = request.id;
+  response.request_op = request.op;
+  response.snapshot_version = session.service->snapshot_version();
+  if (!session.replica.load(std::memory_order_acquire)) {
+    response.lsn = session.durable->stats().wal.next_lsn - 1;
+    response.text = "primary";
+    return response;
+  }
+  // Halt the apply loop first: the applied tip is final after this, and
+  // the fence check below sees it.
+  session.follower->Stop();
+  const uint64_t applied = session.durable->stats().wal.next_lsn - 1;
+  if (applied < request.ack_lsn) {
+    // The router observed a higher LSN on this replica than it actually
+    // holds — promoting would lose acked writes. Resume tailing.
+    session.follower->Start();
+    return net::ErrorWireResponse(
+        request, StatusCode::kInvalidArgument,
+        "replica applied lsn " + std::to_string(applied) +
+            " is behind the promotion fence " +
+            std::to_string(request.ack_lsn));
+  }
+  // No truncation: the fence is a floor (see storage/replication.h). The
+  // applied tip is a superset of every client-acked write.
+  session.replicated = std::make_unique<ReplicatedInsertHandler>(
+      session.durable.get(), session.shipper.get(),
+      std::chrono::milliseconds(session.repl_fence_millis));
+  session.service->AttachInsertHandler(session.replicated.get());
+  session.replica.store(false, std::memory_order_release);
+  std::fprintf(stderr, "promoted to primary at lsn %llu (fence %llu)\n",
+               static_cast<unsigned long long>(applied),
+               static_cast<unsigned long long>(request.ack_lsn));
+  std::fflush(stderr);
+  response.lsn = applied;
+  response.text = "promoted";
+  return response;
+}
+
+/// Dispatch for the replication opcodes (runs on a dispatch-pool thread,
+/// never the event loop — kReplFetch long-polls and kReplSnapshot reads
+/// checkpoint files).
+net::WireResponse HandleRepl(ServeSession& session,
+                             const net::WireRequest& request) {
+  net::WireResponse response;
+  response.id = request.id;
+  response.request_op = request.op;
+  response.snapshot_version = session.service->snapshot_version();
+  switch (request.op) {
+    case net::Opcode::kReplFetch: {
+      Result<ShippedBatch> batch = session.shipper->Fetch(
+          request.ack_lsn, request.max_records,
+          std::chrono::milliseconds(request.wait_millis));
+      if (!batch.ok()) {
+        return net::ErrorWireResponse(request, batch.status().code(),
+                                      batch.status().message());
+      }
+      response.lsn = batch.value().tip_lsn;
+      response.count = batch.value().records.size();
+      response.text = EncodeShippedRecords(batch.value().records);
+      return response;
+    }
+    case net::Opcode::kReplSnapshot: {
+      Result<ReplicationSnapshot> snapshot = session.shipper->Snapshot();
+      if (!snapshot.ok()) {
+        return net::ErrorWireResponse(request, snapshot.status().code(),
+                                      snapshot.status().message());
+      }
+      response.lsn = snapshot.value().lsn;
+      response.text = std::move(snapshot.value().bytes);
+      return response;
+    }
+    case net::Opcode::kReplState: {
+      response.lsn = session.durable->stats().wal.next_lsn - 1;
+      response.count = session.shipper->stats().followers;
+      response.text = session.replica.load(std::memory_order_acquire)
+                          ? "replica"
+                          : "primary";
+      return response;
+    }
+    case net::Opcode::kReplPromote:
+      return HandlePromote(session, request);
+    default:
+      return net::ErrorWireResponse(request, StatusCode::kInvalidArgument,
+                                    "not a replication opcode");
+  }
 }
 
 std::string HandleInsert(ServeSession& session, const std::string& args) {
@@ -453,6 +603,13 @@ int ServeSocket(const FlagParser& flags, ServeSession& session) {
   net_options.stats_text = [&session] {
     return FormatStatsLine(*session.service);
   };
+  // Durable servers answer the replication opcodes; the handler runs on a
+  // dispatch-pool thread (kReplFetch long-polls, kReplSnapshot reads files).
+  if (session.durable) {
+    net_options.repl_handler = [&session](const net::WireRequest& request) {
+      return HandleRepl(session, request);
+    };
+  }
 
   net::NetServer server(session.service.get(), net_options);
   Status started = server.Start();
@@ -474,7 +631,9 @@ int ServeSocket(const FlagParser& flags, ServeSession& session) {
       /*tick_millis=*/100);
 
   // The network layer has flushed and closed every connection; now drain
-  // the layers beneath it (same as the REPL's quit path).
+  // the layers beneath it (same as the REPL's quit path). The follower's
+  // apply loop must stop first — it feeds the ingest the drain flushes.
+  if (session.follower) session.follower->Stop();
   session.service->BeginDrain();
   if (session.durable) {
     Status drained = session.durable->Drain();
@@ -540,6 +699,90 @@ int Serve(const FlagParser& flags) {
         static_cast<uint64_t>(flags.GetInt("checkpoint-every", 256));
     ingest_options.keep_checkpoints =
         static_cast<size_t>(flags.GetInt("keep-checkpoints", 2));
+    session.repl_fence_millis = flags.GetInt("repl-fence-ms", 1000);
+    if (flags.Has("replica-of")) {
+      // Hot standby: wipe whatever lineage the directory held (a returning
+      // ex-primary's divergent suffix must not survive), bootstrap from the
+      // primary's newest checkpoint, then tail its WAL.
+      std::string replica_host = "127.0.0.1";
+      uint16_t replica_port = 0;
+      const std::string target = flags.GetString("replica-of", "");
+      const size_t colon = target.rfind(':');
+      const std::string host_part =
+          colon == std::string::npos ? "" : target.substr(0, colon);
+      const std::string port_part =
+          colon == std::string::npos ? target : target.substr(colon + 1);
+      if (!host_part.empty()) replica_host = host_part;
+      replica_port = static_cast<uint16_t>(std::atoi(port_part.c_str()));
+      if (replica_port == 0) {
+        std::fprintf(stderr, "--replica-of needs HOST:PORT, got '%s'\n",
+                     target.c_str());
+        return 2;
+      }
+      Status wiped = WipeDurableState(dir);
+      if (!wiped.ok()) {
+        std::fprintf(stderr, "%s\n", wiped.ToString().c_str());
+        return 1;
+      }
+      session.repl_source = std::make_unique<net::RemoteReplicationSource>(
+          replica_host, replica_port);
+      // The primary may still be starting (the chaos harness launches both
+      // sides at once) — retry the bootstrap snapshot for a while.
+      Result<ReplicationSnapshot> snapshot =
+          Status::Unavailable("snapshot not attempted");
+      for (int attempt = 0; attempt < 150; ++attempt) {
+        snapshot = session.repl_source->Snapshot();
+        if (snapshot.ok()) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+      }
+      if (!snapshot.ok()) {
+        std::fprintf(stderr, "replica bootstrap failed: %s\n",
+                     snapshot.status().ToString().c_str());
+        return 1;
+      }
+      Status installed =
+          InstallSnapshot(dir, snapshot.value().lsn, snapshot.value().bytes);
+      if (!installed.ok()) {
+        std::fprintf(stderr, "%s\n", installed.ToString().c_str());
+        return 1;
+      }
+      Result<std::unique_ptr<DurableIngest>> opened =
+          DurableIngest::Open(dir, nullptr, ingest_options);
+      if (!opened.ok()) {
+        std::fprintf(stderr, "%s\n", opened.status().ToString().c_str());
+        return 1;
+      }
+      session.durable = std::move(opened).value();
+      session.num_dims = session.durable->maintainer().data().num_dims();
+      session.service = std::make_unique<SkycubeService>(
+          std::make_shared<const CompressedSkylineCube>(
+              session.durable->maintainer().MakeCube()),
+          options);
+      // No insert handler: mutations answer kInvalidArgument until
+      // kReplPromote flips this process to primary (HandlePromote).
+      session.shipper = std::make_unique<WalShipper>(dir);
+      session.replica.store(true, std::memory_order_release);
+      session.follower = std::make_unique<WalFollower>(
+          session.durable.get(), session.repl_source.get(),
+          [svc = session.service.get()](const InsertHandler::Applied& applied) {
+            if (applied.cube) svc->Reload(applied.cube);
+          });
+      session.follower->Start();
+      std::fprintf(stderr,
+                   "replica of %s:%u: bootstrapped %s from snapshot lsn=%llu "
+                   "(%llu rows), tailing wal\n",
+                   replica_host.c_str(), static_cast<unsigned>(replica_port),
+                   dir.c_str(),
+                   static_cast<unsigned long long>(snapshot.value().lsn),
+                   static_cast<unsigned long long>(
+                       session.durable->stats().num_objects));
+      std::fflush(stderr);
+      if (!flags.Has("port") && !flags.Has("listen")) {
+        std::fprintf(stderr, "--replica-of requires socket mode (--port)\n");
+        return 2;
+      }
+      return ServeSocket(flags, session);
+    }
     // A directory with durable state recovers from it; a fresh one needs a
     // bootstrap dataset (and ignores none — passing --data/--synthetic with
     // an existing directory just means the bootstrap is unused).
@@ -564,7 +807,14 @@ int Serve(const FlagParser& flags) {
         std::make_shared<const CompressedSkylineCube>(
             session.durable->maintainer().MakeCube()),
         options);
-    session.service->AttachInsertHandler(session.durable.get());
+    // The replicated decorator notifies/fences the shipper; with no live
+    // follower WaitAcked degrades immediately, so an unreplicated durable
+    // server pays only an atomic load per mutation.
+    session.shipper = std::make_unique<WalShipper>(dir);
+    session.replicated = std::make_unique<ReplicatedInsertHandler>(
+        session.durable.get(), session.shipper.get(),
+        std::chrono::milliseconds(session.repl_fence_millis));
+    session.service->AttachInsertHandler(session.replicated.get());
     const DurableIngestStats stats = session.durable->stats();
     if (stats.recovered) {
       std::fprintf(stderr,

@@ -21,9 +21,19 @@
 //            router's probe revives it and answers go back to full,
 //            unflagged, oracle-identical.
 //
+// With --replication the harness instead runs the failover scenario
+// (docs/REPLICATION.md): every shard gets a primary plus a --replica-of
+// hot standby, the router is given `primary+replica` endpoint sets, and
+// the chaos round SIGKILLs a primary mid-pipelined-burst. After failover
+// every answer must be complete (partial flag clear) and byte-identical
+// to the full oracle — the acked insert prefix survives the kill. The
+// promoted replica must report role=primary, accept fenced mutations, and
+// the respawned old primary must rejoin as its replica and converge to an
+// identical skyline.
+//
 // Usage (registered as a ctest test):
 //   skycube_shardtest --serve=PATH --router=PATH --work-dir=DIR
-//                     [--tuples=N] [--dims=D] [--seed=S]
+//                     [--tuples=N] [--dims=D] [--seed=S] [--replication]
 #include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -488,6 +498,315 @@ bool RunRecoveryRound(uint16_t router_port, const std::string& serve,
   return false;
 }
 
+/// kReplState straight at one server: applied LSN + role.
+bool ReplState(uint16_t port, uint64_t* lsn, std::string* role) {
+  net::NetClient client;
+  if (!client.Connect("127.0.0.1", port).ok()) return false;
+  net::WireRequest request;
+  request.op = net::Opcode::kReplState;
+  request.id = 1;
+  net::WireResponse response;
+  if (!WireQuery(&client, request, &response)) return false;
+  if (response.status != StatusCode::kOk) return false;
+  *lsn = response.lsn;
+  if (role != nullptr) *role = response.text;
+  return true;
+}
+
+/// Full-space skyline asked of one server directly (not through the
+/// router) — the convergence comparison between a promoted primary and a
+/// rejoined replica.
+bool DirectSkyline(uint16_t port, DimMask subspace,
+                   std::vector<ObjectId>* ids) {
+  net::NetClient client;
+  if (!client.Connect("127.0.0.1", port).ok()) return false;
+  net::WireResponse response;
+  if (!WireQuery(&client, SkylineRequest(subspace, 1), &response)) {
+    return false;
+  }
+  if (response.status != StatusCode::kOk) return false;
+  *ids = response.ids;
+  return true;
+}
+
+/// Blocks until `replica_port`'s applied LSN reaches `primary_port`'s tip.
+/// The semi-sync fence usually guarantees this already; waiting makes the
+/// acked-prefix assertion deterministic even if a fence degraded.
+bool WaitCaughtUp(uint16_t primary_port, uint16_t replica_port,
+                  int64_t timeout_millis) {
+  const Deadline deadline = Deadline::AfterMillis(timeout_millis);
+  while (!deadline.expired()) {
+    uint64_t primary_lsn = 0;
+    uint64_t replica_lsn = 0;
+    if (ReplState(primary_port, &primary_lsn, nullptr) &&
+        ReplState(replica_port, &replica_lsn, nullptr) &&
+        replica_lsn >= primary_lsn) {
+      return true;
+    }
+    usleep(50 * 1000);
+  }
+  return false;
+}
+
+/// The replication chaos round: SIGKILL the victim shard's primary while a
+/// pipelined burst is in flight, then require the router to fail over to
+/// the replica and return to complete, unflagged, full-oracle answers —
+/// every insert acked before the kill included. During the discovery
+/// window errors and survivor-correct partials are tolerated (and
+/// counted); a wrong answer never is.
+bool RunReplicationChaosRound(uint16_t router_port, Child* victim_primary,
+                              uint16_t victim_replica_port,
+                              size_t victim_shard, const Oracle& oracle,
+                              const HashRing& ring, int dims) {
+  const DimMask full = FullMask(dims);
+  net::NetClient loaded;
+  CHECK_SHARD(loaded.Connect("127.0.0.1", router_port).ok(),
+              "chaos: router connect failed");
+  constexpr uint64_t kBurst = 32;
+  std::string burst;
+  for (uint64_t i = 0; i < kBurst; ++i) {
+    burst += EncodeRequest(SkylineRequest(1 + (i % full), i));
+  }
+  CHECK_SHARD(loaded.Send(burst).ok(), "chaos: burst send failed");
+  CHECK_SHARD(kill(victim_primary->pid, SIGKILL) == 0, "chaos: kill failed");
+  Reap(victim_primary);
+
+  uint64_t complete = 0;
+  uint64_t partial = 0;
+  uint64_t errors = 0;
+  for (uint64_t i = 0; i < kBurst; ++i) {
+    net::WireResponse response;
+    std::string error;
+    const net::NetClient::Got got = loaded.ReadResponse(
+        &response, Deadline::AfterMillis(kReadTimeoutMillis), &error);
+    if (got != net::NetClient::Got::kFrame) break;  // stream loss: tolerated
+    const DimMask mask = 1 + (response.id % full);
+    if (response.status != StatusCode::kOk) {
+      ++errors;
+      continue;
+    }
+    if (response.partial) {
+      // Pre-failover window: the merge dropped the victim set. Must still
+      // be exactly the survivor skyline.
+      ++partial;
+      const std::vector<ObjectId> expected =
+          SurvivorSkyline(oracle, ring, victim_shard, mask);
+      CHECK_SHARD(response.ids == expected,
+                  "chaos: WRONG partial answer on mask %llu",
+                  static_cast<unsigned long long>(mask));
+    } else {
+      ++complete;
+      CHECK_SHARD(response.ids == oracle.Skyline(mask),
+                  "chaos: WRONG complete answer on mask %llu after kill",
+                  static_cast<unsigned long long>(mask));
+    }
+  }
+  std::fprintf(stderr,
+               "chaos: burst answers complete=%llu partial=%llu "
+               "errors=%llu\n",
+               static_cast<unsigned long long>(complete),
+               static_cast<unsigned long long>(partial),
+               static_cast<unsigned long long>(errors));
+
+  // Failover settle: a fresh connection must get a complete, unflagged,
+  // oracle-identical answer once the router promotes the replica.
+  const Deadline settle = Deadline::AfterMillis(45000);
+  bool settled = false;
+  while (!settle.expired() && !settled) {
+    usleep(50 * 1000);
+    net::NetClient client;
+    if (!client.Connect("127.0.0.1", router_port).ok()) break;
+    net::WireResponse response;
+    if (!WireQuery(&client, SkylineRequest(full, 9000), &response)) continue;
+    if (response.status != StatusCode::kOk || response.partial) continue;
+    CHECK_SHARD(response.ids == oracle.Skyline(full),
+                "chaos: post-failover answer wrong: got [%s] want [%s]",
+                IdListPreview(response.ids).c_str(),
+                IdListPreview(oracle.Skyline(full)).c_str());
+    settled = true;
+  }
+  CHECK_SHARD(settled, "chaos: router never failed over to the replica");
+
+  // The replica must actually have been promoted, not merely read from.
+  std::string role;
+  uint64_t promoted_lsn = 0;
+  CHECK_SHARD(ReplState(victim_replica_port, &promoted_lsn, &role),
+              "chaos: promoted replica unreachable");
+  CHECK_SHARD(role == "primary",
+              "chaos: victim replica reports role=%s after failover",
+              role.c_str());
+
+  // Every answer kind, full oracle, zero partials — the acked prefix is
+  // complete on the promoted replica.
+  return RunOracleRound(router_port, oracle, dims, "post-failover");
+}
+
+/// Respawns the killed primary as a replica of the promoted one and waits
+/// for convergence: role=replica, applied LSN at the new primary's tip,
+/// and a byte-identical full-space skyline asked of each directly.
+bool RunRejoinRound(const std::string& serve,
+                    const std::vector<std::string>& rejoin_args,
+                    Child* old_primary, uint16_t new_primary_port,
+                    int dims) {
+  *old_primary = Spawn(serve, rejoin_args);
+  const Deadline deadline = Deadline::AfterMillis(60000);
+  bool converged = false;
+  while (!deadline.expired() && !converged) {
+    usleep(100 * 1000);
+    uint64_t primary_lsn = 0;
+    uint64_t replica_lsn = 0;
+    std::string role;
+    if (!ReplState(new_primary_port, &primary_lsn, nullptr)) continue;
+    if (!ReplState(old_primary->port, &replica_lsn, &role)) continue;
+    converged = role == "replica" && replica_lsn >= primary_lsn;
+  }
+  CHECK_SHARD(converged, "rejoin: old primary never converged as replica");
+  const DimMask full = FullMask(dims);
+  std::vector<ObjectId> promoted_ids;
+  std::vector<ObjectId> rejoined_ids;
+  CHECK_SHARD(DirectSkyline(new_primary_port, full, &promoted_ids),
+              "rejoin: promoted primary skyline failed");
+  CHECK_SHARD(DirectSkyline(old_primary->port, full, &rejoined_ids),
+              "rejoin: rejoined replica skyline failed");
+  CHECK_SHARD(promoted_ids == rejoined_ids,
+              "rejoin: rejoined replica diverges: got [%s] want [%s]",
+              IdListPreview(rejoined_ids).c_str(),
+              IdListPreview(promoted_ids).c_str());
+  return true;
+}
+
+/// The --replication scenario: kNumShards primary+replica sets behind a
+/// replica-aware router, oracle/insert rounds, the kill-primary chaos
+/// round, post-failover fenced mutations, and the rejoin-and-converge
+/// round.
+int ReplicationMain(const std::string& serve, const std::string& router,
+                    const std::string& work_dir, int tuples, int dims,
+                    uint64_t seed) {
+  const std::vector<std::string> source_args = {
+      "--synthetic",
+      "--tuples=" + std::to_string(tuples),
+      "--dims=" + std::to_string(dims),
+      "--seed=" + std::to_string(seed),
+      "--truncate=4",
+  };
+  SyntheticSpec spec;
+  spec.distribution = DistributionFromName("independent");
+  spec.num_objects = static_cast<size_t>(tuples);
+  spec.num_dims = dims;
+  spec.seed = seed;
+  spec.truncate_decimals = 4;
+  Oracle oracle(GenerateSynthetic(spec));
+  const HashRing ring(kNumShards, /*seed=*/0, /*vnodes=*/64);
+
+  std::vector<Child> primaries(kNumShards);
+  std::vector<Child> replicas(kNumShards);
+  std::string endpoints;
+  for (size_t s = 0; s < kNumShards; ++s) {
+    std::vector<std::string> primary_args = source_args;
+    primary_args.push_back("--shard-count=" + std::to_string(kNumShards));
+    primary_args.push_back("--shard-index=" + std::to_string(s));
+    primary_args.push_back("--ring-seed=0");
+    primary_args.push_back("--data-dir=" + work_dir + "/shard-" +
+                           std::to_string(s) + "-primary");
+    primary_args.push_back("--port=0");
+    primaries[s] = Spawn(serve, primary_args);
+    // The replica's whole state comes from the primary's snapshot + WAL;
+    // it takes no dataset or shard-filter flags.
+    const std::vector<std::string> replica_args = {
+        "--data-dir=" + work_dir + "/shard-" + std::to_string(s) +
+            "-replica",
+        "--replica-of=127.0.0.1:" + std::to_string(primaries[s].port),
+        "--port=0",
+    };
+    replicas[s] = Spawn(serve, replica_args);
+    endpoints += (s == 0 ? "" : ",") + std::string("127.0.0.1:") +
+                 std::to_string(primaries[s].port) + "+127.0.0.1:" +
+                 std::to_string(replicas[s].port);
+    std::fprintf(stderr, "shard %zu primary pid %d port %u, replica pid %d "
+                 "port %u\n",
+                 s, static_cast<int>(primaries[s].pid),
+                 static_cast<unsigned>(primaries[s].port),
+                 static_cast<int>(replicas[s].pid),
+                 static_cast<unsigned>(replicas[s].port));
+  }
+
+  std::vector<std::string> router_args = source_args;
+  router_args.push_back("--shards=" + endpoints);
+  router_args.push_back("--ring-seed=0");
+  router_args.push_back("--port=0");
+  router_args.push_back("--down-after=2");
+  router_args.push_back("--retry-ms=200");
+  Child router_child = Spawn(router, router_args);
+  std::fprintf(stderr, "router pid %d port %u\n",
+               static_cast<int>(router_child.pid),
+               static_cast<unsigned>(router_child.port));
+
+  if (RunOracleRound(router_child.port, oracle, dims, "oracle")) {
+    std::fprintf(stderr, "PASS oracle round (replicated)\n");
+  }
+  if (g_failures == 0 && RunInsertRound(router_child.port, &oracle, dims)) {
+    std::fprintf(stderr, "PASS insert round (replicated)\n");
+  }
+  // Make the acked-prefix oracle deterministic: every replica at its
+  // primary's tip before the kill.
+  for (size_t s = 0; s < kNumShards && g_failures == 0; ++s) {
+    if (!WaitCaughtUp(primaries[s].port, replicas[s].port, 30000)) {
+      std::fprintf(stderr, "FAIL shard %zu replica never caught up\n", s);
+      ++g_failures;
+    }
+  }
+  constexpr size_t kVictim = 1;
+  if (g_failures == 0 &&
+      RunReplicationChaosRound(router_child.port, &primaries[kVictim],
+                               replicas[kVictim].port, kVictim, oracle,
+                               ring, dims)) {
+    std::fprintf(stderr, "PASS replication chaos round\n");
+  }
+  // Fenced mutations through the promoted primary (its fence degrades to
+  // async instantly while it has no follower of its own).
+  if (g_failures == 0 && RunInsertRound(router_child.port, &oracle, dims)) {
+    std::fprintf(stderr, "PASS post-failover insert round\n");
+  }
+  if (g_failures == 0 &&
+      RunOracleRound(router_child.port, oracle, dims,
+                     "post-failover-insert")) {
+    std::fprintf(stderr, "PASS post-failover oracle round\n");
+  }
+  if (g_failures == 0) {
+    const std::vector<std::string> rejoin_args = {
+        "--data-dir=" + work_dir + "/shard-" + std::to_string(kVictim) +
+            "-primary",
+        "--replica-of=127.0.0.1:" + std::to_string(replicas[kVictim].port),
+        "--port=0",
+    };
+    if (RunRejoinRound(serve, rejoin_args, &primaries[kVictim],
+                       replicas[kVictim].port, dims)) {
+      std::fprintf(stderr, "PASS rejoin round (old primary converged as "
+                   "replica)\n");
+    }
+  }
+
+  kill(router_child.pid, SIGTERM);
+  Reap(&router_child);
+  for (Child& child : primaries) {
+    if (child.pid > 0) kill(child.pid, SIGTERM);
+    Reap(&child);
+  }
+  for (Child& child : replicas) {
+    if (child.pid > 0) kill(child.pid, SIGTERM);
+    Reap(&child);
+  }
+
+  if (g_failures > 0) {
+    std::fprintf(stderr, "skycube_shardtest --replication: %d failure(s)\n",
+                 g_failures);
+    return 1;
+  }
+  std::fprintf(stderr, "skycube_shardtest --replication: all rounds "
+               "passed\n");
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   const FlagParser flags(argc, argv);
   const std::string serve = flags.GetString("serve", "");
@@ -506,6 +825,10 @@ int Main(int argc, char** argv) {
   std::error_code ec;
   std::filesystem::remove_all(work_dir, ec);
   std::filesystem::create_directories(work_dir, ec);
+
+  if (flags.GetBool("replication", false)) {
+    return ReplicationMain(serve, router, work_dir, tuples, dims, seed);
+  }
 
   // The shared synthetic spec: shards filter it by ring ownership, the
   // router and the oracle load it whole. Must agree everywhere.

@@ -1,6 +1,6 @@
 // skycube_waldump — read-only WAL inspector (docs/ROBUSTNESS.md).
 //
-//   skycube_waldump --dir=DATA_DIR [--values]
+//   skycube_waldump --dir=DATA_DIR [--values] [--from-lsn=N] [--segment=FILE]
 //
 // Prints one line per record in LSN order, segment by segment:
 //
@@ -14,6 +14,13 @@
 // record or an inter-segment gap: it reports what is actually on disk —
 // the debugging view for a data directory that refuses to recover. Legacy
 // v2 records (no op byte, no timestamp) print op=insert legacy=1.
+//
+// --from-lsn=N skips records below N (segments whose records all fall
+// below N are elided entirely) — the view a replication follower acked at
+// N−1 would fetch next. --segment=FILE restricts the dump to one segment
+// by file name. A zero-byte final segment (a rotation that crashed before
+// the magic was written) prints `empty=1` and does not count as damage;
+// anywhere else an empty segment is a hole and exits 1.
 //
 // With --values, insert records also print their row values. Exit status
 // is 0 when every record framed and decoded cleanly, 1 when any record
@@ -29,14 +36,34 @@ namespace skycube {
 namespace {
 
 int Usage() {
-  std::fprintf(stderr, "usage: skycube_waldump --dir=DATA_DIR [--values]\n");
+  std::fprintf(stderr,
+               "usage: skycube_waldump --dir=DATA_DIR [--values] "
+               "[--from-lsn=N] [--segment=FILE]\n");
   return 2;
+}
+
+/// True when the segment has nothing at or past `from_lsn` to show. A
+/// damaged or empty segment is never elided — damage must stay visible
+/// regardless of the LSN window.
+bool SegmentBelow(const WalDumpSegment& segment, uint64_t from_lsn) {
+  if (from_lsn <= 1) return false;
+  if (!segment.magic_ok || segment.empty || segment.trailing_bytes > 0) {
+    return false;
+  }
+  for (const WalDumpRecord& record : segment.records) {
+    if (!record.checksum_ok || !record.decode_ok) return false;
+    if (record.lsn >= from_lsn) return false;
+  }
+  return true;
 }
 
 int Dump(const FlagParser& flags) {
   const std::string dir = flags.GetString("dir", "");
   if (dir.empty()) return Usage();
   const bool with_values = flags.GetBool("values", false);
+  const uint64_t from_lsn =
+      static_cast<uint64_t>(flags.GetInt("from-lsn", 0));
+  const std::string only_segment = flags.GetString("segment", "");
 
   Result<std::vector<WalDumpSegment>> dumped = DumpWal(dir);
   if (!dumped.ok()) {
@@ -44,8 +71,35 @@ int Dump(const FlagParser& flags) {
     return 2;
   }
 
+  if (!only_segment.empty()) {
+    bool found = false;
+    for (const WalDumpSegment& segment : dumped.value()) {
+      if (segment.file == only_segment) found = true;
+    }
+    if (!found) {
+      std::fprintf(stderr, "no segment named '%s' in %s\n",
+                   only_segment.c_str(), dir.c_str());
+      return 2;
+    }
+  }
+
   bool damaged = false;
-  for (const WalDumpSegment& segment : dumped.value()) {
+  const std::vector<WalDumpSegment>& segments = dumped.value();
+  for (size_t i = 0; i < segments.size(); ++i) {
+    const WalDumpSegment& segment = segments[i];
+    if (!only_segment.empty() && segment.file != only_segment) continue;
+    if (SegmentBelow(segment, from_lsn)) continue;
+    const bool final_segment = i + 1 == segments.size();
+    if (segment.empty) {
+      // A zero-byte file holds no magic; only the final segment may be
+      // empty (crashed rotation) without counting as damage.
+      std::printf("segment %s start_lsn=%llu empty=1%s\n",
+                  segment.file.c_str(),
+                  static_cast<unsigned long long>(segment.declared_start),
+                  final_segment ? "" : " damage=not-final");
+      if (!final_segment) damaged = true;
+      continue;
+    }
     std::printf("segment %s start_lsn=%llu magic=%s\n", segment.file.c_str(),
                 static_cast<unsigned long long>(segment.declared_start),
                 segment.magic_ok ? "ok" : "BAD");
@@ -65,6 +119,7 @@ int Dump(const FlagParser& flags) {
         damaged = true;
         continue;
       }
+      if (record.lsn < from_lsn) continue;
       const WalOpRecord& op = record.record;
       std::printf("lsn=%llu op=%s row=%u ts=%llu bytes=%zu checksum=ok%s",
                   static_cast<unsigned long long>(record.lsn),
@@ -73,8 +128,8 @@ int Dump(const FlagParser& flags) {
                   record.payload_bytes, op.legacy ? " legacy=1" : "");
       if (with_values && op.op == WalOp::kInsert) {
         std::printf(" values=");
-        for (size_t i = 0; i < op.values.size(); ++i) {
-          std::printf("%s%g", i == 0 ? "" : ",", op.values[i]);
+        for (size_t v = 0; v < op.values.size(); ++v) {
+          std::printf("%s%g", v == 0 ? "" : ",", op.values[v]);
         }
       }
       std::printf("\n");
