@@ -1,0 +1,103 @@
+// Global allocation cap for fuzz binaries: any *single* allocation larger
+// than the cap aborts with a diagnostic instead of OOMing the process.
+//
+// The decoders bound every wire-derived allocation (lint R9 enforces it
+// statically), so nothing in a healthy codec ever asks for anything close
+// to the cap — a trip here means a length-field bomb slipped past a bounds
+// check, and the fuzzer should record it as a finding rather than letting
+// the kernel OOM-kill the run (which libFuzzer reports uselessly). Linked
+// only into the fuzz harness binaries, never into the libraries or tools.
+//
+// The cap defaults to 256 MiB and can be overridden with the
+// SKYCUBE_FUZZ_ALLOC_CAP environment variable (bytes; 0 disables).
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+size_t AllocCap() {
+  static const size_t cap = [] {
+    if (const char* env = std::getenv("SKYCUBE_FUZZ_ALLOC_CAP")) {
+      return static_cast<size_t>(std::strtoull(env, nullptr, 10));
+    }
+    return size_t{256} << 20;
+  }();
+  return cap;
+}
+
+void* CheckedAlloc(size_t size) {
+  const size_t cap = AllocCap();
+  if (cap != 0 && size > cap) {
+    std::fprintf(stderr,
+                 "fuzz: single allocation of %zu bytes exceeds the %zu-byte "
+                 "cap — unbounded wire-length allocation\n",
+                 size, cap);
+    std::abort();
+  }
+  return std::malloc(size == 0 ? 1 : size);
+}
+
+}  // namespace
+
+void* operator new(size_t size) {
+  void* p = CheckedAlloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](size_t size) {
+  void* p = CheckedAlloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(size_t size, const std::nothrow_t&) noexcept {
+  return CheckedAlloc(size);
+}
+
+void* operator new[](size_t size, const std::nothrow_t&) noexcept {
+  return CheckedAlloc(size);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, size_t) noexcept { std::free(p); }
+void operator delete[](void* p, size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+// Aligned variants, so over-aligned types stay on the same malloc/free
+// discipline (and under the same cap) as everything else.
+void* operator new(size_t size, std::align_val_t align) {
+  const size_t cap = AllocCap();
+  if (cap != 0 && size > cap) {
+    std::fprintf(stderr,
+                 "fuzz: single aligned allocation of %zu bytes exceeds the "
+                 "%zu-byte cap\n",
+                 size, cap);
+    std::abort();
+  }
+  const size_t alignment = static_cast<size_t>(align);
+  const size_t rounded = (size + alignment - 1) / alignment * alignment;
+  void* p = std::aligned_alloc(alignment, rounded == 0 ? alignment : rounded);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](size_t size, std::align_val_t align) {
+  return operator new(size, align);
+}
+
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, size_t, std::align_val_t) noexcept {
+  std::free(p);
+}

@@ -1,0 +1,78 @@
+// Standalone corpus-replay driver: a main() that feeds every file named on
+// the command line (directories are walked non-recursively) through the
+// harness's LLVMFuzzerTestOneInput. This is how the checked-in regression
+// corpora run as plain ctest tests in every build — no fuzzing engine, no
+// clang requirement; a crasher that regresses aborts the test exactly as
+// it would abort the fuzzer.
+//
+// Under SKYCUBE_FUZZ=ON this file is *not* linked; libFuzzer provides
+// main() and its own corpus handling.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return false;
+  char buffer[1 << 16];
+  size_t n;
+  out->clear();
+  while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    out->append(buffer, n);
+  }
+  std::fclose(file);
+  return true;
+}
+
+int RunOne(const std::string& path) {
+  std::string bytes;
+  if (!ReadFile(path, &bytes)) {
+    std::fprintf(stderr, "fuzz_driver: cannot read %s\n", path.c_str());
+    return 1;
+  }
+  // Announce before running: if the harness aborts, the failing input's
+  // name is already on stderr.
+  std::fprintf(stderr, "fuzz_driver: %s (%zu bytes)\n", path.c_str(),
+               bytes.size());
+  LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(bytes.data()),
+                         bytes.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    // Tolerate libFuzzer-style flags so the same ctest command line works
+    // if someone points it at a fuzz-mode binary's arguments.
+    if (argv[i][0] == '-') continue;
+    std::error_code ec;
+    if (std::filesystem::is_directory(argv[i], ec)) {
+      for (const auto& entry :
+           std::filesystem::directory_iterator(argv[i], ec)) {
+        if (entry.is_regular_file()) inputs.push_back(entry.path().string());
+      }
+    } else {
+      inputs.push_back(argv[i]);
+    }
+  }
+  if (inputs.empty()) {
+    std::fprintf(stderr, "fuzz_driver: no corpus inputs given\n");
+    return 1;
+  }
+  std::sort(inputs.begin(), inputs.end());
+  int failures = 0;
+  for (const std::string& path : inputs) failures += RunOne(path);
+  std::fprintf(stderr, "fuzz_driver: replayed %zu inputs, %d unreadable\n",
+               inputs.size(), failures);
+  return failures == 0 ? 0 : 1;
+}

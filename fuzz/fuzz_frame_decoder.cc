@@ -1,0 +1,150 @@
+// Fuzz target: net::FrameDecoder over arbitrary byte streams, including
+// pipelined multi-frame streams and adversarial chunking.
+//
+// Modes (first input byte & 3):
+//   0  raw bytes straight into the decoder
+//   1  the remaining bytes wrapped as one correctly checksummed frame
+//      (reaches the payload parsers behind the framing gate)
+//   2  the remaining bytes split into two frames, fed back to back
+//      (exercises the pipelining path: multiple Takes per Append)
+//   3  like 0, but fed one byte at a time (maximal incremental pressure
+//      on the header/payload boundary logic)
+//
+// Properties: Take never crashes or over-allocates; a decoder that
+// reported kError stays poisoned; every payload Take yields under modes
+// 1–2 is byte-identical to what was framed; payloads that parse as a
+// request/response re-encode and re-parse to the same value.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "fuzz_util.h"
+#include "net/protocol.h"
+
+using skycube::fuzz::Expect;
+using skycube::fuzz::FramedPayload;
+using skycube::fuzz::InputReader;
+
+namespace {
+
+/// Parse whatever the payload claims to be; on success, re-encode and
+/// re-parse, asserting field-for-field equality.
+void CheckPayloadRoundTrip(const std::string& payload) {
+  if (payload.empty()) return;
+  namespace net = skycube::net;
+  const auto op = net::PayloadOpcode(payload);
+  if (net::IsRequestOpcode(op)) {
+    skycube::Result<net::WireRequest> first = net::ParseRequest(payload);
+    if (!first.ok()) return;
+    const std::string frame = net::EncodeRequest(first.value());
+    skycube::Result<net::WireRequest> second =
+        net::ParseRequest(std::string_view(frame).substr(
+            net::kFrameHeaderBytes));
+    Expect(second.ok(), "re-encoded request must re-parse");
+    const net::WireRequest& a = first.value();
+    const net::WireRequest& b = second.value();
+    Expect(a.op == b.op && a.id == b.id && a.subspace == b.subspace &&
+               a.object == b.object &&
+               skycube::fuzz::BitEqual(a.values, b.values) &&
+               a.since_version == b.since_version &&
+               a.ack_lsn == b.ack_lsn && a.max_records == b.max_records &&
+               a.wait_millis == b.wait_millis,
+           "request round-trip must preserve every field");
+  } else if (op == net::Opcode::kResponse) {
+    skycube::Result<net::WireResponse> first = net::ParseResponse(payload);
+    if (!first.ok()) return;
+    const std::string frame = net::EncodeResponse(first.value());
+    skycube::Result<net::WireResponse> second =
+        net::ParseResponse(std::string_view(frame).substr(
+            net::kFrameHeaderBytes));
+    Expect(second.ok(), "re-encoded response must re-parse");
+    const net::WireResponse& a = first.value();
+    const net::WireResponse& b = second.value();
+    Expect(a.id == b.id && a.request_op == b.request_op &&
+               a.status == b.status && a.cache_hit == b.cache_hit &&
+               a.partial == b.partial &&
+               a.snapshot_version == b.snapshot_version && a.ids == b.ids &&
+               a.left_ids == b.left_ids && a.count == b.count &&
+               a.member == b.member && a.lsn == b.lsn && a.text == b.text,
+           "response round-trip must preserve every field");
+  } else if (op == net::Opcode::kGoAway) {
+    skycube::Result<net::WireGoAway> goaway = net::ParseGoAway(payload);
+    if (!goaway.ok()) return;
+    const std::string frame = net::EncodeGoAway(goaway.value().status,
+                                                goaway.value().reason);
+    skycube::Result<net::WireGoAway> second =
+        net::ParseGoAway(std::string_view(frame).substr(
+            net::kFrameHeaderBytes));
+    Expect(second.ok() && second.value().status == goaway.value().status &&
+               second.value().reason == goaway.value().reason,
+           "goaway round-trip must preserve status and reason");
+  }
+}
+
+/// Feeds `stream` into a decoder in `chunk`-byte steps, draining after
+/// every Append. Returns the payloads taken; `expected` counts how many
+/// the stream was built to contain (SIZE_MAX = unknown, raw mode).
+void RunStream(std::string_view stream, size_t chunk, size_t expected) {
+  skycube::net::FrameDecoder decoder;
+  size_t frames = 0;
+  bool errored = false;
+  for (size_t offset = 0; offset < stream.size(); offset += chunk) {
+    const size_t n = std::min(chunk, stream.size() - offset);
+    decoder.Append(stream.data() + offset, n);
+    for (;;) {
+      std::string payload, error;
+      const auto next = decoder.Take(&payload, &error);
+      if (next == skycube::net::FrameDecoder::Next::kFrame) {
+        Expect(!errored, "a poisoned decoder must never yield frames");
+        ++frames;
+        CheckPayloadRoundTrip(payload);
+        continue;
+      }
+      if (next == skycube::net::FrameDecoder::Next::kError) {
+        Expect(!error.empty(), "kError must carry a reason");
+        errored = true;
+        // Poisoning property: the next Take must report kError again.
+        std::string p2, e2;
+        Expect(decoder.Take(&p2, &e2) ==
+                   skycube::net::FrameDecoder::Next::kError,
+               "kError must poison the decoder permanently");
+      }
+      break;
+    }
+    if (errored) break;
+  }
+  if (expected != SIZE_MAX && !errored) {
+    Expect(frames == expected,
+           "a well-formed stream must yield every framed payload");
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size == 0) return 0;
+  InputReader in(data, size);
+  const uint8_t mode = in.TakeByte() & 3;
+  // A chunk size in [1, 64] derived from the input keeps the boundary
+  // logic under varied incremental pressure.
+  const size_t chunk = (in.TakeByte() & 63) + 1;
+  const std::string_view rest = in.Rest();
+
+  if (mode == 0) {
+    RunStream(rest, chunk, SIZE_MAX);
+  } else if (mode == 1) {
+    RunStream(FramedPayload(rest), chunk, rest.empty() ? 0 : 1);
+  } else if (mode == 2) {
+    const size_t half = rest.size() / 2;
+    std::string stream = FramedPayload(rest.substr(0, half));
+    stream += FramedPayload(rest.substr(half));
+    size_t expected = 0;
+    if (half > 0) ++expected;
+    if (rest.size() - half > 0) ++expected;
+    RunStream(stream, chunk, expected);
+  } else {
+    RunStream(rest, 1, SIZE_MAX);
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Fuzz target: net::ParseResponse and net::ParseGoAway over arbitrary
+// payload bytes — the client-side decoders (router remote backends, the
+// repl client, tests) that consume whatever a server sends.
+//
+// Properties: never crashes or over-allocates; a payload that parses
+// re-encodes to a payload that parses to the same value.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "fuzz_util.h"
+#include "net/protocol.h"
+
+using skycube::fuzz::Expect;
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  namespace net = skycube::net;
+  const std::string_view payload(reinterpret_cast<const char*>(data), size);
+
+  skycube::Result<net::WireResponse> first = net::ParseResponse(payload);
+  if (first.ok()) {
+    const net::WireResponse& a = first.value();
+    const std::string frame = net::EncodeResponse(a);
+    skycube::Result<net::WireResponse> second = net::ParseResponse(
+        std::string_view(frame).substr(net::kFrameHeaderBytes));
+    Expect(second.ok(), "re-encoded response must re-parse");
+    const net::WireResponse& b = second.value();
+    Expect(a.id == b.id && a.request_op == b.request_op &&
+               a.status == b.status && a.cache_hit == b.cache_hit &&
+               a.partial == b.partial &&
+               a.snapshot_version == b.snapshot_version && a.ids == b.ids &&
+               a.left_ids == b.left_ids && a.count == b.count &&
+               a.member == b.member && a.lsn == b.lsn && a.text == b.text,
+           "response round-trip must preserve every field");
+  }
+
+  skycube::Result<net::WireGoAway> goaway = net::ParseGoAway(payload);
+  if (goaway.ok()) {
+    const std::string frame = net::EncodeGoAway(goaway.value().status,
+                                                goaway.value().reason);
+    skycube::Result<net::WireGoAway> second = net::ParseGoAway(
+        std::string_view(frame).substr(net::kFrameHeaderBytes));
+    Expect(second.ok() && second.value().status == goaway.value().status &&
+               second.value().reason == goaway.value().reason,
+           "goaway round-trip must preserve status and reason");
+  }
+  return 0;
+}

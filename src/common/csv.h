@@ -29,12 +29,12 @@ struct CsvReadOptions {
 /// Reads a numeric CSV file. Fails with InvalidArgument (carrying row and
 /// column context) on ragged rows, unparsable/empty cells, NaN/Inf values,
 /// or embedded NUL bytes; NotFound if the file cannot be opened.
-Result<CsvTable> ReadNumericCsv(const std::string& path,
-                                const CsvReadOptions& options = {});
+[[nodiscard]] Result<CsvTable> ReadNumericCsv(
+    const std::string& path, const CsvReadOptions& options = {});
 
 /// Parses CSV from an in-memory string (same semantics as ReadNumericCsv).
-Result<CsvTable> ParseNumericCsv(const std::string& text,
-                                 const CsvReadOptions& options = {});
+[[nodiscard]] Result<CsvTable> ParseNumericCsv(
+    const std::string& text, const CsvReadOptions& options = {});
 
 /// Writes a numeric CSV file; emits a header row iff column_names is
 /// non-empty. Returns Internal on I/O failure.

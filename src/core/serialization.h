@@ -41,13 +41,13 @@ std::string SerializeCube(int num_dims, size_t num_objects,
 
 /// Parses the text format; validates header, counts, arities and mask
 /// ranges. Round-trips exactly (doubles are emitted with max_digits10).
-Result<SerializedCube> DeserializeCube(const std::string& text);
+[[nodiscard]] Result<SerializedCube> DeserializeCube(const std::string& text);
 
 /// File convenience wrappers.
 Status SaveCubeToFile(const std::string& path, int num_dims,
                       size_t num_objects, const SkylineGroupSet& groups,
                       const std::vector<std::string>& dim_names = {});
-Result<SerializedCube> LoadCubeFromFile(const std::string& path);
+[[nodiscard]] Result<SerializedCube> LoadCubeFromFile(const std::string& path);
 
 }  // namespace skycube
 

@@ -175,14 +175,14 @@ std::string EncodeGoAway(StatusCode status, std::string_view reason);
 /// Parses a request payload (first byte must be a request opcode); a
 /// kInvalidArgument result for anything malformed — garbage opcode,
 /// truncated body, trailing bytes, or an insert wider than `max_values`.
-Result<WireRequest> ParseRequest(std::string_view payload,
-                                 size_t max_values = 4096);
+[[nodiscard]] Result<WireRequest> ParseRequest(std::string_view payload,
+                                               size_t max_values = 4096);
 
 /// Parses a kResponse payload (client side: tests, bench, nettest).
-Result<WireResponse> ParseResponse(std::string_view payload);
+[[nodiscard]] Result<WireResponse> ParseResponse(std::string_view payload);
 
 /// Parses a kGoAway payload.
-Result<WireGoAway> ParseGoAway(std::string_view payload);
+[[nodiscard]] Result<WireGoAway> ParseGoAway(std::string_view payload);
 
 /// The opcode of a payload (its first byte); kGoAway-shaped garbage for an
 /// empty payload is impossible — frames have N >= 1.
@@ -206,7 +206,7 @@ class FrameDecoder {
     kNeedMore,  // the buffer holds no complete frame yet
     kError,     // framing is broken; *error says why (poisons the decoder)
   };
-  Next Take(std::string* payload, std::string* error);
+  [[nodiscard]] Next Take(std::string* payload, std::string* error);
 
   /// Bytes buffered but not yet consumed by Take.
   size_t buffered() const { return buffer_.size() - consumed_; }

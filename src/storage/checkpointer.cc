@@ -120,11 +120,20 @@ Result<CheckpointData> LoadCheckpoint(const std::string& dir, uint64_t lsn) {
     }
     std::fclose(file);
   }
+  Result<CheckpointData> checkpoint = ParseCheckpoint(text);
+  if (!checkpoint.ok()) return checkpoint.status();
+  if (checkpoint.value().lsn != lsn) {
+    return Status::InvalidArgument("checkpoint lsn does not match its name");
+  }
+  return checkpoint;
+}
+
+Result<CheckpointData> ParseCheckpoint(const std::string& text) {
   std::istringstream is(text);
   std::string word, version;
   is >> word >> version;
   if (word != "skycube-checkpoint" || (version != "v1" && version != "v2")) {
-    return Status::InvalidArgument("bad checkpoint header: " + path);
+    return Status::InvalidArgument("bad checkpoint header");
   }
   const bool has_liveness = version == "v2";
   std::string k_checksum, digest;
@@ -155,9 +164,6 @@ Result<CheckpointData> LoadCheckpoint(const std::string& dir, uint64_t lsn) {
   if (!(is >> k_lsn >> checkpoint.lsn) || k_lsn != "lsn") {
     return Status::InvalidArgument("bad checkpoint lsn line");
   }
-  if (checkpoint.lsn != lsn) {
-    return Status::InvalidArgument("checkpoint lsn does not match its name");
-  }
   if (!(is >> k_dims >> dims >> k_rows >> rows) || k_dims != "dims" ||
       k_rows != "rows" || dims < 1 || dims > kMaxDims) {
     return Status::InvalidArgument("bad checkpoint metadata line");
@@ -182,8 +188,10 @@ Result<CheckpointData> LoadCheckpoint(const std::string& dir, uint64_t lsn) {
     }
     data.AddRow(row);
   }
-  checkpoint.live.assign(rows, 1);
-  checkpoint.timestamps.assign(rows, 0);
+  // Sized off the rows actually parsed, not the declared count — by here
+  // they are equal, but the allocation must never key off a wire integer.
+  checkpoint.live.assign(data.num_objects(), 1);
+  checkpoint.timestamps.assign(data.num_objects(), 0);
   if (has_liveness) {
     std::string k_dead, k_stamps;
     size_t num_dead = 0;

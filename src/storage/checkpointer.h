@@ -67,7 +67,15 @@ std::string CheckpointFileName(uint64_t lsn);
 
 /// Loads and validates checkpoint `lsn`; checksum mismatch or structural
 /// damage is an error (kInternal / kInvalidArgument), never a partial load.
-Result<CheckpointData> LoadCheckpoint(const std::string& dir, uint64_t lsn);
+[[nodiscard]] Result<CheckpointData> LoadCheckpoint(const std::string& dir,
+                                                    uint64_t lsn);
+
+/// Validates and decodes checkpoint file contents already in memory — the
+/// parsing half of LoadCheckpoint, which adds only the file read and the
+/// filename-vs-content LSN cross-check. Exposed so untrusted checkpoint
+/// bytes (fuzzing, the replication snapshot path) can be vetted without
+/// touching the filesystem.
+[[nodiscard]] Result<CheckpointData> ParseCheckpoint(const std::string& text);
 
 /// Writes checkpoints into one directory and applies retention.
 class Checkpointer {

@@ -57,7 +57,8 @@ std::string EncodeShippedRecords(const std::vector<WalRecord>& records);
 /// Decodes a shipped batch; kInvalidArgument on truncation or trailing
 /// bytes. Does not validate LSN contiguity — the follower's apply loop
 /// enforces that against its own WAL cursor.
-Result<std::vector<WalRecord>> DecodeShippedRecords(std::string_view bytes);
+[[nodiscard]] Result<std::vector<WalRecord>> DecodeShippedRecords(
+    std::string_view bytes);
 
 // --- Primary side ---------------------------------------------------------
 
@@ -179,8 +180,8 @@ class DirReplicationSource : public ReplicationSource {
 /// the usual tmp + rename + dirsync dance, then validates it loads. The
 /// standard replica bootstrap: wipe the directory, install, DurableIngest::
 /// Open recovers from it.
-Status InstallSnapshot(const std::string& dir, uint64_t lsn,
-                       std::string_view bytes);
+[[nodiscard]] Status InstallSnapshot(const std::string& dir, uint64_t lsn,
+                                     std::string_view bytes);
 
 /// Removes every WAL segment, checkpoint, and stale tmp file from `dir`
 /// (fine if the directory does not exist). The replica (re)join path wipes

@@ -102,7 +102,8 @@ struct WalReadResult {
 /// stopping at the first damaged record or LSN discontinuity. Read-only:
 /// never truncates or deletes anything. An empty/absent directory yields an
 /// empty result, not an error.
-Result<WalReadResult> ReadWal(const std::string& dir, uint64_t after_lsn);
+[[nodiscard]] Result<WalReadResult> ReadWal(const std::string& dir,
+                                            uint64_t after_lsn);
 
 /// Start LSN of the oldest segment in `dir` (0 when it holds none). The
 /// replication shipper uses it to distinguish "follower is caught up" from
@@ -169,7 +170,8 @@ class WriteAheadLog {
 std::string EncodeRowPayload(const std::vector<double>& values);
 /// Decodes; fails with kInvalidArgument on a size mismatch (a checksummed
 /// record of the wrong shape — format drift, not corruption).
-Result<std::vector<double>> DecodeRowPayload(std::string_view payload);
+[[nodiscard]] Result<std::vector<double>> DecodeRowPayload(
+    std::string_view payload);
 
 /// Op-typed payloads (format v3). The first payload byte discriminates the
 /// format: v3 op tags are >= 0x80, while a legacy v2 payload starts with
@@ -207,7 +209,7 @@ std::string EncodeDeletePayload(uint32_t row, uint64_t timestamp_ms);
 /// Decodes a v3 payload, falling back to the legacy v2 row codec when the
 /// first byte is below 0x80. Fails with kInvalidArgument on size mismatch
 /// or an unknown op tag.
-Result<WalOpRecord> DecodeOpPayload(std::string_view payload);
+[[nodiscard]] Result<WalOpRecord> DecodeOpPayload(std::string_view payload);
 
 /// One record as seen by the read-only inspector (tools/skycube_waldump):
 /// framing validity plus the decoded op when the payload parses.
@@ -237,7 +239,8 @@ struct WalDumpSegment {
 /// order. Unlike ReadWal this does not stop at inter-segment gaps and
 /// reports damaged records instead of hiding them — it is the debugging
 /// view, not the recovery view. Never writes.
-Result<std::vector<WalDumpSegment>> DumpWal(const std::string& dir);
+[[nodiscard]] Result<std::vector<WalDumpSegment>> DumpWal(
+    const std::string& dir);
 
 }  // namespace skycube
 

@@ -38,6 +38,22 @@ and as a required CI job):
       call open/fopen/fsync/fdatasync or touch fstream/getline — one
       stalled syscall on the loop thread stalls every connection. File
       work belongs in src/storage/, reached from dispatch-pool threads.
+  R8  decoder fuzz coverage: every decoder entry point in src/ headers
+      (Parse*/Decode*/Deserialize* returning Result<>, plus the handful of
+      byte-consuming loaders listed in R8_EXTRA_ENTRY_POINTS) is exercised
+      by a harness in fuzz/, and every target registered in
+      fuzz/CMakeLists.txt's SKYCUBE_FUZZ_TARGETS has its harness source, a
+      non-empty checked-in regression corpus, and a fuzz_replay_* ctest
+      registration. A new decoder lands with its fuzz target or carries a
+      "lint:not-wire-input" comment explaining why it never sees
+      attacker-controlled bytes.
+  R9  no allocation from an unchecked wire length: a value read off the
+      wire or disk (GetU32/ReadU64/operator>>/sscanf and friends) must not
+      reach resize/reserve/assign/new[] without a bounds comparison on the
+      way, or a std::min clamp at the call — a forged 4-byte length field
+      must fail on the *available* bytes, never allocate the declared
+      amount. Heuristic taint per function; waive a justified site with a
+      "lint:allow-unbounded" comment on the same line.
 
 Exit status 0 = clean; 1 = findings (one per line: path:line: rule: what).
 """
@@ -52,7 +68,8 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parent.parent
 
 SOURCE_GLOBS = ("src/**/*.h", "src/**/*.cc", "tools/**/*.cc", "bench/**/*.h",
-                "bench/**/*.cc", "tests/**/*.cc")
+                "bench/**/*.cc", "tests/**/*.cc", "fuzz/**/*.h",
+                "fuzz/**/*.cc")
 
 FAULT_POINT_RE = re.compile(r'SKYCUBE_FAULT_POINT\("([^"]+)"\)')
 ARMED_RE = re.compile(r'(?:ArmFailure|ArmDelay|Disarm|HitCount)\("([^"]+)"')
@@ -92,6 +109,41 @@ DROPPED_STATUS_RE = re.compile(
     r'^\s*(?:[A-Za-z_]\w*(?:\.|->))?(' + "|".join(STATUS_CALLS) +
     r')\s*\([^;]*\)\s*;\s*$')
 
+# R8: decoder entry points are recognized by name shape — a Result<>-
+# returning Parse*/Decode*/Deserialize* declaration in a src/ header takes
+# bytes an attacker may control. The extras are byte-consuming loaders
+# whose names don't fit the shape but whose inputs are just as hostile:
+# FrameDecoder eats the raw TCP stream, ReadWal/DumpWal scan disk segments
+# after a crash, LoadCheckpoint/InstallSnapshot parse checkpoint files a
+# replica fetched over the wire.
+DECODER_DECL_RE = re.compile(
+    r'Result<[^;]*?\b((?:Parse|Decode|Deserialize)[A-Z]\w*)\s*\(')
+R8_EXTRA_ENTRY_POINTS = ("FrameDecoder", "ReadWal", "DumpWal",
+                         "LoadCheckpoint", "InstallSnapshot")
+FUZZ_TARGETS_RE = re.compile(r'set\(SKYCUBE_FUZZ_TARGETS\s+([^)]*)\)')
+
+# R9: expressions that introduce a wire/disk-supplied integer. The capture
+# is the variable receiving it (last component of a dotted path).
+WIRE_READ_RES = (
+    # reader.ReadU32(&count), GetU32(&header.len)
+    re.compile(r'(?:Get|Read)U(?:8|16|32|64)\s*\(\s*&\s*'
+               r'(?:\w+(?:\.|->))*(\w+)'),
+    # len = GetU32(p), record.row = static_cast<...>(ReadU64(...))
+    re.compile(r'(?:\w+(?:\.|->))*(\w+)\s*=[^=<>!]*?'
+               r'(?:Get|Read)U(?:8|16|32|64)\s*\('),
+    # is >> num_groups >> member_count (stream extraction chains)
+    re.compile(r'>>\s*(?:\w+(?:\.|->))*([A-Za-z_]\w*)'),
+    # sscanf(name, "...", &lsn)
+    re.compile(r'sscanf\s*\([^;]*?&\s*(?:\w+(?:\.|->))*(\w+)'),
+)
+ALLOC_RE = re.compile(r'(?:\.(?:resize|reserve|assign)\s*\(|'
+                      r'\bnew\s+[\w:]+(?:\s*<[^;]*?>)?\s*\[)(.*)$')
+IDENT_RE = re.compile(r'[A-Za-z_]\w*')
+# A "bounds check" line: mentions the tainted name next to a real
+# comparison operator. Shift/stream (<<, >>), arrow (->), and the
+# extraction itself are blanked first so they can't masquerade as one.
+COMPARISON_RE = re.compile(r'[<>!=]=|[<>]')
+
 # R6: raw lock types the annotated wrappers replace.
 RAW_LOCK_RE = re.compile(
     r'std::(mutex|shared_mutex|recursive_mutex|timed_mutex|'
@@ -115,17 +167,42 @@ def iter_sources():
         yield from sorted(REPO.glob(pattern))
 
 
+def blank_non_comparisons(line: str) -> str:
+    """Blank tokens whose < > = characters are not comparisons, so the
+    R9 bounds-check detector doesn't mistake a shift, an arrow, a stream
+    extraction, a string literal, or a template argument list for one."""
+    line = re.sub(r'"[^"]*"', '""', line)
+    line = re.sub(r'<<|>>|->', '  ', line)
+    line = re.sub(r'\b(?:static_cast|reinterpret_cast|const_cast)\s*'
+                  r'<[^<>]*>', ' ', line)
+    return line
+
+
+def has_bounds_check(code_lines: list[str], start: int, end: int,
+                     name: str) -> bool:
+    """True if some line in [start, end] (1-based, inclusive) compares the
+    tainted name — the shape every guarded decoder site in the repo has."""
+    name_re = re.compile(r'\b' + re.escape(name) + r'\b')
+    for lineno in range(start, end + 1):
+        line = blank_non_comparisons(code_lines[lineno - 1])
+        if name_re.search(line) and COMPARISON_RE.search(line):
+            return True
+    return False
+
+
 def main() -> int:
     findings: list[str] = []
     wired = Counter()          # fault point name -> [(path, line)]
     wired_sites: dict[str, list[str]] = {}
     armed: list[tuple[str, str]] = []   # (site, name)
+    decoders: dict[str, str] = {}       # decoder entry point -> decl site
 
     for path in iter_sources():
         rel = path.relative_to(REPO).as_posix()
         raw = path.read_text(encoding="utf-8")
         code = strip_comments(raw)
         code_lines = code.splitlines()
+        tainted: dict[str, int] = {}    # wire-read variable -> taint line
 
         for lineno, line in enumerate(code_lines, 1):
             site = f"{rel}:{lineno}"
@@ -193,6 +270,36 @@ def main() -> int:
                     f"{site}: R6: raw {RAW_LOCK_RE.search(line).group()} in "
                     "src/ (use the annotated wrappers in common/mutex.h)")
 
+            if rel.startswith("src/") and rel.endswith(".h"):
+                for name in DECODER_DECL_RE.findall(line):
+                    if "lint:not-wire-input" not in raw_line:
+                        decoders.setdefault(name, site)
+
+            if rel.startswith(("src/", "tools/")):
+                # Function boundary (column-0 closing brace): locals die.
+                if line.startswith("}"):
+                    tainted.clear()
+                for wire_re in WIRE_READ_RES:
+                    for name in wire_re.findall(line):
+                        tainted[name] = lineno
+                alloc = ALLOC_RE.search(line)
+                if (alloc and tainted
+                        and "lint:allow-unbounded" not in raw_line
+                        and "std::min" not in alloc.group(1)):
+                    for name in IDENT_RE.findall(alloc.group(1)):
+                        if name not in tainted:
+                            continue
+                        if has_bounds_check(code_lines, tainted[name],
+                                            lineno, name):
+                            continue
+                        findings.append(
+                            f"{site}: R9: allocation sized by "
+                            f"wire-supplied '{name}' (read at line "
+                            f"{tainted[name]}) with no bounds check between "
+                            "— clamp with std::min, validate against the "
+                            "available bytes, or waive with "
+                            "'lint:allow-unbounded'")
+
     for name, count in sorted(wired.items()):
         if count != 1:
             findings.append(
@@ -204,6 +311,44 @@ def main() -> int:
             findings.append(
                 f"{site}: R1: \"{name}\" is armed/queried but no "
                 "SKYCUBE_FAULT_POINT in src/ wires it (typo?)")
+
+    # R8: the fuzz registry and the decoder surface must agree.
+    fuzz_cmake_path = REPO / "fuzz" / "CMakeLists.txt"
+    fuzz_cmake = (fuzz_cmake_path.read_text(encoding="utf-8")
+                  if fuzz_cmake_path.exists() else "")
+    targets_match = FUZZ_TARGETS_RE.search(fuzz_cmake)
+    fuzz_targets = targets_match.group(1).split() if targets_match else []
+    if not fuzz_targets:
+        findings.append(
+            "fuzz/CMakeLists.txt:1: R8: no SKYCUBE_FUZZ_TARGETS registry "
+            "found (the decoder fuzz subsystem is missing or renamed)")
+    for target in fuzz_targets:
+        if not (REPO / "fuzz" / f"fuzz_{target}.cc").exists():
+            findings.append(
+                f"fuzz/CMakeLists.txt:1: R8: registered fuzz target "
+                f"\"{target}\" has no fuzz/fuzz_{target}.cc harness")
+        corpus = REPO / "fuzz" / "regression" / target
+        if not corpus.is_dir() or not any(corpus.iterdir()):
+            findings.append(
+                f"fuzz/CMakeLists.txt:1: R8: fuzz target \"{target}\" has "
+                f"no checked-in corpus in fuzz/regression/{target}/ (seed "
+                "it from the encoder, see docs/STATIC_ANALYSIS.md)")
+    if fuzz_targets and "add_test(NAME fuzz_replay_${target}" not in fuzz_cmake:
+        findings.append(
+            "fuzz/CMakeLists.txt:1: R8: no fuzz_replay_* ctest "
+            "registration — regression corpora must replay in every build")
+
+    harness_text = "".join(
+        p.read_text(encoding="utf-8") for p in sorted(REPO.glob("fuzz/*.cc")))
+    for name in R8_EXTRA_ENTRY_POINTS:
+        decoders.setdefault(name, "fuzz/CMakeLists.txt:1")
+    for name, site in sorted(decoders.items()):
+        if not re.search(r'\b' + re.escape(name) + r'\b', harness_text):
+            findings.append(
+                f"{site}: R8: decoder entry point {name}() has no fuzz/ "
+                "harness exercising it (add one to an existing target or "
+                "register a new one; waive a decoder that never sees "
+                "attacker-controlled bytes with 'lint:not-wire-input')")
 
     for finding in findings:
         print(finding)

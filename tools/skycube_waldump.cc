@@ -23,8 +23,14 @@
 // anywhere else an empty segment is a hole and exits 1.
 //
 // With --values, insert records also print their row values. Exit status
-// is 0 when every record framed and decoded cleanly, 1 when any record
-// was damaged (so scripts can assert WAL integrity), 2 on usage errors.
+// is 0 when every record framed and decoded cleanly and the LSNs in view
+// form one contiguous run, 1 when any record was damaged or out of place
+// — checksum/decode failure, trailing garbage, a hole segment, a spliced
+// or gapped LSN sequence, a segment whose name disagrees with its first
+// record — so scripts can gate on WAL integrity; 2 on usage errors. A gap
+// prints its own `gap expected_lsn=E found_lsn=F` line: the records on
+// both sides are individually valid, the *sequence* is what recovery
+// would refuse to trust.
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -84,11 +90,28 @@ int Dump(const FlagParser& flags) {
   }
 
   bool damaged = false;
+  // Last framing-valid LSN seen (0 = none yet) — the continuity cursor.
+  // Records are individually checksummed, so a spliced or gapped log can
+  // be record-clean yet unrecoverable; any shown record whose LSN is not
+  // cursor + 1 is damage.
+  uint64_t prev_lsn = 0;
   const std::vector<WalDumpSegment>& segments = dumped.value();
   for (size_t i = 0; i < segments.size(); ++i) {
     const WalDumpSegment& segment = segments[i];
-    if (!only_segment.empty() && segment.file != only_segment) continue;
-    if (SegmentBelow(segment, from_lsn)) continue;
+    if (!only_segment.empty() && segment.file != only_segment) {
+      // Advance the cursor silently so a gap inside the shown segment is
+      // attributed there, not to the viewing window's edge.
+      for (const WalDumpRecord& record : segment.records) {
+        if (record.checksum_ok) prev_lsn = record.lsn;
+      }
+      continue;
+    }
+    if (SegmentBelow(segment, from_lsn)) {
+      for (const WalDumpRecord& record : segment.records) {
+        if (record.checksum_ok) prev_lsn = record.lsn;
+      }
+      continue;
+    }
     const bool final_segment = i + 1 == segments.size();
     if (segment.empty) {
       // A zero-byte file holds no magic; only the final segment may be
@@ -104,7 +127,24 @@ int Dump(const FlagParser& flags) {
                 static_cast<unsigned long long>(segment.declared_start),
                 segment.magic_ok ? "ok" : "BAD");
     if (!segment.magic_ok) damaged = true;
+    bool first_in_segment = true;
     for (const WalDumpRecord& record : segment.records) {
+      if (record.checksum_ok) {
+        const uint64_t expected =
+            prev_lsn != 0 ? prev_lsn + 1 : record.lsn;
+        const bool gap =
+            record.lsn != expected ||
+            (first_in_segment && record.lsn != segment.declared_start);
+        if (gap) {
+          std::printf("gap expected_lsn=%llu found_lsn=%llu\n",
+                      static_cast<unsigned long long>(
+                          prev_lsn != 0 ? expected : segment.declared_start),
+                      static_cast<unsigned long long>(record.lsn));
+          damaged = true;
+        }
+        first_in_segment = false;
+        prev_lsn = record.lsn;
+      }
       if (!record.checksum_ok) {
         std::printf("lsn=%llu op=? bytes=%zu checksum=BAD\n",
                     static_cast<unsigned long long>(record.lsn),
